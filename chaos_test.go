@@ -1,0 +1,164 @@
+package wackamole_test
+
+// Chaos tests: randomized schedules of faults, partitions, heals, graceful
+// leaves and session severs, asserting the paper's Property 1 (exactly-once
+// coverage among reachable servers) whenever the system has had time to
+// settle, and Property 2 (it always settles).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"wackamole"
+)
+
+func TestChaosMonkeyConvergesToExactlyOnce(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const n = 5
+			c := newCluster(t, wackamole.ClusterOptions{
+				Seed:           seed,
+				Servers:        n,
+				VIPs:           10,
+				BalanceTimeout: 10 * time.Second,
+			})
+			c.Settle()
+			rng := rand.New(rand.NewSource(seed * 31))
+			down := map[int]bool{}
+			partitioned := false
+
+			for step := 0; step < 12; step++ {
+				switch op := rng.Intn(5); op {
+				case 0: // fail a random live server (keep a majority alive)
+					if len(down) < n-2 {
+						for {
+							i := rng.Intn(n)
+							if !down[i] {
+								c.FailServer(i)
+								down[i] = true
+								break
+							}
+						}
+					}
+				case 1: // restore a failed server
+					for i := range down {
+						c.RestoreServer(i)
+						delete(down, i)
+						break
+					}
+				case 2: // partition into two halves (only when whole)
+					if !partitioned {
+						cut := 1 + rng.Intn(n-1)
+						var a, b []int
+						for i := 0; i < n; i++ {
+							if i < cut {
+								a = append(a, i)
+							} else {
+								b = append(b, i)
+							}
+						}
+						c.Partition(a, b)
+						partitioned = true
+					}
+				case 3: // heal
+					if partitioned {
+						c.Heal()
+						partitioned = false
+					}
+				case 4: // sever a live server's daemon session (§4.2 fault)
+					i := rng.Intn(n)
+					if !down[i] && c.Servers[i].Node.Session() != nil {
+						c.Servers[i].Node.Session().Sever()
+					}
+				}
+				c.RunFor(time.Duration(1+rng.Intn(8)) * time.Second)
+			}
+
+			// Quiesce: heal everything and let all reconfigurations finish
+			// (severed sessions reconnect within a second; detection +
+			// discovery + balance need the rest).
+			if partitioned {
+				c.Heal()
+			}
+			for i := range down {
+				c.RestoreServer(i)
+			}
+			c.RunFor(45 * time.Second)
+			checkExactlyOnce(t, c)
+
+			// Tables agree everywhere (Property 1's engine-level half).
+			ref := c.Servers[0].Node.Status()
+			for i, srv := range c.Servers[1:] {
+				st := srv.Node.Status()
+				if st.ViewID != ref.ViewID {
+					t.Fatalf("server %d view %q != %q", i+1, st.ViewID, ref.ViewID)
+				}
+				for g, owner := range ref.Table {
+					if st.Table[g] != owner {
+						t.Fatalf("tables diverge on %q", g)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestChaosWithRepresentativeDecisions(t *testing.T) {
+	for seed := int64(20); seed <= 23; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			c := newCluster(t, wackamole.ClusterOptions{
+				Seed:                    seed,
+				Servers:                 4,
+				VIPs:                    8,
+				RepresentativeDecisions: true,
+			})
+			c.Settle()
+			rng := rand.New(rand.NewSource(seed))
+			for step := 0; step < 6; step++ {
+				victim := rng.Intn(4)
+				c.FailServer(victim)
+				c.RunFor(time.Duration(1+rng.Intn(6)) * time.Second)
+				c.RestoreServer(victim)
+				c.RunFor(time.Duration(1+rng.Intn(10)) * time.Second)
+			}
+			c.RunFor(30 * time.Second)
+			checkExactlyOnce(t, c)
+		})
+	}
+}
+
+func TestLargerClusterScales(t *testing.T) {
+	c := newCluster(t, wackamole.ClusterOptions{Seed: 55, Servers: 20, VIPs: 40})
+	c.Settle()
+	checkExactlyOnce(t, c)
+	for i, n := range c.CoverageByServer() {
+		if n != 2 {
+			t.Fatalf("server %d holds %d, want 2 (40 VIPs / 20 servers)", i, n)
+		}
+	}
+	c.FailServer(7)
+	c.FailServer(13)
+	c.RunFor(10 * time.Second)
+	checkExactlyOnce(t, c)
+}
+
+func TestFiftyServerCluster(t *testing.T) {
+	c := newCluster(t, wackamole.ClusterOptions{Seed: 99, Servers: 50, VIPs: 50})
+	c.Settle()
+	checkExactlyOnce(t, c)
+	for i, n := range c.CoverageByServer() {
+		if n != 1 {
+			t.Fatalf("server %d holds %d VIPs, want 1", i, n)
+		}
+	}
+	// Take out five servers at once.
+	for i := 0; i < 5; i++ {
+		c.FailServer(i * 9)
+	}
+	c.RunFor(10 * time.Second)
+	checkExactlyOnce(t, c)
+}

@@ -1,0 +1,283 @@
+package wackamole
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"wackamole/internal/core"
+	"wackamole/internal/env"
+	"wackamole/internal/gcs"
+	"wackamole/internal/ipmgr"
+	"wackamole/internal/netsim"
+	"wackamole/internal/sim"
+)
+
+// ClusterOptions parameterize a simulated Wackamole cluster, the programmatic
+// equivalent of the paper's experimental testbed (§6): N servers on a
+// 100 Mbit-class LAN behind one router, covering a set of virtual addresses.
+type ClusterOptions struct {
+	// Seed drives the deterministic simulation.
+	Seed int64
+	// Servers is the cluster size (paper: 2 to 12).
+	Servers int
+	// VIPs is the number of single-address virtual IP groups (paper: 10).
+	VIPs int
+	// GCS configures the group-communication timeouts. Zero value means
+	// gcs.TunedConfig().
+	GCS gcs.Config
+	// BalanceTimeout, Bootstrap, DisableBalance and LazyConflictRelease
+	// forward to the engine configuration. Bootstrap enables the §3.4
+	// maturity bootstrap (experiments usually start mature).
+	BalanceTimeout      time.Duration
+	MatureTimeout       time.Duration
+	Bootstrap           bool
+	DisableBalance      bool
+	LazyConflictRelease bool
+	// RepresentativeDecisions enables the §4.2 variant where the
+	// representative imposes the post-gather allocation.
+	RepresentativeDecisions bool
+	// DisableARPSpoof suppresses gratuitous ARP after acquisition (the
+	// ablation quantifying §5.1's spoofing).
+	DisableARPSpoof bool
+	// WithRouter adds a forwarding router and an external client segment,
+	// completing the Figure 3 topology.
+	WithRouter bool
+	// RouterARPTTL overrides the router's ARP cache lifetime (used by the
+	// ARP-spoofing ablation, where recovery waits for cache expiry).
+	RouterARPTTL time.Duration
+	// StartStagger delays server i's start by i×StartStagger, modelling a
+	// cluster booting machine by machine (the situation the §3.4 maturity
+	// bootstrap addresses).
+	StartStagger time.Duration
+	// Segment overrides the LAN characteristics; zero value means
+	// netsim.DefaultSegmentConfig().
+	Segment netsim.SegmentConfig
+	// Logger receives protocol diagnostics from every node (nil: discard).
+	Logger env.Logger
+	// ConfigureNode, if set, may adjust each server's configuration before
+	// the node is built (per-server preferences, differing timeouts...).
+	ConfigureNode func(i int, cfg *Config)
+}
+
+// Server is one simulated cluster member.
+type Server struct {
+	Host *netsim.Host
+	NIC  *netsim.NIC
+	Node *Node
+}
+
+// Cluster is a fully wired simulated Wackamole deployment.
+type Cluster struct {
+	Sim      *sim.Sim
+	Net      *netsim.Network
+	Segment  *netsim.Segment
+	External *netsim.Segment // nil unless WithRouter
+	Router   *netsim.Host    // nil unless WithRouter
+	Servers  []*Server
+	Groups   []core.VIPGroup
+	opts     ClusterOptions
+}
+
+// ClusterSubnet is the simulated server LAN.
+var ClusterSubnet = netip.MustParsePrefix("10.0.0.0/24")
+
+// ExternalSubnet is the simulated client-side network behind the router.
+var ExternalSubnet = netip.MustParsePrefix("192.168.1.0/24")
+
+// ServerAddr returns server i's stationary address (10.0.0.10+i).
+func ServerAddr(i int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, 0, byte(10 + i)})
+}
+
+// VIPAddr returns virtual address j (10.0.0.100+j).
+func VIPAddr(j int) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, 0, 0, byte(100 + j)})
+}
+
+// RouterInsideAddr is the router's address on the cluster LAN.
+var RouterInsideAddr = netip.MustParseAddr("10.0.0.1")
+
+// RouterOutsideAddr is the router's address on the external network.
+var RouterOutsideAddr = netip.MustParseAddr("192.168.1.1")
+
+// NewCluster builds and starts a simulated cluster. Run the simulator (for
+// at least the discovery timeout) to let it form.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Servers <= 0 {
+		return nil, fmt.Errorf("wackamole: cluster needs at least one server")
+	}
+	if opts.VIPs <= 0 {
+		return nil, fmt.Errorf("wackamole: cluster needs at least one virtual address")
+	}
+	if opts.Servers > 200 || opts.VIPs > 100 {
+		return nil, fmt.Errorf("wackamole: cluster exceeds the simulated /24 address plan")
+	}
+	if opts.GCS == (gcs.Config{}) {
+		opts.GCS = gcs.TunedConfig()
+	}
+	segCfg := opts.Segment
+	if segCfg == (netsim.SegmentConfig{}) {
+		segCfg = netsim.DefaultSegmentConfig()
+	}
+
+	s := sim.New(opts.Seed)
+	nw := netsim.New(s)
+	if opts.Logger != nil {
+		nw.SetLogger(opts.Logger)
+	}
+	c := &Cluster{
+		Sim:     s,
+		Net:     nw,
+		Segment: nw.NewSegment("cluster", segCfg),
+		opts:    opts,
+	}
+	for j := 0; j < opts.VIPs; j++ {
+		c.Groups = append(c.Groups, core.VIPGroup{
+			Name:  fmt.Sprintf("vip%02d", j),
+			Addrs: []netip.Addr{VIPAddr(j)},
+		})
+	}
+
+	if opts.WithRouter {
+		c.External = nw.NewSegment("external", segCfg)
+		c.Router = nw.NewHost("router")
+		c.Router.AttachNIC(c.Segment, "inside", netip.PrefixFrom(RouterInsideAddr, ClusterSubnet.Bits()))
+		c.Router.AttachNIC(c.External, "outside", netip.PrefixFrom(RouterOutsideAddr, ExternalSubnet.Bits()))
+		c.Router.EnableForwarding()
+		if opts.RouterARPTTL > 0 {
+			c.Router.SetARPTTL(opts.RouterARPTTL)
+		}
+	}
+
+	for i := 0; i < opts.Servers; i++ {
+		host := nw.NewHost(fmt.Sprintf("server%02d", i))
+		nic := host.AttachNIC(c.Segment, "eth0", netip.PrefixFrom(ServerAddr(i), ClusterSubnet.Bits()))
+		if opts.WithRouter {
+			host.SetDefaultGateway(nic, RouterInsideAddr)
+		}
+		cfg := Config{
+			GCS: opts.GCS,
+			Engine: core.Config{
+				Groups:                  c.Groups,
+				BalanceTimeout:          opts.BalanceTimeout,
+				MatureTimeout:           opts.MatureTimeout,
+				StartMature:             !opts.Bootstrap,
+				DisableBalance:          opts.DisableBalance,
+				LazyConflictRelease:     opts.LazyConflictRelease,
+				RepresentativeDecisions: opts.RepresentativeDecisions,
+			},
+		}
+		if opts.ConfigureNode != nil {
+			opts.ConfigureNode(i, &cfg)
+		}
+		ep, err := host.OpenEndpoint(nic, DefaultPort)
+		if err != nil {
+			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
+		}
+		notifier := &netsim.ARPAnnouncer{Host: host, Disabled: opts.DisableARPSpoof}
+		node, err := NewNode(ep.Env(opts.Logger), cfg, &ipmgr.NICBackend{NIC: nic}, notifier)
+		if err != nil {
+			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
+		}
+		if opts.StartStagger > 0 && i > 0 {
+			node := node
+			log := opts.Logger
+			s.After(time.Duration(i)*opts.StartStagger, func() {
+				if err := node.Start(); err != nil && log != nil {
+					log.Logf("wackamole: staggered start of server %d: %v", i, err)
+				}
+			})
+		} else if err := node.Start(); err != nil {
+			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
+		}
+		c.Servers = append(c.Servers, &Server{Host: host, NIC: nic, Node: node})
+	}
+	return c, nil
+}
+
+// RunFor advances the simulation.
+func (c *Cluster) RunFor(d time.Duration) { c.Sim.RunFor(d) }
+
+// Settle runs the simulation long enough for a freshly started or recently
+// disturbed cluster to pass discovery, install a membership and reallocate.
+func (c *Cluster) Settle() {
+	c.RunFor(2*c.opts.GCS.DiscoveryTimeout + c.opts.GCS.FaultDetectTimeout + time.Second)
+}
+
+// FailServer disconnects server i's interface — the paper's fault-injection
+// method (§6).
+func (c *Cluster) FailServer(i int) { c.Servers[i].NIC.SetUp(false) }
+
+// RestoreServer re-enables a disconnected interface.
+func (c *Cluster) RestoreServer(i int) { c.Servers[i].NIC.SetUp(true) }
+
+// CrashServer halts server i's host entirely.
+func (c *Cluster) CrashServer(i int) { c.Servers[i].Host.Crash() }
+
+// Partition splits the cluster LAN into components of the given server
+// indices. The router (if any) joins the first component.
+func (c *Cluster) Partition(groups ...[]int) {
+	hostGroups := make([][]*netsim.Host, len(groups))
+	for gi, g := range groups {
+		for _, i := range g {
+			hostGroups[gi] = append(hostGroups[gi], c.Servers[i].Host)
+		}
+	}
+	if c.Router != nil {
+		hostGroups[0] = append(hostGroups[0], c.Router)
+	}
+	c.Segment.Partition(hostGroups...)
+}
+
+// Heal removes any partition.
+func (c *Cluster) Heal() { c.Segment.Heal() }
+
+// reachable reports whether server i can answer traffic at all.
+func (c *Cluster) reachable(i int) bool {
+	return c.Servers[i].Host.Alive() && c.Servers[i].NIC.Up()
+}
+
+// Owner returns the index of the reachable server currently holding vip, or
+// -1 with the count of reachable holders (0 or >1 during transitions; a
+// failed server still carrying the address forms its own connected component
+// and does not count).
+func (c *Cluster) Owner(vip netip.Addr) (int, int) {
+	owner, holders := -1, 0
+	for i, srv := range c.Servers {
+		if c.reachable(i) && srv.NIC.HasAddr(vip) {
+			owner = i
+			holders++
+		}
+	}
+	if holders != 1 {
+		return -1, holders
+	}
+	return owner, 1
+}
+
+// CoverageByServer returns how many virtual addresses each reachable server
+// holds (failed servers report zero).
+func (c *Cluster) CoverageByServer() []int {
+	out := make([]int, len(c.Servers))
+	for i, srv := range c.Servers {
+		if !c.reachable(i) {
+			continue
+		}
+		for j := 0; j < c.opts.VIPs; j++ {
+			if srv.NIC.HasAddr(VIPAddr(j)) {
+				out[i]++
+			}
+		}
+	}
+	return out
+}
+
+// VIPs lists the cluster's virtual addresses.
+func (c *Cluster) VIPs() []netip.Addr {
+	out := make([]netip.Addr, c.opts.VIPs)
+	for j := range out {
+		out[j] = VIPAddr(j)
+	}
+	return out
+}

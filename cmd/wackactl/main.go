@@ -1,0 +1,43 @@
+// Command wackactl speaks the administrative control channel of a running
+// wackamole daemon (§4.2 of the paper):
+//
+//	wackactl -control 127.0.0.1:4804 status
+//	wackactl -control 127.0.0.1:4804 balance
+//	wackactl -control 127.0.0.1:4804 leave
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"wackamole/internal/ctl"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("wackactl", flag.ContinueOnError)
+	control := fs.String("control", "127.0.0.1:4804", "daemon control address")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cmd := ctl.CmdStatus
+	if fs.NArg() > 0 {
+		cmd = fs.Arg(0)
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(errOut, "wackactl: one command at a time")
+		return 2
+	}
+	reply, err := ctl.Send(*control, cmd)
+	if err != nil {
+		fmt.Fprintf(errOut, "wackactl: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(out, reply)
+	return 0
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsMultipleCommands(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"status", "balance"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "one command") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}
+
+func TestRunReportsConnectionFailure(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-control", "127.0.0.1:1", "status"}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "wackactl:") {
+		t.Fatalf("stderr = %q", errOut.String())
+	}
+}

@@ -1,0 +1,137 @@
+// Command wackamole runs one Wackamole daemon over real UDP sockets and the
+// wall clock — the same protocol stack the simulator drives, deployed.
+//
+//	wackamole -config wackamole.conf
+//
+// The configuration names this daemon's bind address, all peers, the
+// virtual address groups and the Table-1 timeouts (see internal/config for
+// the format). Address acquisition shells out to `ip addr` via the exec
+// backend; it is a dry run by default (commands are logged, not executed)
+// so that experimentation cannot damage a machine's networking — set
+// `dry_run false` in the configuration to go live.
+//
+// ARP-reply spoofing (§5.1) requires raw sockets, which this binary does
+// not open; announcements are logged. On a real deployment, pair it with a
+// gratuitous-ARP helper or run the simulator-backed examples instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"wackamole"
+	"wackamole/internal/arp"
+	"wackamole/internal/config"
+	"wackamole/internal/ctl"
+	"wackamole/internal/env"
+	"wackamole/internal/env/realtime"
+	"wackamole/internal/ipmgr"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], sig, os.Stderr))
+}
+
+// announceLogger satisfies arp.Notifier by logging what a raw-socket
+// implementation would transmit.
+type announceLogger struct {
+	log env.Logger
+}
+
+func (a *announceLogger) Announce(vip netip.Addr) {
+	a.log.Logf("arp: would send gratuitous ARP reply for %v", vip)
+}
+
+func (a *announceLogger) Withdraw(netip.Addr) {}
+
+var _ arp.Notifier = (*announceLogger)(nil)
+
+// run starts the daemon and blocks until stop delivers; notices is the
+// diagnostic stream (stderr in production, a buffer in tests).
+func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
+	fs := flag.NewFlagSet("wackamole", flag.ContinueOnError)
+	cfgPath := fs.String("config", "wackamole.conf", "configuration file")
+	verbose := fs.Bool("v", false, "log protocol activity")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg, err := config.ParseFile(*cfgPath)
+	if err != nil {
+		fmt.Fprintf(notices, "wackamole: %v\n", err)
+		return 1
+	}
+
+	loop := realtime.NewLoop()
+	clock := realtime.NewClock(loop)
+	var log env.Logger = env.NopLogger{}
+	if *verbose {
+		log = env.NewPrefixLogger(notices, clock, cfg.Bind)
+	}
+	conn, err := realtime.Listen(loop, cfg.Bind, cfg.Peers)
+	if err != nil {
+		fmt.Fprintf(notices, "wackamole: %v\n", err)
+		loop.Close()
+		return 1
+	}
+	e := env.Env{Clock: clock, Conn: conn, Log: log}
+
+	device := cfg.Device
+	if device == "" {
+		device = "eth0"
+	}
+	backend := &ipmgr.LoggingBackend{
+		Inner: &ipmgr.ExecBackend{Device: device, DryRun: cfg.DryRun},
+		Log:   env.NewPrefixLogger(notices, clock, "ipmgr"),
+	}
+	node, err := wackamole.NewNode(e, cfg.NodeConfig(), backend, &announceLogger{log: log})
+	if err != nil {
+		fmt.Fprintf(notices, "wackamole: %v\n", err)
+		loop.Close()
+		return 1
+	}
+
+	startErr := make(chan error, 1)
+	loop.Post(func() { startErr <- node.Start() })
+	if err := <-startErr; err != nil {
+		fmt.Fprintf(notices, "wackamole: %v\n", err)
+		loop.Close()
+		return 1
+	}
+	fmt.Fprintf(notices, "wackamole: daemon %s up (%d peers, %d vip groups, dry_run=%v)\n",
+		cfg.Bind, len(cfg.Peers), len(cfg.Groups), cfg.DryRun)
+
+	var ctlSrv *ctl.Server
+	if cfg.Control != "" {
+		ctlSrv, err = ctl.Serve(cfg.Control, loop, node)
+		if err != nil {
+			fmt.Fprintf(notices, "wackamole: %v\n", err)
+			loop.Post(node.Stop)
+			loop.Close()
+			return 1
+		}
+		fmt.Fprintf(notices, "wackamole: control channel on %s\n", ctlSrv.Addr())
+	}
+
+	<-stop
+	fmt.Fprintln(notices, "wackamole: shutting down")
+	if ctlSrv != nil {
+		if err := ctlSrv.Close(); err != nil {
+			fmt.Fprintf(notices, "wackamole: control close: %v\n", err)
+		}
+	}
+	stopped := make(chan struct{})
+	loop.Post(func() {
+		node.Stop()
+		close(stopped)
+	})
+	<-stopped
+	loop.Close()
+	return 0
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"wackamole/internal/ctl"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-bogus"}, nil, os.Stderr); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsMissingConfig(t *testing.T) {
+	var buf strings.Builder
+	if code := run([]string{"-config", "/nonexistent.conf"}, nil, &buf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(buf.String(), "wackamole:") {
+		t.Fatalf("no diagnostic: %q", buf.String())
+	}
+}
+
+func TestRunRejectsUnbindableAddress(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wackamole.conf")
+	conf := "bind 203.0.113.7:1\npeers 203.0.113.7:1\nvip v 10.0.0.100\n"
+	if err := os.WriteFile(path, []byte(conf), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if code := run([]string{"-config", path}, nil, &buf); code != 1 {
+		t.Fatalf("exit = %d, want 1 (output %q)", code, buf.String())
+	}
+}
+
+// TestDaemonEndToEnd boots a real singleton daemon from a config file,
+// talks to it over the control channel, and shuts it down via the stop
+// channel — the full production path minus raw sockets.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wackamole.conf")
+	conf := strings.Join([]string{
+		"bind 127.0.0.1:24899",
+		"peers 127.0.0.1:24899",
+		"control 127.0.0.1:24898",
+		"fault_detect 500ms",
+		"heartbeat 100ms",
+		"discovery 300ms",
+		"vip web1 10.0.0.100",
+		"vip web2 10.0.0.101",
+		"dry_run true",
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(conf), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan os.Signal)
+	var buf syncBuilder
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-config", path}, stop, &buf) }()
+
+	// Wait for the singleton to form and take both addresses (dry run).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		reply, err := ctl.Send("127.0.0.1:24898", ctl.CmdStatus)
+		if err == nil && strings.Contains(reply, "state:   run") && strings.Contains(reply, "web1 web2") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reached RUN; last reply %q err %v\nlog:\n%s", reply, err, buf.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d\nlog:\n%s", code, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "daemon 127.0.0.1:24899 up") {
+		t.Fatalf("missing startup banner:\n%s", out)
+	}
+	// The dry-run exec backend must have logged the `ip addr add` commands.
+	if !strings.Contains(out, "acquired 10.0.0.100") {
+		t.Fatalf("missing dry-run acquisition log:\n%s", out)
+	}
+}
+
+// syncBuilder is a strings.Builder safe for the daemon goroutine + test
+// goroutine.
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/core"
+	"wackamole/internal/env/realtime"
+	"wackamole/internal/gcs"
+	"wackamole/internal/ipmgr"
+)
+
+// startServingDaemon boots one real serving Wackamole node over UDP for the
+// monitor tests and returns its shutdown function.
+func startServingDaemon(t *testing.T, bind string, peers []string) func() {
+	t.Helper()
+	e, loop, cleanup, err := realtime.NewEnv(bind, peers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := wackamole.NewNode(e, wackamole.Config{
+		GCS: gcs.Config{
+			FaultDetectTimeout: 500 * time.Millisecond,
+			HeartbeatInterval:  100 * time.Millisecond,
+			DiscoveryTimeout:   300 * time.Millisecond,
+		},
+		Engine: core.Config{
+			Groups: []core.VIPGroup{
+				{Name: "web1", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.100")}},
+			},
+			StartMature: true,
+		},
+	}, &ipmgr.FakeBackend{}, nil)
+	if err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	startErr := make(chan error, 1)
+	loop.Post(func() { startErr <- node.Start() })
+	if err := <-startErr; err != nil {
+		cleanup()
+		t.Fatal(err)
+	}
+	return func() {
+		stopped := make(chan struct{})
+		loop.Post(func() { node.Stop(); close(stopped) })
+		select {
+		case <-stopped:
+		case <-time.After(2 * time.Second):
+		}
+		cleanup()
+	}
+}

@@ -1,0 +1,148 @@
+// Command wackmon watches a running Wackamole cluster. It joins the group
+// as a permanently immature member: it exchanges STATE_MSGs like everyone
+// else (so the algorithm proceeds normally) but never becomes eligible to
+// own addresses, making it a pure observer of the replicated allocation
+// table.
+//
+//	wackmon -config wackamole.conf -bind 192.168.1.99:4803
+//
+// The monitor reuses the cluster's configuration file for the group name,
+// timeouts and address plan; -bind overrides the daemon address. In real
+// UDP deployments every daemon's `peers` list must include the monitor's
+// address (broadcast is a static unicast fan-out).
+//
+// Note that a monitor daemon joining or leaving triggers a daemon-level
+// reconfiguration (§4.1), which pauses — but does not move — the address
+// allocation for one discovery round.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/config"
+	"wackamole/internal/core"
+	"wackamole/internal/env"
+	"wackamole/internal/env/realtime"
+	"wackamole/internal/ipmgr"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], sig, os.Stdout))
+}
+
+func run(args []string, stop <-chan os.Signal, out io.Writer) int {
+	fs := flag.NewFlagSet("wackmon", flag.ContinueOnError)
+	cfgPath := fs.String("config", "wackamole.conf", "cluster configuration file")
+	bind := fs.String("bind", "", "monitor's own address (overrides the config's bind)")
+	interval := fs.Duration("interval", time.Second, "status polling interval")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	cfg, err := config.ParseFile(*cfgPath)
+	if err != nil {
+		fmt.Fprintf(out, "wackmon: %v\n", err)
+		return 1
+	}
+	if *bind != "" {
+		cfg.Bind = *bind
+		cfg.Peers = append(cfg.Peers, *bind)
+	}
+
+	loop := realtime.NewLoop()
+	clock := realtime.NewClock(loop)
+	conn, err := realtime.Listen(loop, cfg.Bind, cfg.Peers)
+	if err != nil {
+		fmt.Fprintf(out, "wackmon: %v\n", err)
+		loop.Close()
+		return 1
+	}
+
+	nodeCfg := cfg.NodeConfig()
+	// Observer posture: never mature, never own, never rebalance.
+	nodeCfg.Engine.StartMature = false
+	nodeCfg.Engine.MatureTimeout = 10 * 365 * 24 * time.Hour
+	nodeCfg.Engine.DisableBalance = true
+
+	node, err := wackamole.NewNode(
+		env.Env{Clock: clock, Conn: conn, Log: env.NopLogger{}},
+		nodeCfg, &ipmgr.FakeBackend{}, nil)
+	if err != nil {
+		fmt.Fprintf(out, "wackmon: %v\n", err)
+		loop.Close()
+		return 1
+	}
+	startErr := make(chan error, 1)
+	loop.Post(func() { startErr <- node.Start() })
+	if err := <-startErr; err != nil {
+		fmt.Fprintf(out, "wackmon: %v\n", err)
+		loop.Close()
+		return 1
+	}
+	fmt.Fprintf(out, "wackmon: observing as %s (group %q, %d peers)\n",
+		cfg.Bind, nodeCfg.Group, len(cfg.Peers))
+
+	ticker := time.NewTicker(*interval)
+	defer ticker.Stop()
+	var last core.Status
+	for {
+		select {
+		case <-ticker.C:
+			status := make(chan core.Status, 1)
+			loop.Post(func() { status <- node.Status() })
+			select {
+			case st := <-status:
+				printDiff(out, &last, st)
+			case <-time.After(2 * time.Second):
+				fmt.Fprintln(out, "wackmon: node loop unresponsive")
+			}
+		case <-stop:
+			fmt.Fprintln(out, "wackmon: leaving")
+			stopped := make(chan struct{})
+			loop.Post(func() {
+				node.Stop()
+				close(stopped)
+			})
+			<-stopped
+			loop.Close()
+			return 0
+		}
+	}
+}
+
+// printDiff reports view and allocation changes since the previous poll.
+func printDiff(out io.Writer, last *core.Status, st core.Status) {
+	now := time.Now().Format("15:04:05.000")
+	if st.ViewID != last.ViewID {
+		members := make([]string, 0, len(st.Members))
+		for _, m := range st.Members {
+			members = append(members, string(m))
+		}
+		fmt.Fprintf(out, "%s view %s: %d members [%s]\n", now, st.ViewID, len(st.Members), strings.Join(members, " "))
+	}
+	var names []string
+	for g := range st.Table {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		if last.Table == nil || last.Table[g] != st.Table[g] {
+			owner := string(st.Table[g])
+			if owner == "" {
+				owner = "(uncovered)"
+			}
+			fmt.Fprintf(out, "%s   %-12s -> %s\n", now, g, owner)
+		}
+	}
+	*last = st
+}

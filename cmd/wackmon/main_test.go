@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if code := run([]string{"-bogus"}, nil, os.Stdout); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsMissingConfig(t *testing.T) {
+	var buf strings.Builder
+	if code := run([]string{"-config", "/nonexistent.conf"}, nil, &buf); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+}
+
+// TestMonitorObservesSingletonWithoutServing boots one real daemon (the
+// cluster) plus the monitor, and checks that the monitor reports the
+// cluster's allocation while never owning an address itself.
+func TestMonitorObservesSingletonWithoutServing(t *testing.T) {
+	dir := t.TempDir()
+	clusterConf := filepath.Join(dir, "cluster.conf")
+	conf := strings.Join([]string{
+		"bind 127.0.0.1:24910",
+		"peers 127.0.0.1:24910 127.0.0.1:24911",
+		"control 127.0.0.1:24912",
+		"fault_detect 500ms",
+		"heartbeat 100ms",
+		"discovery 300ms",
+		"vip web1 10.0.0.100",
+		"dry_run true",
+	}, "\n") + "\n"
+	if err := os.WriteFile(clusterConf, []byte(conf), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cluster daemon: reuse the wackmon runner? No — wackmon is the
+	// observer; the serving daemon comes from cmd/wackamole's runner, which
+	// lives in another package. Spin the monitor against a config whose
+	// only peer with a server is... simplest: run TWO monitors won't serve.
+	// Instead run the monitor against a one-daemon cluster started through
+	// the public API in-process.
+	srvStop := startServingDaemon(t, "127.0.0.1:24910", []string{"127.0.0.1:24910", "127.0.0.1:24911"})
+	defer srvStop()
+
+	stop := make(chan os.Signal)
+	var buf syncBuilder
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-config", clusterConf, "-bind", "127.0.0.1:24911", "-interval", "100ms"}, stop, &buf)
+	}()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out := buf.String()
+		if strings.Contains(out, "web1") && strings.Contains(out, "127.0.0.1:24910/wackd") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never reported the allocation:\n%s", out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if strings.Contains(buf.String(), "-> 127.0.0.1:24911/wackd") {
+		t.Fatalf("the monitor owns an address:\n%s", buf.String())
+	}
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("monitor did not exit")
+	}
+}
+
+type syncBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

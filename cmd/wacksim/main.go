@@ -1,0 +1,137 @@
+// Command wacksim regenerates every table and figure of the paper's
+// evaluation on the deterministic simulator:
+//
+//	wacksim -experiment all -trials 10
+//
+// Experiments: table1, figure5, graceful, router, baselines, ablations, all.
+// Output is markdown, suitable for pasting into EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"wackamole/internal/experiment"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("wacksim", flag.ContinueOnError)
+	exp := fs.String("experiment", "all", "experiment to run: table1|figure5|graceful|router|baselines|load|ablations|all")
+	trials := fs.Int("trials", 10, "seeded trials per data point")
+	format := fs.String("format", "markdown", "figure5 output format: markdown|csv")
+	seed := fs.Int64("seed", 1, "base seed")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *trials <= 0 {
+		fmt.Fprintln(os.Stderr, "wacksim: -trials must be positive")
+		return 2
+	}
+	if *format != "markdown" && *format != "csv" {
+		fmt.Fprintln(os.Stderr, "wacksim: -format must be markdown or csv")
+		return 2
+	}
+
+	runners := map[string]func() error{
+		"table1": func() error {
+			rows, err := experiment.Table1(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "## Table 1 — Spread timeout tuning and induced notification time")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderTable1(rows))
+			return nil
+		},
+		"figure5": func() error {
+			rows, err := experiment.Figure5(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			if *format == "csv" {
+				fmt.Fprint(out, experiment.RenderFigure5CSV(rows))
+				return nil
+			}
+			fmt.Fprintln(out, "## Figure 5 — Average availability interruption vs cluster size")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderFigure5(rows))
+			return nil
+		},
+		"graceful": func() error {
+			rows, err := experiment.Graceful(*seed, *trials, []int{2, 4, 8, 12})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "## §6 — Availability interruption on voluntary (graceful) departure")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderGraceful(rows))
+			return nil
+		},
+		"router": func() error {
+			rows, err := experiment.RouterComparison(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "## §5.2 — Virtual-router fail-over: naive vs advertise-all dynamic routing")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderRouterComparison(rows))
+			return nil
+		},
+		"baselines": func() error {
+			rows, err := experiment.Baselines(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "## §7 — Fail-over time against the related-work baselines")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderBaselines(rows))
+			return nil
+		},
+		"load": func() error {
+			rows, err := experiment.LoadSensitivity(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "## §6 — Load sensitivity: false failure detections vs scheduling delay")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderLoadSensitivity(rows))
+			return nil
+		},
+		"ablations": func() error {
+			rows, err := experiment.Ablations(*seed, *trials)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "## Ablations — §3.4/§5.1 design choices")
+			fmt.Fprintln(out)
+			fmt.Fprint(out, experiment.RenderAblations(rows))
+			return nil
+		},
+	}
+	order := []string{"table1", "figure5", "graceful", "router", "baselines", "load", "ablations"}
+
+	selected := strings.Split(*exp, ",")
+	if *exp == "all" {
+		selected = order
+	}
+	for _, name := range selected {
+		runner, ok := runners[strings.TrimSpace(name)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wacksim: unknown experiment %q (want %s or all)\n", name, strings.Join(order, "|"))
+			return 2
+		}
+		if err := runner(); err != nil {
+			fmt.Fprintf(os.Stderr, "wacksim: %s: %v\n", name, err)
+			return 1
+		}
+		fmt.Fprintln(out)
+	}
+	return 0
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunGracefulProducesTable(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-experiment", "graceful", "-trials", "1"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(out.String(), "graceful") || !strings.Contains(out.String(), "| --- |") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-experiment", "table1", "-trials", "1"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	for _, want := range []string{"Fault-detection timeout", "Default Spread", "Tuned Spread", "Measured notification mean"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in output:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCommaSeparatedSelection(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-experiment", "graceful,baselines", "-trials", "1"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.Contains(out.String(), "voluntary") || !strings.Contains(out.String(), "baselines") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-experiment", "figure6"}, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsBadTrials(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-trials", "0"}, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-bogus"}, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+func TestRunIsDeterministicPerSeed(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		if code := run([]string{"-experiment", "graceful", "-trials", "2", "-seed", "42"}, &out); code != 0 {
+			t.Fatalf("exit code = %d", code)
+		}
+		return out.String()
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("same seed produced different reports:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestFigure5CSVFormat(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-experiment", "figure5", "-trials", "1", "-format", "csv"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	if !strings.HasPrefix(out.String(), "config,cluster_size") {
+		t.Fatalf("csv output:\n%s", out.String())
+	}
+	if strings.Count(out.String(), "\n") != 14 { // header + 12 points + trailing blank
+		t.Fatalf("csv lines = %d, want 14:\n%s", strings.Count(out.String(), "\n"), out.String())
+	}
+}
+
+func TestBadFormatRejected(t *testing.T) {
+	var out strings.Builder
+	if code := run([]string{"-format", "yaml"}, &out); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}

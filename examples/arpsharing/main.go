@@ -1,0 +1,105 @@
+// Arpsharing: the §5.2 ARP-cache-sharing mechanism. Some devices discard
+// broadcast gratuitous ARP announcements; after a fail-over they would keep
+// sending to the dead router's MAC until their cache entry expires. The
+// paper's router application therefore has every Wackamole daemon
+// periodically share its ARP cache with the others, so that the daemon
+// taking over can spoof a unicast ARP reply to each known host.
+//
+// This example builds two fail-over routers and one such picky host,
+// fails the active router, and shows that the picky host follows the
+// virtual address only because of the shared-cache unicast spoof.
+//
+//	go run ./examples/arpsharing
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"time"
+
+	"wackamole/internal/arpshare"
+	"wackamole/internal/gcs"
+	"wackamole/internal/netsim"
+	"wackamole/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "arpsharing: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	s := sim.New(5)
+	nw := netsim.New(s)
+	lan := nw.NewSegment("lan", netsim.DefaultSegmentConfig())
+	vip := netip.MustParseAddr("10.0.0.100")
+
+	type router struct {
+		host   *netsim.Host
+		nic    *netsim.NIC
+		sharer *arpshare.Sharer
+	}
+	var routers [2]router
+	for i := range routers {
+		h := nw.NewHost(fmt.Sprintf("router%d", i+1))
+		nic := h.AttachNIC(lan, "eth0", netip.MustParsePrefix(fmt.Sprintf("10.0.0.%d/24", 2+i)))
+		ep, err := h.OpenEndpoint(nic, 4803)
+		if err != nil {
+			return err
+		}
+		d, err := gcs.NewDaemon(ep.Env(nil), gcs.TunedConfig())
+		if err != nil {
+			return err
+		}
+		d.Start()
+		sh, err := arpshare.New(h, d, arpshare.Config{Interval: 2 * time.Second})
+		if err != nil {
+			return err
+		}
+		sh.Start()
+		routers[i] = router{host: h, nic: nic, sharer: sh}
+	}
+
+	picky := nw.NewHost("picky")
+	pickyNIC := picky.AttachNIC(lan, "eth0", netip.MustParsePrefix("10.0.0.50/24"))
+	picky.SetIgnoreBroadcastGratuitousARP(true)
+
+	// router1 owns the virtual address; picky resolves it.
+	if err := routers[0].nic.AddAddr(vip); err != nil {
+		return err
+	}
+	if err := picky.SendUDP(netip.AddrPort{}, netip.AddrPortFrom(vip, 9), []byte("hello")); err != nil {
+		return err
+	}
+	// router2 resolves picky once, so its cache (and, shared, router1's
+	// knowledge) includes it.
+	if err := routers[1].host.SendUDP(netip.AddrPort{}, netip.AddrPortFrom(netip.MustParseAddr("10.0.0.50"), 9), []byte("hi")); err != nil {
+		return err
+	}
+	s.RunFor(10 * time.Second)
+
+	fmt.Printf("router2's shared knowledge of the LAN: %d hosts\n", len(routers[1].sharer.Known()))
+	mac, _ := pickyNIC.ARPEntry(vip)
+	fmt.Printf("picky's ARP entry for %v: %v (router1)\n", vip, mac)
+
+	fmt.Println("\nfailing router1; router2 takes the address over...")
+	routers[0].nic.SetUp(false)
+	if err := routers[1].nic.AddAddr(vip); err != nil {
+		return err
+	}
+
+	plain := &netsim.ARPAnnouncer{Host: routers[1].host}
+	plain.Announce(vip) // broadcast gratuitous ARP only
+	s.RunFor(time.Second)
+	mac, _ = pickyNIC.ARPEntry(vip)
+	fmt.Printf("after broadcast-only announcement: picky still maps %v to %v (stale!)\n", vip, mac)
+
+	routers[1].sharer.Notifier(plain).Announce(vip) // + unicast spoofs to known hosts
+	s.RunFor(time.Second)
+	mac, _ = pickyNIC.ARPEntry(vip)
+	fmt.Printf("after shared-cache unicast spoof:   picky maps %v to %v (router2)\n", vip, mac)
+	return nil
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end under simulated time.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Loopback: three real Wackamole daemons over actual UDP sockets and the
+// wall clock (no simulator), on 127.0.0.1. Address acquisition uses an
+// in-memory backend so the example cannot touch the machine's interfaces.
+//
+// The example forms the cluster, shows the allocation, gracefully stops one
+// daemon (client leave: milliseconds, no daemon reconfiguration), then
+// kills another abruptly and waits out fault detection + discovery.
+//
+//	go run ./examples/loopback
+//
+// Wall-clock runtime is a few seconds (timeouts are scaled down from the
+// Table-1 values so the demo stays snappy).
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"sort"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/core"
+	"wackamole/internal/env/realtime"
+	"wackamole/internal/gcs"
+	"wackamole/internal/ipmgr"
+)
+
+type daemon struct {
+	node    *wackamole.Node
+	loop    *realtime.Loop
+	cleanup func()
+	addr    string
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "loopback: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	peers := []string{"127.0.0.1:24803", "127.0.0.1:24804", "127.0.0.1:24805"}
+	gcsCfg := gcs.Config{
+		FaultDetectTimeout: 800 * time.Millisecond,
+		HeartbeatInterval:  200 * time.Millisecond,
+		DiscoveryTimeout:   600 * time.Millisecond,
+	}
+	groups := []core.VIPGroup{
+		{Name: "web1", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.100")}},
+		{Name: "web2", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.101")}},
+		{Name: "web3", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.102")}},
+		{Name: "web4", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.103")}},
+	}
+
+	var daemons []*daemon
+	defer func() {
+		for _, d := range daemons {
+			d.shutdown()
+		}
+	}()
+	for _, addr := range peers {
+		d, err := startDaemon(addr, peers, gcsCfg, groups)
+		if err != nil {
+			return err
+		}
+		daemons = append(daemons, d)
+	}
+
+	fmt.Println("three daemons started on loopback UDP; waiting for the cluster to form...")
+	time.Sleep(3 * time.Second)
+	printStatus(daemons)
+
+	fmt.Println("\ngracefully stopping", daemons[2].addr, "(client leave, no daemon reconfiguration)...")
+	leaveStart := time.Now()
+	if err := daemons[2].leave(); err != nil {
+		return err
+	}
+	time.Sleep(500 * time.Millisecond)
+	fmt.Printf("reallocated within %v of wall time\n", time.Since(leaveStart).Round(100*time.Millisecond))
+	printStatus(daemons[:2])
+
+	fmt.Println("\nkilling", daemons[1].addr, "abruptly (fault detection + discovery must run)...")
+	daemons[1].shutdown()
+	time.Sleep(3 * time.Second)
+	printStatus(daemons[:1])
+
+	fmt.Println("\nthe surviving daemon covers every virtual address; done.")
+	return nil
+}
+
+func startDaemon(addr string, peers []string, gcsCfg gcs.Config, groups []core.VIPGroup) (*daemon, error) {
+	e, loop, cleanup, err := realtime.NewEnv(addr, peers, nil)
+	if err != nil {
+		return nil, err
+	}
+	node, err := wackamole.NewNode(e, wackamole.Config{
+		GCS:    gcsCfg,
+		Engine: core.Config{Groups: groups, StartMature: true, BalanceTimeout: 2 * time.Second},
+	}, &ipmgr.FakeBackend{}, nil)
+	if err != nil {
+		cleanup()
+		return nil, err
+	}
+	startErr := make(chan error, 1)
+	loop.Post(func() { startErr <- node.Start() })
+	if err := <-startErr; err != nil {
+		cleanup()
+		return nil, err
+	}
+	return &daemon{node: node, loop: loop, cleanup: cleanup, addr: addr}, nil
+}
+
+func (d *daemon) status() core.Status {
+	out := make(chan core.Status, 1)
+	d.loop.Post(func() { out <- d.node.Status() })
+	return <-out
+}
+
+func (d *daemon) leave() error {
+	out := make(chan error, 1)
+	d.loop.Post(func() { out <- d.node.LeaveService() })
+	return <-out
+}
+
+func (d *daemon) shutdown() {
+	if d.cleanup == nil {
+		return
+	}
+	done := make(chan struct{})
+	d.loop.Post(func() { d.node.Stop(); close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+	}
+	d.cleanup()
+	d.cleanup = nil
+}
+
+func printStatus(daemons []*daemon) {
+	for _, d := range daemons {
+		st := d.status()
+		fmt.Printf("  %s: state=%s members=%d owned=%v\n", d.addr, st.State, len(st.Members), st.Owned)
+	}
+	if len(daemons) > 0 {
+		st := daemons[0].status()
+		names := make([]string, 0, len(st.Table))
+		for g := range st.Table {
+			names = append(names, g)
+		}
+		sort.Strings(names)
+		for _, g := range names {
+			fmt.Printf("    %-6s -> %s\n", g, st.Table[g])
+		}
+	}
+}

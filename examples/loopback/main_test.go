@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// TestRun executes the loopback example over real UDP sockets and the wall
+// clock; it takes a few seconds, so it is skipped in -short mode.
+func TestRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock example; skipped in -short mode")
+	}
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+// Quickstart: a three-server Wackamole cluster covering six virtual IP
+// addresses on the deterministic simulator. We fail a server and watch the
+// cluster re-cover its addresses, then bring it back and watch the
+// representative re-balance the allocation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"wackamole"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cluster, err := wackamole.NewCluster(wackamole.ClusterOptions{
+		Seed:           1,
+		Servers:        3,
+		VIPs:           6,
+		BalanceTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+
+	cluster.Settle()
+	fmt.Println("== cluster formed ==")
+	printAllocation(cluster)
+
+	fmt.Println("\n== failing server02 (interface disconnected) ==")
+	cluster.FailServer(2)
+	cluster.RunFor(10 * time.Second)
+	printAllocation(cluster)
+
+	fmt.Println("\n== restoring server02; waiting for re-balance ==")
+	cluster.RestoreServer(2)
+	cluster.RunFor(20 * time.Second)
+	printAllocation(cluster)
+
+	fmt.Printf("\nsimulated time elapsed: %v\n", cluster.Sim.Elapsed().Round(time.Millisecond))
+	return nil
+}
+
+func printAllocation(cluster *wackamole.Cluster) {
+	status := cluster.Servers[0].Node.Status()
+	fmt.Printf("view %s, state %s\n", status.ViewID, status.State)
+	for _, vip := range cluster.VIPs() {
+		owner, holders := cluster.Owner(vip)
+		switch holders {
+		case 1:
+			fmt.Printf("  %-12v -> %s\n", vip, cluster.Servers[owner].Host.Name())
+		default:
+			fmt.Printf("  %-12v -> %d holders\n", vip, holders)
+		}
+	}
+	fmt.Printf("  per-server coverage: %v\n", cluster.CoverageByServer())
+}

@@ -1,0 +1,49 @@
+// Virtualrouter: the paper's Figure 4 application (§5.2). Two physical
+// routers form one virtual router between an external network and an
+// internal web network; the virtual addresses on both networks move as one
+// indivisible group. We crash the active router under both §5.2 setups:
+//
+// The naive setup has only the active router participating in the dynamic
+// routing protocol, so after fail-over the new router waits for the next
+// periodic advertisement (≈30s RIP period) before it can route. The
+// advertise-all setup has both routers participating continuously, so
+// service resumes as soon as Wackamole reassigns the virtual addresses.
+//
+//	go run ./examples/virtualrouter
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"wackamole/internal/experiment"
+	"wackamole/internal/gcs"
+	"wackamole/internal/rip"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "virtualrouter: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := gcs.TunedConfig()
+	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
+	fmt.Printf("virtual router group: 198.51.100.1 (external) + 10.1.0.1 (web), moved as one unit\n")
+	fmt.Printf("dynamic routing: RIP-style advertisements every %v\n\n", ripCfg.AdvertisePeriod)
+	for _, mode := range []experiment.RouterMode{experiment.RouterModeNaive, experiment.RouterModeAdvertiseAll} {
+		fmt.Printf("== %s setup ==\n", mode)
+		d, err := experiment.RouterTrial(7, mode, cfg, ripCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("client-visible interruption after crashing the active router: %v\n\n",
+			d.Round(time.Millisecond))
+	}
+	fmt.Println("the advertise-all setup hands off as fast as Wackamole reconfigures;")
+	fmt.Println("the naive setup additionally waits for routing reconvergence (§5.2).")
+	return nil
+}

@@ -1,0 +1,3 @@
+module wackamole
+
+go 1.22

@@ -1,0 +1,260 @@
+// Package config parses the wackamole.conf-style configuration file used by
+// cmd/wackamole, covering the knobs the paper's implementation exposes:
+// the group-communication timeouts (Table 1), the virtual address groups
+// (single addresses for web clusters, indivisible multi-address sets for
+// virtual routers, §5.2), per-server preferences (§3.4), and the
+// administrative control channel (§4.2).
+//
+// Format: one directive per line, '#' comments, whitespace-separated
+// fields.
+//
+//	bind 192.168.1.10:4803
+//	peers 192.168.1.10:4803 192.168.1.11:4803 192.168.1.12:4803
+//	group wackamole
+//	control 127.0.0.1:4804
+//	timeouts tuned            # or: default
+//	fault_detect 1s           # individual overrides
+//	heartbeat 400ms
+//	discovery 1.4s
+//	balance 30s
+//	mature 5s
+//	prefer web1 web2
+//	device eth0
+//	dry_run true
+//	vip web1 10.0.0.100
+//	vip vrouter 198.51.100.1 10.1.0.1
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/core"
+	"wackamole/internal/gcs"
+)
+
+// File is a parsed configuration.
+type File struct {
+	// Bind is this daemon's stationary address ("ip:port").
+	Bind string
+	// Peers are all daemons' stationary addresses, including this one
+	// (real UDP mode broadcasts by unicasting to every peer).
+	Peers []string
+	// Group is the process-group name.
+	Group string
+	// Control is the administrative channel's TCP listen address.
+	Control string
+	// Device is the interface for the exec address backend.
+	Device string
+	// DryRun suppresses actual `ip addr` execution.
+	DryRun bool
+
+	GCS            gcs.Config
+	BalanceTimeout time.Duration
+	MatureTimeout  time.Duration
+	Prefer         []string
+	Groups         []core.VIPGroup
+	// RepresentativeDecisions enables the §4.2 allocation variant.
+	RepresentativeDecisions bool
+}
+
+// Parse reads a configuration from r.
+func Parse(r io.Reader) (*File, error) {
+	f := &File{
+		GCS:    gcs.DefaultConfig(),
+		DryRun: true,
+	}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	seenGroups := map[string]bool{}
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("config: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		key, args := fields[0], fields[1:]
+		need := func(n int) error {
+			if len(args) != n {
+				return fail("%s takes %d argument(s), got %d", key, n, len(args))
+			}
+			return nil
+		}
+		var err error
+		switch key {
+		case "bind":
+			if err = need(1); err == nil {
+				f.Bind = args[0]
+			}
+		case "peers":
+			if len(args) == 0 {
+				err = fail("peers needs at least one address")
+			}
+			f.Peers = append(f.Peers, args...)
+		case "group":
+			if err = need(1); err == nil {
+				f.Group = args[0]
+			}
+		case "control":
+			if err = need(1); err == nil {
+				f.Control = args[0]
+			}
+		case "device":
+			if err = need(1); err == nil {
+				f.Device = args[0]
+			}
+		case "dry_run":
+			if err = need(1); err == nil {
+				f.DryRun, err = strconv.ParseBool(args[0])
+				if err != nil {
+					err = fail("dry_run: %v", err)
+				}
+			}
+		case "timeouts":
+			if err = need(1); err == nil {
+				switch args[0] {
+				case "default":
+					f.GCS = gcs.DefaultConfig()
+				case "tuned":
+					f.GCS = gcs.TunedConfig()
+				default:
+					err = fail("timeouts must be default or tuned, got %q", args[0])
+				}
+			}
+		case "fault_detect":
+			err = parseDur(args, &f.GCS.FaultDetectTimeout, fail)
+		case "heartbeat":
+			err = parseDur(args, &f.GCS.HeartbeatInterval, fail)
+		case "discovery":
+			err = parseDur(args, &f.GCS.DiscoveryTimeout, fail)
+		case "balance":
+			err = parseDur(args, &f.BalanceTimeout, fail)
+		case "mature":
+			err = parseDur(args, &f.MatureTimeout, fail)
+		case "representative_decisions":
+			if err = need(1); err == nil {
+				f.RepresentativeDecisions, err = strconv.ParseBool(args[0])
+				if err != nil {
+					err = fail("representative_decisions: %v", err)
+				}
+			}
+		case "prefer":
+			if len(args) == 0 {
+				err = fail("prefer needs at least one group name")
+			}
+			f.Prefer = append(f.Prefer, args...)
+		case "vip":
+			if len(args) < 2 {
+				err = fail("vip needs a name and at least one address")
+				break
+			}
+			name := args[0]
+			if seenGroups[name] {
+				err = fail("duplicate vip group %q", name)
+				break
+			}
+			seenGroups[name] = true
+			g := core.VIPGroup{Name: name}
+			for _, a := range args[1:] {
+				addr, perr := netip.ParseAddr(a)
+				if perr != nil {
+					err = fail("vip %s: %v", name, perr)
+					break
+				}
+				g.Addrs = append(g.Addrs, addr)
+			}
+			if err == nil {
+				f.Groups = append(f.Groups, g)
+			}
+		default:
+			err = fail("unknown directive %q", key)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return f, f.validate()
+}
+
+func parseDur(args []string, dst *time.Duration, fail func(string, ...any) error) error {
+	if len(args) != 1 {
+		return fail("expected one duration")
+	}
+	d, err := time.ParseDuration(args[0])
+	if err != nil {
+		return fail("%v", err)
+	}
+	*dst = d
+	return nil
+}
+
+func (f *File) validate() error {
+	if f.Bind == "" {
+		return fmt.Errorf("config: missing bind directive")
+	}
+	if len(f.Peers) == 0 {
+		return fmt.Errorf("config: missing peers directive")
+	}
+	if len(f.Groups) == 0 {
+		return fmt.Errorf("config: no vip groups configured")
+	}
+	selfListed := false
+	for _, p := range f.Peers {
+		if p == f.Bind {
+			selfListed = true
+		}
+	}
+	if !selfListed {
+		return fmt.Errorf("config: peers must include the bind address %q", f.Bind)
+	}
+	if err := f.GCS.Validate(); err != nil {
+		return err
+	}
+	return f.NodeConfig().Engine.Validate()
+}
+
+// ParseFile reads and parses path.
+func ParseFile(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer func() {
+		if cerr := fh.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return Parse(fh)
+}
+
+// NodeConfig converts the file into a wackamole.Config.
+func (f *File) NodeConfig() wackamole.Config {
+	return wackamole.Config{
+		Group: f.Group,
+		GCS:   f.GCS,
+		Engine: core.Config{
+			Groups:                  f.Groups,
+			Prefer:                  f.Prefer,
+			BalanceTimeout:          f.BalanceTimeout,
+			MatureTimeout:           f.MatureTimeout,
+			RepresentativeDecisions: f.RepresentativeDecisions,
+		},
+	}
+}

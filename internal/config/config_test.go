@@ -1,0 +1,155 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sample = `
+# example cluster configuration
+bind 192.168.1.10:4803
+peers 192.168.1.10:4803 192.168.1.11:4803 192.168.1.12:4803
+group wack
+control 127.0.0.1:4804
+timeouts tuned
+balance 20s
+mature 8s
+prefer web1
+device eth1
+dry_run false
+vip web1 10.0.0.100
+vip web2 10.0.0.101
+vip vrouter 198.51.100.1 10.1.0.1   # indivisible set
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bind != "192.168.1.10:4803" || len(f.Peers) != 3 || f.Group != "wack" {
+		t.Fatalf("parsed %+v", f)
+	}
+	if f.Control != "127.0.0.1:4804" || f.Device != "eth1" || f.DryRun {
+		t.Fatalf("parsed %+v", f)
+	}
+	if f.GCS.FaultDetectTimeout != time.Second {
+		t.Fatalf("timeouts tuned not applied: %+v", f.GCS)
+	}
+	if f.BalanceTimeout != 20*time.Second || f.MatureTimeout != 8*time.Second {
+		t.Fatalf("durations: %+v", f)
+	}
+	if len(f.Groups) != 3 || f.Groups[2].Name != "vrouter" || len(f.Groups[2].Addrs) != 2 {
+		t.Fatalf("vip groups: %+v", f.Groups)
+	}
+	nc := f.NodeConfig()
+	if nc.Group != "wack" || len(nc.Engine.Groups) != 3 || nc.Engine.Prefer[0] != "web1" {
+		t.Fatalf("NodeConfig: %+v", nc)
+	}
+}
+
+func TestTimeoutOverrides(t *testing.T) {
+	cfg := `
+bind a:1
+peers a:1
+timeouts default
+fault_detect 3s
+heartbeat 1s
+discovery 4s
+vip v 10.0.0.1
+`
+	f, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GCS.FaultDetectTimeout != 3*time.Second || f.GCS.HeartbeatInterval != time.Second || f.GCS.DiscoveryTimeout != 4*time.Second {
+		t.Fatalf("overrides not applied: %+v", f.GCS)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  string
+	}{
+		{"unknown directive", "bogus 1\n"},
+		{"missing bind", "peers a:1\nvip v 10.0.0.1\n"},
+		{"missing peers", "bind a:1\nvip v 10.0.0.1\n"},
+		{"missing vips", "bind a:1\npeers a:1\n"},
+		{"self not in peers", "bind a:1\npeers b:1\nvip v 10.0.0.1\n"},
+		{"bad vip addr", "bind a:1\npeers a:1\nvip v notanip\n"},
+		{"dup vip group", "bind a:1\npeers a:1\nvip v 10.0.0.1\nvip v 10.0.0.2\n"},
+		{"vip needs addr", "bind a:1\npeers a:1\nvip v\n"},
+		{"bad timeouts", "bind a:1\npeers a:1\ntimeouts fast\nvip v 10.0.0.1\n"},
+		{"bad duration", "bind a:1\npeers a:1\nbalance soon\nvip v 10.0.0.1\n"},
+		{"bad bool", "bind a:1\npeers a:1\ndry_run maybe\nvip v 10.0.0.1\n"},
+		{"invalid gcs", "bind a:1\npeers a:1\nheartbeat 10s\nvip v 10.0.0.1\n"},
+		{"dup addr across groups", "bind a:1\npeers a:1\nvip v 10.0.0.1\nvip w 10.0.0.1\n"},
+		{"unknown preference", "bind a:1\npeers a:1\nprefer nope\nvip v 10.0.0.1\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(strings.NewReader(tc.cfg)); err == nil {
+				t.Fatalf("accepted:\n%s", tc.cfg)
+			}
+		})
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	cfg := "\n\n# only comments\nbind a:1 # trailing\npeers a:1\nvip v 10.0.0.1\n"
+	f, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Bind != "a:1" {
+		t.Fatalf("Bind = %q", f.Bind)
+	}
+}
+
+func TestRepresentativeDecisionsDirective(t *testing.T) {
+	cfg := "bind a:1\npeers a:1\nrepresentative_decisions true\nvip v 10.0.0.1\n"
+	f, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.RepresentativeDecisions || !f.NodeConfig().Engine.RepresentativeDecisions {
+		t.Fatal("representative_decisions not propagated")
+	}
+	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\nrepresentative_decisions sure\nvip v 10.0.0.1\n")); err == nil {
+		t.Fatal("bad boolean accepted")
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("/nonexistent/wackamole.conf"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestDefaultsWhenUnspecified(t *testing.T) {
+	f, err := Parse(strings.NewReader("bind a:1\npeers a:1\nvip v 10.0.0.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GCS.FaultDetectTimeout != 5*time.Second {
+		t.Fatalf("default GCS config not applied: %+v", f.GCS)
+	}
+	if !f.DryRun {
+		t.Fatal("dry_run should default to true")
+	}
+}
+
+func TestExampleConfigParses(t *testing.T) {
+	f, err := ParseFile("../../wackamole.conf.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Groups) != 4 || f.Control == "" || !f.DryRun {
+		t.Fatalf("example config parsed oddly: %+v", f)
+	}
+	if f.GCS.FaultDetectTimeout != time.Second {
+		t.Fatalf("example config not tuned: %+v", f.GCS)
+	}
+}

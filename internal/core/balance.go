@@ -1,0 +1,133 @@
+package core
+
+// balance.go implements the representative's re-balancing decision (§3.4):
+// a deterministic allocation over the eligible members that evens out load
+// and honours the startup preferences each server passed along through its
+// STATE_MSGs, while moving as few groups as possible.
+
+// balancedAllocation computes the representative's target allocation. It
+// reports changed=false when the current table already satisfies it.
+func (e *Engine) balancedAllocation() ([]allocPair, bool) {
+	eligible := e.eligibleMembers()
+	if len(eligible) == 0 {
+		return nil, false
+	}
+	prefers := func(m MemberID, g string) bool {
+		for _, p := range e.prefsOf[m] {
+			if p == g {
+				return true
+			}
+		}
+		return false
+	}
+	// Capacity: n groups over k members; the first n%k members (in the
+	// uniquely ordered membership list) may hold one extra.
+	n, k := len(e.sortedNames), len(eligible)
+	cap := map[MemberID]int{}
+	for i, m := range eligible {
+		cap[m] = n / k
+		if i < n%k {
+			cap[m]++
+		}
+	}
+	isEligible := map[MemberID]bool{}
+	for _, m := range eligible {
+		isEligible[m] = true
+	}
+
+	alloc := map[string]MemberID{}
+	count := map[MemberID]int{}
+	for _, g := range e.sortedNames {
+		owner := e.table[g]
+		if !isEligible[owner] {
+			owner = "" // departed or immature owner: treat as uncovered
+		}
+		alloc[g] = owner
+		if owner != "" {
+			count[owner]++
+		}
+	}
+
+	move := func(g string, to MemberID) {
+		if from := alloc[g]; from != "" {
+			count[from]--
+		}
+		alloc[g] = to
+		count[to]++
+	}
+
+	// Preference pass: grant each group to a member that asked for it. A
+	// member may be granted up to its capacity in preferred groups, even if
+	// that temporarily overfills it — the shedding pass below moves its
+	// non-preferred groups away. Granted groups are protected from the
+	// first shedding pass.
+	grantedPref := map[MemberID]int{}
+	protected := map[string]bool{}
+	for _, g := range e.sortedNames {
+		owner := alloc[g]
+		if owner != "" && prefers(owner, g) && grantedPref[owner] < cap[owner] {
+			grantedPref[owner]++
+			protected[g] = true
+			continue
+		}
+		for _, m := range eligible {
+			if m != owner && prefers(m, g) && grantedPref[m] < cap[m] {
+				move(g, m)
+				grantedPref[m]++
+				protected[g] = true
+				break
+			}
+		}
+	}
+
+	// Shedding passes: cover holes and drain over-capacity members onto the
+	// least-loaded ones — first by moving unprotected groups, then, if an
+	// owner is somehow still over capacity, protected ones too.
+	shed := func(sparePreferred bool) {
+		for _, g := range e.sortedNames {
+			owner := alloc[g]
+			if owner != "" && count[owner] <= cap[owner] {
+				continue
+			}
+			if owner != "" && sparePreferred && protected[g] {
+				continue
+			}
+			var best MemberID
+			for _, m := range eligible {
+				if m == owner || count[m] >= cap[m] {
+					continue
+				}
+				if best == "" || count[m] < count[best] {
+					best = m
+				}
+			}
+			if best != "" {
+				move(g, best)
+			}
+		}
+	}
+	shed(true)
+	shed(false)
+
+	pairs := make([]allocPair, 0, len(e.sortedNames))
+	changed := false
+	for _, g := range e.sortedNames {
+		pairs = append(pairs, allocPair{Group: g, Owner: alloc[g]})
+		if alloc[g] != e.table[g] {
+			changed = true
+		}
+	}
+	return pairs, changed
+}
+
+// AllocationCounts summarizes how many groups each member of the current
+// view owns according to the table; experiments use it to quantify skew.
+func (e *Engine) AllocationCounts() map[MemberID]int {
+	out := map[MemberID]int{}
+	for _, owner := range e.table {
+		if owner != "" {
+			out[owner]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package core_test
+
+// Micro-benchmarks of the engine's hot paths: the state-message merge with
+// conflict resolution, the deterministic reallocation, and the balancing
+// decision, at the paper's scale (10 VIPs) and well beyond it.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wackamole/internal/core"
+)
+
+func BenchmarkGatherMergeAndReallocate(b *testing.B) {
+	for _, vips := range []int{10, 100} {
+		vips := vips
+		b.Run(fmt.Sprintf("vips=%d", vips), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := newHarness(b, 5, matureConfig(vips))
+				h.setPartition(h.all())
+				h.pump()
+			}
+		})
+	}
+}
+
+func BenchmarkMergeWithConflicts(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := newHarness(b, 6, matureConfig(60))
+		h.setPartition(h.all())
+		h.pump()
+		h.setPartition(h.members[:3], h.members[3:])
+		h.pump()
+		h.setPartition(h.all())
+		h.pump()
+	}
+}
+
+func BenchmarkBalanceDecision(b *testing.B) {
+	cfg := matureConfig(100)
+	cfg.BalanceTimeout = time.Second
+	h := newHarness(b, 4, cfg)
+	a := h.members[0]
+	h.setPartition([]core.MemberID{a})
+	h.pump()
+	h.setPartition(h.all())
+	h.pump()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = h.engines[a].AllocationCounts()
+		if err := h.engines[a].TriggerBalance(); err != nil {
+			b.Fatal(err)
+		}
+		h.pump()
+	}
+}

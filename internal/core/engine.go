@@ -1,0 +1,615 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"wackamole/internal/arp"
+	"wackamole/internal/env"
+)
+
+// AddressOwner acquires and releases virtual addresses on the local machine
+// (implemented by ipmgr.Manager).
+type AddressOwner interface {
+	Acquire(a netip.Addr) error
+	Release(a netip.Addr) error
+}
+
+// Deps are the runtime dependencies handed to an Engine.
+type Deps struct {
+	// Self is this member's identity within the group.
+	Self MemberID
+	// Cast multicasts payload to the whole group with Agreed delivery,
+	// including self.
+	Cast func(payload []byte) error
+	// IPs performs the actual address acquisition and release.
+	IPs AddressOwner
+	// Notify announces ownership changes (ARP spoofing, §5.1). Nil means no
+	// notification.
+	Notify arp.Notifier
+	// Clock schedules the balance and maturity timers.
+	Clock env.Clock
+	// Log receives diagnostics. Nil means discard.
+	Log env.Logger
+}
+
+// Engine is one server's instance of the Wackamole state-synchronization
+// algorithm. Feed it OnView, OnMessage and OnDisconnect from the group
+// layer; it keeps the local machine's virtual address set in line with the
+// replicated allocation table.
+type Engine struct {
+	cfg  Config
+	deps Deps
+
+	state  State
+	mature bool
+	view   View
+
+	// table is current_table: the replicated allocation. Identical at every
+	// member of the view once GATHER completes (Lemma 1 of the paper).
+	table map[string]MemberID
+	// owned is the ground truth of what this node has actually acquired,
+	// keyed by group name. It is what STATE_MSGs advertise: after a
+	// cascading view change the collected table is discarded and the
+	// resent STATE_MSG reflects exactly this set (Algorithm 2, lines 7–9).
+	owned map[string]bool
+
+	// Per-view gather bookkeeping.
+	stateFrom map[MemberID]bool
+	matureOf  map[MemberID]bool
+	prefsOf   map[MemberID][]string
+	// gatherComplete is set once every member's STATE_MSG arrived; in the
+	// representative-decisions variant the engine then waits in GATHER for
+	// the representative's ALLOC message.
+	gatherComplete bool
+	// pendingDrops holds conflict losses awaiting release when
+	// LazyConflictRelease is set (ablation of the §3.4 eager-release
+	// optimization).
+	pendingDrops []string
+
+	groupsByName map[string]VIPGroup
+	sortedNames  []string
+
+	balanceTimer env.Timer
+	matureTimer  env.Timer
+
+	hook func(Event)
+}
+
+// NewEngine validates the configuration and returns an Engine in the
+// detached state. Call Start, then feed it group events.
+func NewEngine(cfg Config, deps Deps) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if deps.Self == "" || deps.Cast == nil || deps.IPs == nil || deps.Clock == nil {
+		return nil, fmt.Errorf("core: Deps requires Self, Cast, IPs and Clock")
+	}
+	if deps.Notify == nil {
+		deps.Notify = arp.NopNotifier{}
+	}
+	if deps.Log == nil {
+		deps.Log = env.NopLogger{}
+	}
+	e := &Engine{
+		cfg:          cfg,
+		deps:         deps,
+		state:        StateDetached,
+		mature:       cfg.StartMature,
+		table:        map[string]MemberID{},
+		owned:        map[string]bool{},
+		groupsByName: map[string]VIPGroup{},
+		sortedNames:  cfg.sortedGroupNames(),
+	}
+	for _, g := range cfg.Groups {
+		e.groupsByName[g.Name] = g
+	}
+	return e, nil
+}
+
+// SetEventHook registers an observer for engine transitions (experiments
+// and tests use it to timestamp reallocation).
+func (e *Engine) SetEventHook(h func(Event)) { e.hook = h }
+
+// SetNotifier replaces the ownership-change notifier. Applications that
+// need the daemon to exist before they can build their notifier (the §5.2
+// ARP-cache sharer) install it here after construction; call before Start.
+func (e *Engine) SetNotifier(n arp.Notifier) {
+	if n == nil {
+		n = arp.NopNotifier{}
+	}
+	e.deps.Notify = n
+}
+
+func (e *Engine) emit(k EventKind, group, detail string) {
+	if e.hook != nil {
+		e.hook(Event{Kind: k, Group: group, Detail: detail})
+	}
+}
+
+// Start arms the maturity bootstrap (§3.4): a fresh server manages no
+// addresses until it meets a mature server or its maturity timeout expires.
+func (e *Engine) Start() {
+	if e.mature {
+		return
+	}
+	e.matureTimer = e.deps.Clock.AfterFunc(e.cfg.matureTimeout(), e.onMatureTimeout)
+}
+
+// Stop cancels the engine's timers. It does not release addresses; use
+// OnDisconnect for the full §4.2 teardown.
+func (e *Engine) Stop() {
+	stopTimer(e.balanceTimer)
+	stopTimer(e.matureTimer)
+}
+
+func stopTimer(t env.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+// Self returns this engine's member identity.
+func (e *Engine) Self() MemberID { return e.deps.Self }
+
+// Snapshot returns a copy of the engine's observable state.
+func (e *Engine) Snapshot() Status {
+	st := Status{
+		State:  e.state,
+		Mature: e.mature,
+		ViewID: e.view.ID,
+		Table:  make(map[string]MemberID, len(e.table)),
+	}
+	st.Members = append(st.Members, e.view.Members...)
+	for _, name := range e.sortedNames {
+		st.Table[name] = e.table[name]
+	}
+	for name := range e.owned {
+		st.Owned = append(st.Owned, name)
+	}
+	sort.Strings(st.Owned)
+	return st
+}
+
+// OnView handles a VIEW_CHANGE event (Algorithm 1 lines 1–4; Algorithm 2
+// lines 7–9 when it cascades into an ongoing GATHER). The engine backs up
+// its own coverage (the owned set), clears the collected table, multicasts
+// its STATE_MSG tagged with the new view, and enters GATHER.
+func (e *Engine) OnView(v View) {
+	if v.indexOf(e.deps.Self) < 0 {
+		// A view that excludes us carries no obligations; it can only be a
+		// stale delivery racing our own departure.
+		return
+	}
+	e.view = View{ID: v.ID, Members: append([]MemberID(nil), v.Members...)}
+	e.setState(StateGather)
+	e.table = map[string]MemberID{}
+	e.stateFrom = map[MemberID]bool{}
+	e.matureOf = map[MemberID]bool{}
+	e.prefsOf = map[MemberID][]string{}
+	e.pendingDrops = nil
+	e.gatherComplete = false
+	stopTimer(e.balanceTimer)
+	e.balanceTimer = nil
+	e.castState()
+}
+
+func (e *Engine) castState() {
+	owned := make([]string, 0, len(e.owned))
+	for g := range e.owned {
+		owned = append(owned, g)
+	}
+	sort.Strings(owned)
+	msg := stateMsg{ViewID: e.view.ID, Mature: e.mature, Owned: owned, Prefer: e.cfg.Prefer}
+	if err := e.deps.Cast(msg.encode()); err != nil {
+		e.deps.Log.Logf("wackamole %s: cast state: %v", e.deps.Self, err)
+		e.emit(EventError, "", fmt.Sprintf("cast state: %v", err))
+	}
+}
+
+// OnMessage consumes one totally ordered group message.
+func (e *Engine) OnMessage(from MemberID, payload []byte) {
+	m, err := decode(payload)
+	if err != nil {
+		e.deps.Log.Logf("wackamole %s: drop message from %s: %v", e.deps.Self, from, err)
+		return
+	}
+	switch m.kind {
+	case kindState:
+		e.onState(from, m.state)
+	case kindBalance:
+		e.onBalance(from, m.balance)
+	case kindAlloc:
+		e.onAlloc(from, m.balance)
+	case kindMature:
+		e.onMature(from, m.mature)
+	}
+}
+
+// onState implements Algorithm 2 lines 1–6.
+func (e *Engine) onState(from MemberID, m stateMsg) {
+	if e.state != StateGather || m.ViewID != e.view.ID || e.view.indexOf(from) < 0 {
+		return // only STATE_MSGs generated in the current view are considered
+	}
+	e.stateFrom[from] = true
+	e.matureOf[from] = m.Mature
+	e.prefsOf[from] = m.Prefer
+	if m.Mature && !e.mature {
+		// Contact with a mature server matures this one (§3.4).
+		e.becomeMature("state message from " + string(from))
+	}
+	for _, g := range m.Owned {
+		if _, known := e.groupsByName[g]; !known {
+			e.deps.Log.Logf("wackamole %s: %s claims unknown group %q", e.deps.Self, from, g)
+			continue
+		}
+		e.claim(g, from)
+	}
+	for _, member := range e.view.Members {
+		if !e.stateFrom[member] {
+			return
+		}
+	}
+	e.gatherComplete = true
+	if e.cfg.LazyConflictRelease {
+		for _, g := range e.pendingDrops {
+			if e.owned[g] && e.table[g] != e.deps.Self {
+				e.releaseGroup(g, "conflict (lazy)")
+			}
+		}
+		e.pendingDrops = nil
+	}
+	if e.cfg.RepresentativeDecisions {
+		// §4.2 variant: the representative decides; everyone (including the
+		// representative, via self-delivery) applies the ALLOC message.
+		if e.representative() == e.deps.Self {
+			msg := balanceMsg{ViewID: e.view.ID, Alloc: e.computeReallocation()}
+			if err := e.deps.Cast(msg.encodeAs(kindAlloc)); err != nil {
+				e.deps.Log.Logf("wackamole %s: cast alloc: %v", e.deps.Self, err)
+				e.emit(EventError, "", fmt.Sprintf("cast alloc: %v", err))
+			}
+		}
+		return
+	}
+	e.reallocateIPs()
+}
+
+// computeReallocation returns the full post-gather allocation: current
+// owners keep their groups, holes are filled least-loaded-first among the
+// eligible members.
+func (e *Engine) computeReallocation() []allocPair {
+	eligible := e.eligibleMembers()
+	counts := map[MemberID]int{}
+	for _, owner := range e.table {
+		counts[owner]++
+	}
+	alloc := make([]allocPair, 0, len(e.sortedNames))
+	for _, g := range e.sortedNames {
+		owner := e.table[g]
+		if owner == "" && len(eligible) > 0 {
+			pick := eligible[0]
+			for _, m := range eligible[1:] {
+				if counts[m] < counts[pick] {
+					pick = m
+				}
+			}
+			owner = pick
+			counts[pick]++
+		}
+		alloc = append(alloc, allocPair{Group: g, Owner: owner})
+	}
+	return alloc
+}
+
+// onAlloc applies the representative's imposed allocation and completes
+// GATHER (§4.2 variant).
+func (e *Engine) onAlloc(from MemberID, m balanceMsg) {
+	if !e.cfg.RepresentativeDecisions {
+		e.deps.Log.Logf("wackamole %s: alloc from %s but representative decisions are off", e.deps.Self, from)
+		return
+	}
+	if e.state != StateGather || m.ViewID != e.view.ID || !e.gatherComplete {
+		return
+	}
+	if from != e.representative() {
+		e.deps.Log.Logf("wackamole %s: alloc from non-representative %s ignored", e.deps.Self, from)
+		return
+	}
+	for _, p := range m.Alloc {
+		if _, known := e.groupsByName[p.Group]; !known {
+			continue
+		}
+		if p.Owner != "" && e.view.indexOf(p.Owner) < 0 {
+			continue
+		}
+		e.table[p.Group] = p.Owner
+		switch {
+		case p.Owner == e.deps.Self && !e.owned[p.Group]:
+			e.acquireGroup(p.Group, "alloc")
+		case p.Owner != e.deps.Self && e.owned[p.Group]:
+			e.releaseGroup(p.Group, "alloc")
+		}
+	}
+	e.setState(StateRun)
+	e.armBalance()
+	if e.mature && len(e.eligibleMembers()) == 0 {
+		e.castMature()
+	}
+}
+
+// claim records that from covers g, resolving conflicts deterministically:
+// of two claimants, the one earlier in the ordered membership list releases
+// (§3.3). Every member applies the same rule to the same message sequence,
+// so the tables stay identical.
+func (e *Engine) claim(g string, from MemberID) {
+	cur := e.table[g]
+	if cur == "" || cur == from {
+		e.table[g] = from
+		return
+	}
+	winner, loser := from, cur
+	if e.view.indexOf(from) < e.view.indexOf(cur) {
+		winner, loser = cur, from
+	}
+	e.table[g] = winner
+	e.emit(EventConflictDrop, g, fmt.Sprintf("%s yields to %s", loser, winner))
+	if loser == e.deps.Self && e.owned[g] {
+		if e.cfg.LazyConflictRelease {
+			e.pendingDrops = append(e.pendingDrops, g)
+			return
+		}
+		// Eager release: restore network-level consistency as soon as the
+		// conflict is discovered (§3.4).
+		e.releaseGroup(g, "conflict")
+	}
+}
+
+// reallocateIPs implements Reallocate_IPs(): every member deterministically
+// assigns each uncovered group to the least-loaded eligible member and
+// acquires the groups assigned to itself, guaranteeing complete coverage
+// (Lemma 2 of the paper).
+func (e *Engine) reallocateIPs() {
+	for _, p := range e.computeReallocation() {
+		e.table[p.Group] = p.Owner
+		if p.Owner == e.deps.Self && !e.owned[p.Group] {
+			e.acquireGroup(p.Group, "reallocate")
+		}
+	}
+	e.setState(StateRun)
+	e.armBalance()
+	// A server that matured during GATHER could not advertise it in its
+	// STATE_MSG; announce now so the component starts covering addresses.
+	if e.mature && len(e.eligibleMembers()) == 0 {
+		e.castMature()
+	}
+}
+
+// eligibleMembers lists the members that may own addresses in this view:
+// those whose STATE_MSG declared maturity (identical at every member).
+func (e *Engine) eligibleMembers() []MemberID {
+	var out []MemberID
+	for _, m := range e.view.Members {
+		if e.matureOf[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// onBalance implements Change_IPs() (Algorithm 1 lines 5–6); BALANCE_MSGs
+// are ignored during GATHER (Algorithm 2 lines 10–11).
+func (e *Engine) onBalance(from MemberID, m balanceMsg) {
+	if e.state != StateRun || m.ViewID != e.view.ID {
+		return
+	}
+	if from != e.representative() {
+		e.deps.Log.Logf("wackamole %s: balance from non-representative %s ignored", e.deps.Self, from)
+		return
+	}
+	for _, p := range m.Alloc {
+		if _, known := e.groupsByName[p.Group]; !known {
+			continue
+		}
+		if e.view.indexOf(p.Owner) < 0 {
+			continue
+		}
+		e.table[p.Group] = p.Owner
+		switch {
+		case p.Owner == e.deps.Self && !e.owned[p.Group]:
+			e.acquireGroup(p.Group, "balance")
+		case p.Owner != e.deps.Self && e.owned[p.Group]:
+			e.releaseGroup(p.Group, "balance")
+		}
+	}
+	e.emit(EventBalanceApplied, "", string(from))
+	e.armBalance()
+}
+
+// onMature handles a server's announcement that its bootstrap timeout
+// expired. Delivered in total order, it makes the whole component eligible
+// and triggers the same deterministic reallocation everywhere.
+func (e *Engine) onMature(from MemberID, m matureMsg) {
+	if e.state != StateRun || m.ViewID != e.view.ID || e.view.indexOf(from) < 0 {
+		return
+	}
+	already := len(e.eligibleMembers()) > 0
+	for _, member := range e.view.Members {
+		e.matureOf[member] = true
+	}
+	if !e.mature {
+		e.becomeMature("mature announcement from " + string(from))
+	}
+	if !already {
+		e.reallocateUncoveredInRun()
+	}
+}
+
+// reallocateUncoveredInRun covers holes discovered while already in RUN
+// (after a MATURE announcement). The allocation decision is identical at
+// every member because it runs on the same delivered message.
+func (e *Engine) reallocateUncoveredInRun() {
+	eligible := e.eligibleMembers()
+	if len(eligible) == 0 {
+		return
+	}
+	counts := map[MemberID]int{}
+	for _, owner := range e.table {
+		counts[owner]++
+	}
+	for _, g := range e.sortedNames {
+		if e.table[g] != "" {
+			continue
+		}
+		pick := eligible[0]
+		for _, m := range eligible[1:] {
+			if counts[m] < counts[pick] {
+				pick = m
+			}
+		}
+		e.table[g] = pick
+		counts[pick]++
+		if pick == e.deps.Self {
+			e.acquireGroup(g, "mature")
+		}
+	}
+	e.armBalance()
+}
+
+func (e *Engine) becomeMature(why string) {
+	e.mature = true
+	stopTimer(e.matureTimer)
+	e.matureTimer = nil
+	e.emit(EventMatured, "", why)
+}
+
+func (e *Engine) onMatureTimeout() {
+	if e.mature {
+		return
+	}
+	e.becomeMature("maturity timeout")
+	if e.state == StateRun && len(e.eligibleMembers()) == 0 {
+		e.castMature()
+	}
+	// If a GATHER is in flight the announcement happens when it completes
+	// (see reallocateIPs).
+}
+
+func (e *Engine) castMature() {
+	if err := e.deps.Cast(matureMsg{ViewID: e.view.ID}.encode()); err != nil {
+		e.deps.Log.Logf("wackamole %s: cast mature: %v", e.deps.Self, err)
+	}
+}
+
+// OnDisconnect implements the §4.2 rule: a Wackamole daemon that loses its
+// group-communication connection drops all of its virtual interfaces,
+// because it can no longer ensure correctness.
+func (e *Engine) OnDisconnect() {
+	for _, g := range e.ownedSorted() {
+		e.releaseGroup(g, "disconnected")
+	}
+	e.table = map[string]MemberID{}
+	e.stateFrom = nil
+	e.view = View{}
+	stopTimer(e.balanceTimer)
+	e.balanceTimer = nil
+	e.setState(StateDetached)
+}
+
+func (e *Engine) ownedSorted() []string {
+	out := make([]string, 0, len(e.owned))
+	for g := range e.owned {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Engine) setState(s State) {
+	if e.state == s {
+		return
+	}
+	e.state = s
+	e.emit(EventStateChange, "", s.String())
+}
+
+func (e *Engine) acquireGroup(g, why string) {
+	grp := e.groupsByName[g]
+	for _, a := range grp.Addrs {
+		if err := e.deps.IPs.Acquire(a); err != nil {
+			e.deps.Log.Logf("wackamole %s: acquire %v (%s): %v", e.deps.Self, a, g, err)
+			e.emit(EventError, g, fmt.Sprintf("acquire %v: %v", a, err))
+			continue
+		}
+		e.deps.Notify.Announce(a)
+	}
+	e.owned[g] = true
+	e.emit(EventAcquire, g, why)
+}
+
+func (e *Engine) releaseGroup(g, why string) {
+	grp := e.groupsByName[g]
+	for _, a := range grp.Addrs {
+		if err := e.deps.IPs.Release(a); err != nil {
+			e.deps.Log.Logf("wackamole %s: release %v (%s): %v", e.deps.Self, a, g, err)
+			e.emit(EventError, g, fmt.Sprintf("release %v: %v", a, err))
+			continue
+		}
+		e.deps.Notify.Withdraw(a)
+	}
+	delete(e.owned, g)
+	e.emit(EventRelease, g, why)
+}
+
+// representative returns the member that executes the re-balancing
+// procedure: the first of the ordered membership list (§3.4).
+func (e *Engine) representative() MemberID {
+	if len(e.view.Members) == 0 {
+		return ""
+	}
+	return e.view.Members[0]
+}
+
+func (e *Engine) armBalance() {
+	stopTimer(e.balanceTimer)
+	e.balanceTimer = nil
+	if e.cfg.DisableBalance || e.representative() != e.deps.Self {
+		return
+	}
+	viewID := e.view.ID
+	e.balanceTimer = e.deps.Clock.AfterFunc(e.cfg.balanceTimeout(), func() {
+		if e.state != StateRun || e.view.ID != viewID {
+			return
+		}
+		e.runBalance()
+	})
+}
+
+// TriggerBalance runs the re-balancing procedure immediately. Only the
+// representative, in the RUN state, may trigger it (exposed through the
+// administrative channel, §4.2).
+func (e *Engine) TriggerBalance() error {
+	if e.state != StateRun {
+		return fmt.Errorf("core: not in RUN state")
+	}
+	if e.representative() != e.deps.Self {
+		return fmt.Errorf("core: only the representative (%s) may balance", e.representative())
+	}
+	e.runBalance()
+	return nil
+}
+
+func (e *Engine) runBalance() {
+	alloc, changed := e.balancedAllocation()
+	if !changed {
+		e.armBalance()
+		return
+	}
+	msg := balanceMsg{ViewID: e.view.ID, Alloc: alloc}
+	if err := e.deps.Cast(msg.encode()); err != nil {
+		e.deps.Log.Logf("wackamole %s: cast balance: %v", e.deps.Self, err)
+		e.armBalance()
+	}
+	// The new allocation is applied when the BALANCE_MSG is delivered, at
+	// the representative like everywhere else.
+}

@@ -1,0 +1,59 @@
+package core
+
+import "testing"
+
+// FuzzDecode throws arbitrary bytes at the Wackamole message decoder; the
+// engine receives whatever the group delivers, so it must never panic.
+func FuzzDecode(f *testing.F) {
+	f.Add(stateMsg{ViewID: "v1", Mature: true, Owned: []string{"vip00"}, Prefer: []string{"vip00"}}.encode())
+	f.Add(balanceMsg{ViewID: "v1", Alloc: []allocPair{{Group: "vip00", Owner: "m00"}}}.encode())
+	f.Add(balanceMsg{ViewID: "v1", Alloc: []allocPair{{Group: "vip00", Owner: "m00"}}}.encodeAs(kindAlloc))
+	f.Add(matureMsg{ViewID: "v1"}.encode())
+	f.Add([]byte{})
+	f.Add([]byte{coreMagic, coreVer, 200})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decode(data)
+	})
+}
+
+func TestDecodeRejectsWrongMagicAndVersion(t *testing.T) {
+	if _, err := decode([]byte{'x', coreVer, 1}); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := decode([]byte{coreMagic, 99, 1}); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := decode([]byte{coreMagic, coreVer, 99}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	st := stateMsg{ViewID: "ring/3:9", Mature: true, Owned: []string{"a", "b"}, Prefer: []string{"a"}}
+	d, err := decode(st.encode())
+	if err != nil || d.kind != kindState {
+		t.Fatalf("state decode: %+v %v", d, err)
+	}
+	if d.state.ViewID != st.ViewID || !d.state.Mature || len(d.state.Owned) != 2 || len(d.state.Prefer) != 1 {
+		t.Fatalf("state round trip: %+v", d.state)
+	}
+
+	bal := balanceMsg{ViewID: "v", Alloc: []allocPair{{Group: "g1", Owner: "m1"}, {Group: "g2", Owner: ""}}}
+	d, err = decode(bal.encode())
+	if err != nil || d.kind != kindBalance {
+		t.Fatalf("balance decode: %+v %v", d, err)
+	}
+	if len(d.balance.Alloc) != 2 || d.balance.Alloc[1].Owner != "" {
+		t.Fatalf("balance round trip: %+v", d.balance)
+	}
+
+	d, err = decode(bal.encodeAs(kindAlloc))
+	if err != nil || d.kind != kindAlloc {
+		t.Fatalf("alloc decode: %+v %v", d, err)
+	}
+
+	d, err = decode(matureMsg{ViewID: "v9"}.encode())
+	if err != nil || d.kind != kindMature || d.mature.ViewID != "v9" {
+		t.Fatalf("mature round trip: %+v %v", d, err)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+
+	"wackamole/internal/wire"
+)
+
+// kind discriminates Wackamole's group messages.
+type kind uint8
+
+const (
+	// kindState is the STATE_MSG of Algorithms 1–2: the sender's currently
+	// held groups, its maturity, and its startup preferences, tagged with
+	// the view it was initiated in.
+	kindState kind = iota + 1
+	// kindBalance is the BALANCE_MSG of Algorithm 3: the representative's
+	// new allocation for the whole component.
+	kindBalance
+	// kindMature announces that a server declared itself mature after the
+	// bootstrap timeout expired (§3.4).
+	kindMature
+	// kindAlloc is the representative's imposed allocation at the end of
+	// GATHER (the §4.2 representative-decisions variant). Same payload as
+	// kindBalance, but accepted during GATHER.
+	kindAlloc
+)
+
+type stateMsg struct {
+	ViewID string
+	Mature bool
+	Owned  []string // group names, sorted
+	Prefer []string
+}
+
+type balanceMsg struct {
+	ViewID string
+	// Alloc lists (group, owner) pairs sorted by group name, covering every
+	// configured group.
+	Alloc []allocPair
+}
+
+type allocPair struct {
+	Group string
+	Owner MemberID
+}
+
+type matureMsg struct {
+	ViewID string
+}
+
+const (
+	coreMagic uint8 = 'w'
+	coreVer   uint8 = 1
+)
+
+func (m stateMsg) encode() []byte {
+	w := wire.NewWriter(128)
+	w.U8(coreMagic)
+	w.U8(coreVer)
+	w.U8(uint8(kindState))
+	w.String(m.ViewID)
+	w.Bool(m.Mature)
+	w.StringList(m.Owned)
+	w.StringList(m.Prefer)
+	return w.Bytes()
+}
+
+func (m balanceMsg) encode() []byte { return m.encodeAs(kindBalance) }
+
+// encodeAs serializes the allocation under the given message kind
+// (kindBalance for re-balancing, kindAlloc for representative decisions).
+func (m balanceMsg) encodeAs(k kind) []byte {
+	w := wire.NewWriter(128)
+	w.U8(coreMagic)
+	w.U8(coreVer)
+	w.U8(uint8(k))
+	w.String(m.ViewID)
+	w.U16(uint16(len(m.Alloc)))
+	for _, p := range m.Alloc {
+		w.String(p.Group)
+		w.String(string(p.Owner))
+	}
+	return w.Bytes()
+}
+
+func (m matureMsg) encode() []byte {
+	w := wire.NewWriter(32)
+	w.U8(coreMagic)
+	w.U8(coreVer)
+	w.U8(uint8(kindMature))
+	w.String(m.ViewID)
+	return w.Bytes()
+}
+
+// decoded is the union of the message variants.
+type decoded struct {
+	kind    kind
+	state   stateMsg
+	balance balanceMsg
+	mature  matureMsg
+}
+
+func decode(b []byte) (decoded, error) {
+	r := wire.NewReader(b)
+	if r.U8() != coreMagic {
+		return decoded{}, fmt.Errorf("core: bad magic")
+	}
+	if v := r.U8(); v != coreVer {
+		return decoded{}, fmt.Errorf("core: unsupported message version %d", v)
+	}
+	k := kind(r.U8())
+	switch k {
+	case kindState:
+		m := stateMsg{ViewID: r.String(), Mature: r.Bool(), Owned: r.StringList(), Prefer: r.StringList()}
+		return decoded{kind: k, state: m}, r.Done()
+	case kindBalance, kindAlloc:
+		m := balanceMsg{ViewID: r.String()}
+		n := int(r.U16())
+		for i := 0; i < n; i++ {
+			m.Alloc = append(m.Alloc, allocPair{Group: r.String(), Owner: MemberID(r.String())})
+		}
+		return decoded{kind: k, balance: m}, r.Done()
+	case kindMature:
+		return decoded{kind: k, mature: matureMsg{ViewID: r.String()}}, r.Done()
+	default:
+		return decoded{}, fmt.Errorf("core: unknown message kind %d", k)
+	}
+}

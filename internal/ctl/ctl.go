@@ -1,0 +1,167 @@
+// Package ctl implements the administrative control channel of §4.2 ("an
+// input channel to allow administrative control of a cluster's behavior"):
+// a line-oriented TCP protocol served by cmd/wackamole and spoken by
+// cmd/wackactl. One command per connection; the response is plain text.
+package ctl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/env/realtime"
+)
+
+// Commands understood by the server.
+const (
+	CmdStatus  = "status"
+	CmdBalance = "balance"
+	CmdLeave   = "leave"
+	CmdHelp    = "help"
+)
+
+// Server answers control commands, executing node operations on its loop so
+// the single-threaded protocol contract holds.
+type Server struct {
+	ln   net.Listener
+	loop *realtime.Loop
+	node *wackamole.Node
+	done chan struct{}
+}
+
+// Serve listens on addr (e.g. "127.0.0.1:4804").
+func Serve(addr string, loop *realtime.Loop, node *wackamole.Node) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ctl: %w", err)
+	}
+	s := &Server{ln: ln, loop: loop, node: node, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and waits for the accept loop to exit.
+func (s *Server) Close() error {
+	err := s.ln.Close()
+	<-s.done
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer close(s.done)
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil && line == "" {
+		return
+	}
+	reply := s.Execute(strings.TrimSpace(line))
+	_, _ = conn.Write([]byte(reply))
+}
+
+// Execute runs one command on the node's loop and returns its response.
+// Exposed for testing and for embedding in other frontends.
+func (s *Server) Execute(cmd string) string {
+	result := make(chan string, 1)
+	s.loop.Post(func() { result <- s.run(cmd) })
+	select {
+	case r := <-result:
+		return r
+	case <-time.After(5 * time.Second):
+		return "error: node loop unresponsive\n"
+	}
+}
+
+func (s *Server) run(cmd string) string {
+	switch cmd {
+	case CmdStatus:
+		return FormatStatus(s.node)
+	case CmdBalance:
+		if err := s.node.Engine().TriggerBalance(); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return "balance triggered\n"
+	case CmdLeave:
+		if err := s.node.LeaveService(); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return "left service; addresses released\n"
+	case CmdHelp, "":
+		return "commands: status | balance | leave | help\n"
+	default:
+		return fmt.Sprintf("error: unknown command %q (try help)\n", cmd)
+	}
+}
+
+// FormatStatus renders a node snapshot as the status response.
+func FormatStatus(node *wackamole.Node) string {
+	st := node.Status()
+	var b strings.Builder
+	fmt.Fprintf(&b, "member:  %s\n", node.Member())
+	fmt.Fprintf(&b, "state:   %s\n", st.State)
+	fmt.Fprintf(&b, "mature:  %v\n", st.Mature)
+	fmt.Fprintf(&b, "view:    %s (%d members)\n", st.ViewID, len(st.Members))
+	fmt.Fprintf(&b, "owned:   %s\n", strings.Join(st.Owned, " "))
+	ds := node.Daemon().Stats()
+	fmt.Fprintf(&b, "daemon:  installs=%d reconfigs=%d sent=%d delivered=%d retrans=%d flushed=%d\n",
+		ds.MembershipsInstalled, ds.Reconfigurations, ds.DataSent, ds.DataDelivered,
+		ds.DataRetransmitted, ds.RecoveryFlushes)
+	names := make([]string, 0, len(st.Table))
+	for g := range st.Table {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		owner := string(st.Table[g])
+		if owner == "" {
+			owner = "(uncovered)"
+		}
+		fmt.Fprintf(&b, "table:   %-12s -> %s\n", g, owner)
+	}
+	return b.String()
+}
+
+// Send connects to a control server, issues one command and returns the
+// response.
+func Send(addr, cmd string) (string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return "", fmt.Errorf("ctl: %w", err)
+	}
+	defer func() { _ = conn.Close() }()
+	if err := conn.SetDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		return "", fmt.Errorf("ctl: %w", err)
+	}
+	if _, err := fmt.Fprintf(conn, "%s\n", cmd); err != nil {
+		return "", fmt.Errorf("ctl: %w", err)
+	}
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break // EOF ends the response
+		}
+	}
+	return b.String(), nil
+}

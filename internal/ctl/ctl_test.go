@@ -1,0 +1,138 @@
+package ctl
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/core"
+	"wackamole/internal/env/realtime"
+	"wackamole/internal/gcs"
+	"wackamole/internal/ipmgr"
+)
+
+// liveNode spins up a real single-daemon node over loopback UDP. A
+// singleton needs no broadcast peers: the daemon processes its own control
+// messages inline and the token loops back over unicast.
+func liveNode(t *testing.T) (*wackamole.Node, *realtime.Loop) {
+	t.Helper()
+	e, loop, cleanup, err := realtime.NewEnv("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcsCfg := gcs.TunedConfig()
+	// Shrink discovery so the singleton forms fast in wall-clock time.
+	gcsCfg.DiscoveryTimeout = 300 * time.Millisecond
+	gcsCfg.FaultDetectTimeout = 500 * time.Millisecond
+	gcsCfg.HeartbeatInterval = 100 * time.Millisecond
+
+	node, err := wackamole.NewNode(e, wackamole.Config{
+		GCS: gcsCfg,
+		Engine: core.Config{
+			Groups: []core.VIPGroup{
+				{Name: "web1", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.100")}},
+				{Name: "web2", Addrs: []netip.Addr{netip.MustParseAddr("10.0.0.101")}},
+			},
+			StartMature: true,
+		},
+	}, &ipmgr.FakeBackend{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startErr := make(chan error, 1)
+	loop.Post(func() { startErr <- node.Start() })
+	if err := <-startErr; err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		stopped := make(chan struct{})
+		loop.Post(func() { node.Stop(); close(stopped) })
+		<-stopped
+		cleanup()
+	})
+	return node, loop
+}
+
+func TestControlChannelEndToEnd(t *testing.T) {
+	node, loop := liveNode(t)
+	srv, err := Serve("127.0.0.1:0", loop, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	// Wait for the singleton to form and cover its groups.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		reply, err := Send(srv.Addr(), CmdStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(reply, "state:   run") && strings.Contains(reply, "web1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never reached RUN; last status:\n%s", reply)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	reply, err := Send(srv.Addr(), CmdHelp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "status") {
+		t.Fatalf("help reply: %q", reply)
+	}
+
+	reply, err = Send(srv.Addr(), CmdBalance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "balance triggered") {
+		t.Fatalf("balance reply: %q", reply)
+	}
+
+	reply, err = Send(srv.Addr(), "bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "unknown command") {
+		t.Fatalf("bogus reply: %q", reply)
+	}
+
+	reply, err = Send(srv.Addr(), CmdLeave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "left service") {
+		t.Fatalf("leave reply: %q", reply)
+	}
+	reply, err = Send(srv.Addr(), CmdStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "state:   detached") {
+		t.Fatalf("post-leave status:\n%s", reply)
+	}
+}
+
+func TestSendConnectionRefused(t *testing.T) {
+	if _, err := Send("127.0.0.1:1", CmdStatus); err == nil {
+		t.Fatal("Send to a dead address succeeded")
+	}
+}
+
+func TestFormatStatusListsUncovered(t *testing.T) {
+	node, _ := liveNode(t)
+	out := FormatStatus(node)
+	if !strings.Contains(out, "member:") || !strings.Contains(out, "state:") {
+		t.Fatalf("status output:\n%s", out)
+	}
+}

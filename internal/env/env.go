@@ -1,0 +1,108 @@
+// Package env defines the abstract runtime that every protocol in this
+// repository is written against: a clock, a packet endpoint with unicast and
+// LAN-broadcast primitives, and a logger.
+//
+// Two implementations exist. The simulated one (package netsim) runs under
+// virtual time on a single goroutine; the real-time one (package
+// env/realtime) runs over UDP sockets and the wall clock, serializing all
+// callbacks onto one loop per node.
+//
+// Concurrency contract: for a given Env, all callbacks — packet handlers and
+// timer functions — are invoked serially, never concurrently. Protocol code
+// therefore needs no internal locking as long as it touches its state only
+// from those callbacks.
+package env
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Addr identifies a protocol endpoint, formatted as "ip:port". The zero
+// value is not a valid address.
+type Addr string
+
+// Timer is a handle to a scheduled callback.
+type Timer interface {
+	// Stop cancels the timer, reporting whether it prevented the callback
+	// from running.
+	Stop() bool
+}
+
+// Clock supplies time to protocol code.
+type Clock interface {
+	// Now returns the current instant (virtual or wall time).
+	Now() time.Time
+	// AfterFunc schedules f to run once after d, serialized with all other
+	// callbacks of the same Env.
+	AfterFunc(d time.Duration, f func()) Timer
+}
+
+// Handler consumes an inbound datagram.
+type Handler func(from Addr, payload []byte)
+
+// PacketConn is an unreliable datagram endpoint on a LAN.
+type PacketConn interface {
+	// LocalAddr returns this endpoint's stationary address.
+	LocalAddr() Addr
+	// SendTo transmits payload to a single peer. Delivery is best-effort.
+	SendTo(to Addr, payload []byte) error
+	// Broadcast transmits payload to every endpoint on the local broadcast
+	// domain, including this one. Delivery is best-effort.
+	Broadcast(payload []byte) error
+	// SetHandler installs the inbound datagram callback. It must be called
+	// before any datagram can be delivered and at most once.
+	SetHandler(h Handler)
+	// Close releases the endpoint; no callbacks run after Close returns.
+	Close() error
+}
+
+// Logger receives diagnostic output from protocol code.
+type Logger interface {
+	Logf(format string, args ...any)
+}
+
+// Env bundles the runtime facilities handed to a protocol instance.
+type Env struct {
+	Clock Clock
+	Conn  PacketConn
+	Log   Logger
+}
+
+// NopLogger discards all output.
+type NopLogger struct{}
+
+// Logf implements Logger by discarding its arguments.
+func (NopLogger) Logf(string, ...any) {}
+
+var _ Logger = NopLogger{}
+
+// PrefixLogger writes one line per Logf call to W, prefixed with the
+// clock-relative elapsed time and a fixed tag. It is safe for concurrent use.
+type PrefixLogger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	clock  Clock
+	base   time.Time
+	prefix string
+}
+
+// NewPrefixLogger returns a logger stamping lines with time elapsed on clock
+// since its creation.
+func NewPrefixLogger(w io.Writer, clock Clock, prefix string) *PrefixLogger {
+	return &PrefixLogger{w: w, clock: clock, base: clock.Now(), prefix: prefix}
+}
+
+// Logf implements Logger.
+func (l *PrefixLogger) Logf(format string, args ...any) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	elapsed := l.clock.Now().Sub(l.base)
+	fmt.Fprintf(l.w, "%12s %-14s ", elapsed.Round(time.Microsecond), l.prefix)
+	fmt.Fprintf(l.w, format, args...)
+	fmt.Fprintln(l.w)
+}
+
+var _ Logger = (*PrefixLogger)(nil)

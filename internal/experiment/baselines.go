@@ -1,0 +1,213 @@
+package experiment
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"wackamole/internal/fake"
+	"wackamole/internal/gcs"
+	"wackamole/internal/hsrp"
+	"wackamole/internal/netsim"
+	"wackamole/internal/probe"
+	"wackamole/internal/sim"
+	"wackamole/internal/vrrp"
+)
+
+// BaselineRow is one line of the §7 baseline fail-over comparison.
+type BaselineRow struct {
+	System string
+	Detail string
+	Stat   Stat
+}
+
+// pairTopology is a two-server fail-over pair behind a router with an
+// external probing client — the smallest instance of the Figure 3 layout,
+// used to measure every baseline with the same §6 methodology.
+type pairTopology struct {
+	sim       *sim.Sim
+	main      *netsim.Host
+	backup    *netsim.Host
+	mainNIC   *netsim.NIC
+	backupNIC *netsim.NIC
+	client    *probe.Client
+	vip       netip.Addr
+}
+
+func newPairTopology(seed int64) (*pairTopology, error) {
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	segCfg := netsim.DefaultSegmentConfig()
+	lan := nw.NewSegment("cluster", segCfg)
+	ext := nw.NewSegment("external", segCfg)
+
+	router := nw.NewHost("router")
+	router.AttachNIC(lan, "in", netip.MustParsePrefix("10.0.0.1/24"))
+	router.AttachNIC(ext, "out", netip.MustParsePrefix("192.168.1.1/24"))
+	router.EnableForwarding()
+
+	p := &pairTopology{sim: s, vip: netip.MustParseAddr("10.0.0.100")}
+	p.main = nw.NewHost("main")
+	p.mainNIC = p.main.AttachNIC(lan, "eth0", netip.MustParsePrefix("10.0.0.10/24"))
+	p.main.SetDefaultGateway(p.mainNIC, netip.MustParseAddr("10.0.0.1"))
+	p.backup = nw.NewHost("backup")
+	p.backupNIC = p.backup.AttachNIC(lan, "eth0", netip.MustParsePrefix("10.0.0.11/24"))
+	p.backup.SetDefaultGateway(p.backupNIC, netip.MustParseAddr("10.0.0.1"))
+	for _, h := range []*netsim.Host{p.main, p.backup} {
+		if _, err := probe.NewServer(h, ServicePort); err != nil {
+			return nil, err
+		}
+	}
+
+	clientHost := nw.NewHost("client")
+	cnic := clientHost.AttachNIC(ext, "eth0", netip.MustParsePrefix("192.168.1.50/24"))
+	clientHost.SetDefaultGateway(cnic, netip.MustParseAddr("192.168.1.1"))
+	client, err := probe.NewClient(clientHost, probe.ClientConfig{
+		Target:    netip.AddrPortFrom(p.vip, ServicePort),
+		LocalPort: ClientPort,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.client = client
+	return p, nil
+}
+
+// measureFailover warms the probe path up, fails the main server and
+// returns the client-visible interruption.
+func (p *pairTopology) measureFailover(maxWait time.Duration) (time.Duration, error) {
+	p.client.Start()
+	p.sim.RunFor(2 * time.Second)
+	if p.client.Responses() == 0 {
+		return 0, fmt.Errorf("experiment: service never answered before the fault")
+	}
+	// Uniform fault phase relative to the protocols' periodic timers.
+	p.sim.RunFor(time.Duration(p.sim.Rand().Int63n(int64(3 * time.Second))))
+	p.client.ResetStats()
+	p.sim.RunFor(100 * time.Millisecond)
+	p.mainNIC.SetUp(false)
+	step := 50 * time.Millisecond
+	for waited := time.Duration(0); waited < maxWait; waited += step {
+		p.sim.RunFor(step)
+		if gaps := p.client.Gaps(); len(gaps) > 0 {
+			return gaps[0].Duration(), nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: no fail-over within %v", maxWait)
+}
+
+// VRRPTrial measures VRRP fail-over with RFC 2338 defaults (1s adverts).
+func VRRPTrial(seed int64) (time.Duration, error) {
+	p, err := newPairTopology(seed)
+	if err != nil {
+		return 0, err
+	}
+	master, err := vrrp.New(p.main, p.mainNIC, vrrp.Config{VRID: 1, Priority: 200, VIP: p.vip, Preempt: true})
+	if err != nil {
+		return 0, err
+	}
+	backup, err := vrrp.New(p.backup, p.backupNIC, vrrp.Config{VRID: 1, Priority: 100, VIP: p.vip, Preempt: true})
+	if err != nil {
+		return 0, err
+	}
+	master.Start()
+	backup.Start()
+	p.sim.RunFor(8 * time.Second) // initial election
+	if master.State() != vrrp.StateMaster {
+		return 0, fmt.Errorf("experiment: vrrp election failed (main %v)", master.State())
+	}
+	return p.measureFailover(30 * time.Second)
+}
+
+// HSRPTrial measures HSRP fail-over with the defaults the paper quotes
+// (hello 3s, timeouts 10s).
+func HSRPTrial(seed int64) (time.Duration, error) {
+	p, err := newPairTopology(seed)
+	if err != nil {
+		return 0, err
+	}
+	active, err := hsrp.New(p.main, p.mainNIC, hsrp.Config{Group: 1, Priority: 200, VIP: p.vip})
+	if err != nil {
+		return 0, err
+	}
+	standby, err := hsrp.New(p.backup, p.backupNIC, hsrp.Config{Group: 1, Priority: 100, VIP: p.vip})
+	if err != nil {
+		return 0, err
+	}
+	active.Start()
+	standby.Start()
+	p.sim.RunFor(25 * time.Second) // initial election resolves after hold
+	if active.Role() != hsrp.RoleActive {
+		return 0, fmt.Errorf("experiment: hsrp election failed (main %v)", active.Role())
+	}
+	return p.measureFailover(40 * time.Second)
+}
+
+// FakeTrial measures the Linux Fake scheme: the backup probes the main's
+// service every second and takes over after three consecutive misses.
+func FakeTrial(seed int64) (time.Duration, error) {
+	p, err := newPairTopology(seed)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.mainNIC.AddAddr(p.vip); err != nil {
+		return 0, err
+	}
+	mon, err := fake.New(p.backup, p.backupNIC, fake.Config{
+		Target:    netip.AddrPortFrom(p.vip, ServicePort),
+		VIP:       p.vip,
+		LocalPort: 9100,
+	})
+	if err != nil {
+		return 0, err
+	}
+	mon.Start()
+	return p.measureFailover(30 * time.Second)
+}
+
+// Baselines runs the fail-over comparison: Wackamole under both Table 1
+// configurations against VRRP, HSRP and Fake, all measured identically.
+func Baselines(baseSeed int64, trials int) ([]BaselineRow, error) {
+	type system struct {
+		name   string
+		detail string
+		run    func(seed int64) (time.Duration, error)
+	}
+	systems := []system{
+		{"wackamole (tuned)", "Table 1 tuned timeouts", func(s int64) (time.Duration, error) {
+			return Figure5Trial(s, 2, gcs.TunedConfig())
+		}},
+		{"wackamole (default)", "Table 1 default timeouts", func(s int64) (time.Duration, error) {
+			return Figure5Trial(s, 2, gcs.DefaultConfig())
+		}},
+		{"vrrp", "RFC 2338 defaults: 1s adverts, 3×+skew master-down", VRRPTrial},
+		{"hsrp", "hello 3s, hold 10s (§7)", HSRPTrial},
+		{"fake", "1s service probes, 3-miss threshold", FakeTrial},
+	}
+	var rows []BaselineRow
+	for _, sys := range systems {
+		var samples []time.Duration
+		for _, seed := range Seeds(baseSeed, trials) {
+			d, err := sys.run(seed)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", sys.name, err)
+			}
+			samples = append(samples, d)
+		}
+		rows = append(rows, BaselineRow{System: sys.name, Detail: sys.detail, Stat: Summarize(samples)})
+	}
+	return rows, nil
+}
+
+// RenderBaselines formats the comparison.
+func RenderBaselines(rows []BaselineRow) string {
+	header := []string{"system", "configuration", "trials", "mean fail-over", "min", "max"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.System, r.Detail, fmt.Sprintf("%d", r.Stat.N),
+			Seconds(r.Stat.Mean), Seconds(r.Stat.Min), Seconds(r.Stat.Max),
+		})
+	}
+	return Table(header, cells)
+}

@@ -1,0 +1,188 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wackamole/internal/gcs"
+)
+
+// ConfigName labels the two Spread configurations of Table 1.
+type ConfigName string
+
+// The two evaluated configurations.
+const (
+	ConfigDefault ConfigName = "default"
+	ConfigTuned   ConfigName = "tuned"
+)
+
+// NamedConfigs returns the paper's two configurations in presentation
+// order.
+func NamedConfigs() []struct {
+	Name ConfigName
+	Cfg  gcs.Config
+} {
+	return []struct {
+		Name ConfigName
+		Cfg  gcs.Config
+	}{
+		{ConfigDefault, gcs.DefaultConfig()},
+		{ConfigTuned, gcs.TunedConfig()},
+	}
+}
+
+// Figure5Sizes are the cluster sizes of the paper's Figure 5.
+var Figure5Sizes = []int{2, 4, 6, 8, 10, 12}
+
+// Figure5Trial measures one availability interruption: a web cluster of n
+// servers maintaining 10 virtual addresses, a client probing one of them
+// every 10ms, and a fault disconnecting the interface of the server
+// covering it.
+func Figure5Trial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
+	wc, err := NewWebCluster(seed, n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	wc.WarmUp(cfg)
+	victim, holders := wc.Owner(wc.Target)
+	if holders != 1 {
+		return 0, fmt.Errorf("experiment: %d holders of the target before fault", holders)
+	}
+	wc.FailServer(victim)
+	maxWait := 4 * (cfg.FaultDetectTimeout + cfg.DiscoveryTimeout)
+	gap, err := wc.MeasureInterruption(maxWait)
+	if err != nil {
+		return 0, err
+	}
+	if gap.To == gap.From {
+		return 0, fmt.Errorf("experiment: service resumed on the failed server %q", gap.To)
+	}
+	return gap.Duration(), nil
+}
+
+// Figure5Row is one point of Figure 5.
+type Figure5Row struct {
+	Config ConfigName
+	Size   int
+	Stat   Stat
+	Errors int
+}
+
+// Figure5 sweeps cluster size × configuration with `trials` seeded runs per
+// point, reproducing the paper's Figure 5 ("Average Availability
+// Interruption with Varying Cluster Size").
+func Figure5(baseSeed int64, trials int) ([]Figure5Row, error) {
+	var rows []Figure5Row
+	for _, nc := range NamedConfigs() {
+		for _, n := range Figure5Sizes {
+			var samples []time.Duration
+			errs := 0
+			for _, seed := range Seeds(baseSeed+int64(n), trials) {
+				d, err := Figure5Trial(seed, n, nc.Cfg)
+				if err != nil {
+					errs++
+					continue
+				}
+				samples = append(samples, d)
+			}
+			if len(samples) == 0 {
+				return nil, fmt.Errorf("experiment: figure5 %s n=%d: all %d trials failed", nc.Name, n, trials)
+			}
+			rows = append(rows, Figure5Row{Config: nc.Name, Size: n, Stat: Summarize(samples), Errors: errs})
+		}
+	}
+	return rows, nil
+}
+
+// RenderFigure5 formats the rows as the two series of the paper's figure.
+func RenderFigure5(rows []Figure5Row) string {
+	header := []string{"config", "cluster size", "trials", "mean interruption", "min", "max", "stddev"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			string(r.Config), fmt.Sprintf("%d", r.Size), fmt.Sprintf("%d", r.Stat.N),
+			Seconds(r.Stat.Mean), Seconds(r.Stat.Min), Seconds(r.Stat.Max), Seconds(r.Stat.StdDev),
+		})
+	}
+	return Table(header, cells)
+}
+
+// RenderFigure5CSV formats the rows as two plottable series (the exact
+// shape of the paper's figure: x = cluster size, y = mean interruption in
+// seconds, one series per configuration).
+func RenderFigure5CSV(rows []Figure5Row) string {
+	var b strings.Builder
+	b.WriteString("config,cluster_size,trials,mean_s,min_s,max_s,stddev_s\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+			r.Config, r.Size, r.Stat.N,
+			r.Stat.Mean.Seconds(), r.Stat.Min.Seconds(), r.Stat.Max.Seconds(), r.Stat.StdDev.Seconds())
+	}
+	return b.String()
+}
+
+// GracefulRow reports the voluntary-departure measurement of §6.
+type GracefulRow struct {
+	Size int
+	Stat Stat
+}
+
+// GracefulTrial measures the availability interruption when the server
+// covering the probed address leaves voluntarily (administrative
+// departure): the client-visible gap, bounded below by the 10ms probe
+// interval.
+func GracefulTrial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
+	wc, err := NewWebCluster(seed, n, cfg)
+	if err != nil {
+		return 0, err
+	}
+	wc.WarmUp(cfg)
+	victim, holders := wc.Owner(wc.Target)
+	if holders != 1 {
+		return 0, fmt.Errorf("experiment: %d holders of the target before leave", holders)
+	}
+	if err := wc.Servers[victim].Node.LeaveService(); err != nil {
+		return 0, err
+	}
+	wc.RunFor(2 * time.Second)
+	if _, holders := wc.Owner(wc.Target); holders != 1 {
+		return 0, fmt.Errorf("experiment: target not reallocated after graceful leave")
+	}
+	// The interruption may be too short to register as a gap; the largest
+	// inter-response spacing bounds it either way.
+	return wc.Client.MaxGap(), nil
+}
+
+// Graceful sweeps the graceful-leave measurement over cluster sizes.
+func Graceful(baseSeed int64, trials int, sizes []int) ([]GracefulRow, error) {
+	cfg := gcs.TunedConfig()
+	var rows []GracefulRow
+	for _, n := range sizes {
+		var samples []time.Duration
+		for _, seed := range Seeds(baseSeed+int64(n)*13, trials) {
+			d, err := GracefulTrial(seed, n, cfg)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, d)
+		}
+		rows = append(rows, GracefulRow{Size: n, Stat: Summarize(samples)})
+	}
+	return rows, nil
+}
+
+// RenderGraceful formats the graceful-leave results.
+func RenderGraceful(rows []GracefulRow) string {
+	header := []string{"cluster size", "trials", "mean interruption", "min", "max"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Size), fmt.Sprintf("%d", r.Stat.N),
+			fmt.Sprintf("%.1fms", float64(r.Stat.Mean.Microseconds())/1000),
+			fmt.Sprintf("%.1fms", float64(r.Stat.Min.Microseconds())/1000),
+			fmt.Sprintf("%.1fms", float64(r.Stat.Max.Microseconds())/1000),
+		})
+	}
+	return Table(header, cells)
+}

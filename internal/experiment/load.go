@@ -1,0 +1,103 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"wackamole/internal/gcs"
+)
+
+// load.go quantifies the paper's §6 remark that on highly loaded machines
+// the daemons should run with (real-time) priority "in order to avoid false
+// positive errors": as scheduling delay approaches the heartbeat interval,
+// healthy daemons start missing each other's heartbeats and the cluster
+// reconfigures without any actual fault.
+
+// LoadRow reports one scheduling-jitter level.
+type LoadRow struct {
+	// Jitter is the per-host scheduling delay bound (0 models daemons
+	// running at real-time priority).
+	Jitter time.Duration
+	// FalseReconfigs is the mean number of daemon reconfigurations beyond
+	// the boot-time one, over a fault-free observation window.
+	FalseReconfigs float64
+	// MaxGap is the largest client-visible inter-response gap observed
+	// (service hiccups caused purely by the false positives).
+	MaxGap Stat
+}
+
+// LoadTrial runs a fault-free web cluster whose servers suffer scheduling
+// jitter, and counts spurious reconfigurations over the window.
+func LoadTrial(seed int64, jitter time.Duration, window time.Duration) (int, time.Duration, error) {
+	cfg := gcs.TunedConfig()
+	wc, err := NewWebCluster(seed, 4, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	wc.Settle()
+	reconfigsAtStart := 0
+	for _, srv := range wc.Cluster.Servers {
+		reconfigsAtStart += int(srv.Node.Daemon().Stats().Reconfigurations)
+	}
+	// Load appears on the servers only; the client and router machines
+	// (the measurement apparatus) stay unloaded.
+	for _, srv := range wc.Cluster.Servers {
+		srv.Host.SetProcessingJitter(jitter)
+	}
+	wc.Client.Start()
+	wc.RunFor(time.Second)
+	wc.Client.ResetStats()
+	wc.RunFor(window)
+	reconfigs := 0
+	for _, srv := range wc.Cluster.Servers {
+		reconfigs += int(srv.Node.Daemon().Stats().Reconfigurations)
+	}
+	return reconfigs - reconfigsAtStart, wc.Client.MaxGap(), nil
+}
+
+// LoadSensitivity sweeps the jitter bound. The heartbeat interval (400ms
+// tuned) is the natural scale: false positives appear as the jitter
+// approaches the fault-detection margin (T − H = 600ms).
+func LoadSensitivity(baseSeed int64, trials int) ([]LoadRow, error) {
+	jitters := []time.Duration{
+		0,
+		100 * time.Millisecond,
+		300 * time.Millisecond,
+		600 * time.Millisecond,
+	}
+	const window = 60 * time.Second
+	var rows []LoadRow
+	for _, j := range jitters {
+		totalReconfigs := 0
+		var gaps []time.Duration
+		for _, seed := range Seeds(baseSeed, trials) {
+			n, gap, err := LoadTrial(seed, j, window)
+			if err != nil {
+				return nil, fmt.Errorf("jitter %v: %w", j, err)
+			}
+			totalReconfigs += n
+			gaps = append(gaps, gap)
+		}
+		rows = append(rows, LoadRow{
+			Jitter:         j,
+			FalseReconfigs: float64(totalReconfigs) / float64(trials),
+			MaxGap:         Summarize(gaps),
+		})
+	}
+	return rows, nil
+}
+
+// RenderLoadSensitivity formats the sweep.
+func RenderLoadSensitivity(rows []LoadRow) string {
+	header := []string{"scheduling jitter", "false reconfigurations / min", "max client gap (mean)", "max client gap (max)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Jitter.String(),
+			fmt.Sprintf("%.1f", r.FalseReconfigs),
+			Seconds(r.MaxGap.Mean),
+			Seconds(r.MaxGap.Max),
+		})
+	}
+	return Table(header, cells)
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"wackamole/internal/core"
+	"wackamole/internal/gcs"
+	"wackamole/internal/netsim"
+	"wackamole/internal/probe"
+	"wackamole/internal/rip"
+	"wackamole/internal/router"
+	"wackamole/internal/sim"
+)
+
+// RouterMode selects between the two §5.2 setups.
+type RouterMode string
+
+// The two setups the paper contrasts.
+const (
+	// RouterModeNaive: only the active fail-over router participates in the
+	// dynamic routing protocol; after a take-over the new router must wait
+	// for the next periodic advertisement — "this usually takes around 30
+	// seconds".
+	RouterModeNaive RouterMode = "naive"
+	// RouterModeAdvertiseAll: all fail-over routers participate
+	// continuously and advertise the same internal networks, so a take-over
+	// completes as soon as Wackamole reassigns the virtual addresses.
+	RouterModeAdvertiseAll RouterMode = "advertise-all"
+)
+
+// Figure-4-style address plan.
+var (
+	clientNetPrefix = netip.MustParsePrefix("203.0.113.0/24")
+	extVIP          = netip.MustParseAddr("198.51.100.1")
+	webVIP          = netip.MustParseAddr("10.1.0.1")
+	webNetPrefix    = netip.MustParsePrefix("10.1.0.0/24")
+)
+
+// virtualRouterScenario is the Figure 4 topology: two physical routers
+// acting as one virtual router between an external network (with an
+// upstream RIP router towards the client) and an internal web network.
+type virtualRouterScenario struct {
+	sim     *sim.Sim
+	frHosts [2]*netsim.Host
+	frs     [2]*router.PhysicalRouter
+	client  *probe.Client
+}
+
+func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config) (*virtualRouterScenario, error) {
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	segCfg := netsim.DefaultSegmentConfig()
+	clientNet := nw.NewSegment("client", segCfg)
+	extNet := nw.NewSegment("ext", segCfg)
+	webNet := nw.NewSegment("web", segCfg)
+
+	// Upstream router: connects the client network to the external network
+	// and participates in the routing protocol.
+	u := nw.NewHost("upstream")
+	u.AttachNIC(clientNet, "c", netip.MustParsePrefix("203.0.113.1/24"))
+	uExt := u.AttachNIC(extNet, "e", netip.MustParsePrefix("198.51.100.2/24"))
+	u.EnableForwarding()
+	// Static route towards the internal network via the virtual router.
+	u.AddRoute(webNetPrefix, uExt, extVIP)
+	uRIP, err := rip.New(u, ripCfg)
+	if err != nil {
+		return nil, err
+	}
+	uRIP.Start()
+
+	sc := &virtualRouterScenario{sim: s}
+
+	// The indivisible virtual address group spanning both networks (§5.2).
+	group := core.VIPGroup{Name: "vrouter", Addrs: []netip.Addr{extVIP, webVIP}}
+	participation := router.ParticipateAlways
+	if mode == RouterModeNaive {
+		participation = router.ParticipateWhenActive
+	}
+	for i := 0; i < 2; i++ {
+		fr := nw.NewHost(fmt.Sprintf("fr%d", i+1))
+		fr.AttachNIC(extNet, "ext", netip.MustParsePrefix(fmt.Sprintf("198.51.100.%d/24", 3+i)))
+		webNIC := fr.AttachNIC(webNet, "web", netip.MustParsePrefix(fmt.Sprintf("10.1.0.%d/24", 2+i)))
+		sc.frHosts[i] = fr
+
+		pr, err := router.New(router.Options{
+			Host:          fr,
+			GCSNIC:        webNIC,
+			GCS:           cfg,
+			Group:         group,
+			RIP:           ripCfg,
+			Participation: participation,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := pr.Start(); err != nil {
+			return nil, err
+		}
+		sc.frs[i] = pr
+	}
+
+	// Internal web server, reached through the virtual router.
+	server := nw.NewHost("webserver")
+	srvNIC := server.AttachNIC(webNet, "eth0", netip.MustParsePrefix("10.1.0.10/24"))
+	server.SetDefaultGateway(srvNIC, webVIP)
+	if _, err := probe.NewServer(server, ServicePort); err != nil {
+		return nil, err
+	}
+
+	// External client behind the upstream router.
+	client := nw.NewHost("client")
+	cNIC := client.AttachNIC(clientNet, "eth0", netip.MustParsePrefix("203.0.113.50/24"))
+	client.SetDefaultGateway(cNIC, netip.MustParseAddr("203.0.113.1"))
+	sc.client, err = probe.NewClient(client, probe.ClientConfig{
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.1.0.10"), ServicePort),
+		LocalPort: ClientPort,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// activeRouter returns the index of the physical router holding the
+// virtual addresses.
+func (sc *virtualRouterScenario) activeRouter() (int, error) {
+	for i, fr := range sc.frHosts {
+		holds := false
+		for _, nic := range fr.NICs() {
+			if nic.HasAddr(extVIP) || nic.HasAddr(webVIP) {
+				holds = true
+			}
+		}
+		if holds && fr.Alive() {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: no active virtual router")
+}
+
+// RouterTrial measures the client-visible interruption when the active
+// physical router crashes, under the given §5.2 setup.
+func RouterTrial(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config) (time.Duration, error) {
+	sc, err := newVirtualRouterScenario(seed, mode, cfg, ripCfg)
+	if err != nil {
+		return 0, err
+	}
+	// Warm-up: let memberships form, the active router join the routing
+	// protocol and learn the client network (first periodic advertisement),
+	// and the probe path populate every ARP cache.
+	sc.sim.RunFor(2*cfg.DiscoveryTimeout + 2*time.Second)
+	sc.client.Start()
+	sc.sim.RunFor(ripCfg.AdvertisePeriod + 5*time.Second)
+	if sc.client.Responses() == 0 {
+		return 0, fmt.Errorf("experiment: no responses during warm-up")
+	}
+	// Random fault phase relative to the advertisement period.
+	sc.sim.RunFor(time.Duration(sc.sim.Rand().Int63n(int64(ripCfg.AdvertisePeriod))))
+	sc.client.ResetStats()
+	sc.sim.RunFor(200 * time.Millisecond)
+
+	active, err := sc.activeRouter()
+	if err != nil {
+		return 0, err
+	}
+	sc.frHosts[active].Crash()
+	maxWait := 3*ripCfg.AdvertisePeriod + 4*(cfg.FaultDetectTimeout+cfg.DiscoveryTimeout)
+	step := 100 * time.Millisecond
+	for waited := time.Duration(0); waited < maxWait; waited += step {
+		sc.sim.RunFor(step)
+		if gaps := sc.client.Gaps(); len(gaps) > 0 {
+			return gaps[0].Duration(), nil
+		}
+	}
+	return 0, fmt.Errorf("experiment: router fail-over never completed within %v", maxWait)
+}
+
+// RouterRow is one line of the §5.2 comparison.
+type RouterRow struct {
+	Mode RouterMode
+	Stat Stat
+}
+
+// RouterComparison contrasts the naive setup against advertise-all, with
+// tuned Wackamole timeouts and 30s RIP advertisements.
+func RouterComparison(baseSeed int64, trials int) ([]RouterRow, error) {
+	cfg := gcs.TunedConfig()
+	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
+	var rows []RouterRow
+	for _, mode := range []RouterMode{RouterModeNaive, RouterModeAdvertiseAll} {
+		var samples []time.Duration
+		for _, seed := range Seeds(baseSeed, trials) {
+			d, err := RouterTrial(seed, mode, cfg, ripCfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", mode, err)
+			}
+			samples = append(samples, d)
+		}
+		rows = append(rows, RouterRow{Mode: mode, Stat: Summarize(samples)})
+	}
+	return rows, nil
+}
+
+// RenderRouterComparison formats the §5.2 results.
+func RenderRouterComparison(rows []RouterRow) string {
+	header := []string{"setup", "trials", "mean interruption", "min", "max"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			string(r.Mode), fmt.Sprintf("%d", r.Stat.N),
+			Seconds(r.Stat.Mean), Seconds(r.Stat.Min), Seconds(r.Stat.Max),
+		})
+	}
+	return Table(header, cells)
+}

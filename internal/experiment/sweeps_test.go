@@ -1,0 +1,184 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/gcs"
+	"wackamole/internal/rip"
+)
+
+// These tests exercise every sweep and renderer end to end with one trial
+// per point; the shape assertions (paper agreement) live with the per-trial
+// tests, and cmd/wacksim provides the full-trial runs.
+
+func TestFigure5SweepAndRender(t *testing.T) {
+	rows, err := Figure5(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(Figure5Sizes) {
+		t.Fatalf("%d rows, want %d", len(rows), 2*len(Figure5Sizes))
+	}
+	for _, r := range rows {
+		switch r.Config {
+		case ConfigDefault:
+			if r.Stat.Mean < 9*time.Second || r.Stat.Mean > 13*time.Second {
+				t.Fatalf("default n=%d mean %v out of band", r.Size, r.Stat.Mean)
+			}
+		case ConfigTuned:
+			if r.Stat.Mean < 1900*time.Millisecond || r.Stat.Mean > 2800*time.Millisecond {
+				t.Fatalf("tuned n=%d mean %v out of band", r.Size, r.Stat.Mean)
+			}
+		}
+	}
+	out := RenderFigure5(rows)
+	if !strings.Contains(out, "cluster size") || strings.Count(out, "\n") < len(rows) {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestTable1SweepAndRender(t *testing.T) {
+	rows, err := Table1(300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		slack := 200 * time.Millisecond
+		if r.Measured.Mean < r.PredictedMin-slack || r.Measured.Mean > r.PredictedMax+slack {
+			t.Fatalf("%s measured %v outside predicted [%v, %v]",
+				r.Config, r.Measured.Mean, r.PredictedMin, r.PredictedMax)
+		}
+	}
+	out := RenderTable1(rows)
+	for _, want := range []string{"Fault-detection", "heartbeat", "Discovery", "Predicted", "Measured"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBaselineSweepAndRender(t *testing.T) {
+	rows, err := Baselines(400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows, want 5", len(rows))
+	}
+	byName := map[string]time.Duration{}
+	for _, r := range rows {
+		byName[r.System] = r.Stat.Mean
+	}
+	// Ordering claims from the paper's §7 discussion.
+	if byName["wackamole (tuned)"] >= byName["hsrp"] {
+		t.Fatalf("tuned wackamole (%v) not faster than hsrp (%v)", byName["wackamole (tuned)"], byName["hsrp"])
+	}
+	if byName["vrrp"] >= byName["hsrp"] {
+		t.Fatalf("vrrp (%v) not faster than hsrp (%v)", byName["vrrp"], byName["hsrp"])
+	}
+	out := RenderBaselines(rows)
+	if !strings.Contains(out, "vrrp") || !strings.Contains(out, "fake") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRouterComparisonAndRender(t *testing.T) {
+	rows, err := RouterComparison(500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows, want 2", len(rows))
+	}
+	var naive, all time.Duration
+	for _, r := range rows {
+		if r.Mode == RouterModeNaive {
+			naive = r.Stat.Mean
+		} else {
+			all = r.Stat.Mean
+		}
+	}
+	if all > 3*time.Second {
+		t.Fatalf("advertise-all mean %v, want ≈ fail-over time", all)
+	}
+	if naive <= all {
+		t.Fatalf("naive (%v) not slower than advertise-all (%v)", naive, all)
+	}
+	out := RenderRouterComparison(rows)
+	if !strings.Contains(out, "naive") || !strings.Contains(out, "advertise-all") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestAblationSweepAndRender(t *testing.T) {
+	rows, err := Ablations(600, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("%d rows, want 8", len(rows))
+	}
+	get := func(experiment, variant string) time.Duration {
+		for _, r := range rows {
+			if r.Experiment == experiment && strings.HasPrefix(r.Variant, variant) {
+				return r.Stat.Mean
+			}
+		}
+		t.Fatalf("row %s/%s missing", experiment, variant)
+		return 0
+	}
+	if get("arp-spoofing (§5.1)", "spoof on") >= get("arp-spoofing (§5.1)", "spoof off") {
+		t.Fatal("spoofing did not help")
+	}
+	if get("re-balancing (§3.4)", "enabled") >= get("re-balancing (§3.4)", "disabled") {
+		t.Fatal("balancing did not reduce skew")
+	}
+	if get("maturity bootstrap (§3.4)", "enabled") >= get("maturity bootstrap (§3.4)", "disabled") {
+		t.Fatal("maturity bootstrap did not reduce churn")
+	}
+	out := RenderAblations(rows)
+	if !strings.Contains(out, "duplicate coverage") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestRouterTrialNaiveSlowerSameSeed(t *testing.T) {
+	cfg := gcs.TunedConfig()
+	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
+	naive, err := RouterTrial(9, RouterModeNaive, cfg, ripCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := RouterTrial(9, RouterModeAdvertiseAll, cfg, ripCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive < all {
+		t.Fatalf("naive %v faster than advertise-all %v", naive, all)
+	}
+}
+
+func TestLoadSensitivityShape(t *testing.T) {
+	quiet, quietGap, err := LoadTrial(11, 0, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quiet != 0 {
+		t.Fatalf("unloaded cluster had %d false reconfigurations", quiet)
+	}
+	if quietGap > 100*time.Millisecond {
+		t.Fatalf("unloaded max gap %v", quietGap)
+	}
+	loaded, _, err := LoadTrial(11, 600*time.Millisecond, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded == 0 {
+		t.Fatal("heavy jitter produced no false reconfigurations")
+	}
+}

@@ -1,0 +1,148 @@
+// Package fake implements the Linux Fake project's fail-over scheme, a
+// baseline discussed in the paper's related work (§7): a backup server
+// regularly probes the availability of the main server's service and, upon
+// detecting failure, instantiates the virtual IP interface and sends a
+// gratuitous ARP to accelerate the transition. Unlike Wackamole, the scheme
+// is pairwise (one designated backup per main) and probes at the
+// application level.
+package fake
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"wackamole/internal/env"
+	"wackamole/internal/netsim"
+)
+
+// DefaultProbeInterval between service probes.
+const DefaultProbeInterval = time.Second
+
+// DefaultFailThreshold is how many consecutive missed probes declare the
+// main server dead.
+const DefaultFailThreshold = 3
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Target is the probed service (the virtual address and port served by
+	// the main server).
+	Target netip.AddrPort
+	// VIP is the address to take over; usually Target's address.
+	VIP netip.Addr
+	// LocalPort for probe traffic.
+	LocalPort uint16
+	// ProbeInterval between probes; zero means 1s.
+	ProbeInterval time.Duration
+	// FailThreshold of consecutive missed probes; zero means 3.
+	FailThreshold int
+}
+
+func (c Config) interval() time.Duration {
+	if c.ProbeInterval <= 0 {
+		return DefaultProbeInterval
+	}
+	return c.ProbeInterval
+}
+
+func (c Config) threshold() int {
+	if c.FailThreshold <= 0 {
+		return DefaultFailThreshold
+	}
+	return c.FailThreshold
+}
+
+// Monitor runs on the backup server, probing the main service and taking
+// the virtual address over when it stops answering.
+type Monitor struct {
+	host *netsim.Host
+	nic  *netsim.NIC
+	cfg  Config
+
+	sock      *netsim.Socket
+	timer     env.Timer
+	running   bool
+	misses    int
+	answered  bool
+	tookOver  bool
+	TakenOver func() // optional observer
+}
+
+// New builds a Monitor on the backup host.
+func New(host *netsim.Host, nic *netsim.NIC, cfg Config) (*Monitor, error) {
+	if !cfg.Target.IsValid() || !cfg.VIP.IsValid() {
+		return nil, fmt.Errorf("fake: target and vip are required")
+	}
+	m := &Monitor{host: host, nic: nic, cfg: cfg}
+	sock, err := host.BindUDP(netip.Addr{}, cfg.LocalPort, func(_, _ netip.AddrPort, _ []byte) {
+		m.answered = true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fake: %w", err)
+	}
+	m.sock = sock
+	return m, nil
+}
+
+// Start begins probing.
+func (m *Monitor) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	var tick func()
+	tick = func() {
+		if !m.running || m.tookOver {
+			return
+		}
+		if m.answered {
+			m.misses = 0
+		} else {
+			m.misses++
+			if m.misses >= m.cfg.threshold() {
+				m.takeover()
+				return
+			}
+		}
+		m.answered = false
+		m.probe()
+		m.timer = m.host.AfterFunc(m.cfg.interval(), tick)
+	}
+	m.answered = false
+	m.probe()
+	m.timer = m.host.AfterFunc(m.cfg.interval(), tick)
+}
+
+// Stop halts probing.
+func (m *Monitor) Stop() {
+	m.running = false
+	if m.timer != nil {
+		m.timer.Stop()
+	}
+	m.sock.Close()
+}
+
+// TookOver reports whether the monitor has taken the address over.
+func (m *Monitor) TookOver() bool { return m.tookOver }
+
+func (m *Monitor) probe() {
+	src := netip.AddrPortFrom(netip.Addr{}, m.cfg.LocalPort)
+	if err := m.host.SendUDP(src, m.cfg.Target, []byte("fake-probe")); err != nil {
+		_ = err // probing a dead address; counted as a miss
+	}
+}
+
+func (m *Monitor) takeover() {
+	m.tookOver = true
+	if !m.nic.HasAddr(m.cfg.VIP) {
+		if err := m.nic.AddAddr(m.cfg.VIP); err != nil {
+			_ = err
+		}
+	}
+	if err := m.host.SendGratuitousARP(m.nic, m.cfg.VIP); err != nil {
+		_ = err
+	}
+	if m.TakenOver != nil {
+		m.TakenOver()
+	}
+}

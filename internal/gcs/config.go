@@ -1,0 +1,109 @@
+// Package gcs implements the group-communication substrate Wackamole
+// depends on (the paper uses the Spread toolkit, §4.1): a daemon per host
+// providing reliable, totally ordered ("Agreed") multicast over a token
+// ring, a membership service with distributed heartbeats, fault-detection
+// and discovery timeouts, Virtual Synchrony recovery across membership
+// changes, and a client-facing process-group layer with lightweight group
+// join/leave that does not trigger daemon-level reconfiguration.
+//
+// The three timeouts of the paper's Table 1 — fault-detection, distributed
+// heartbeat, and discovery — are the dominant terms of fail-over latency and
+// are exposed directly on Config; DefaultConfig and TunedConfig reproduce
+// the two columns of that table.
+package gcs
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config holds the daemon's protocol timing parameters.
+type Config struct {
+	// FaultDetectTimeout is how long a ring member may stay silent before
+	// the daemon assumes a fault and starts reconfiguration (Table 1:
+	// "Fault-detection timeout").
+	FaultDetectTimeout time.Duration
+	// HeartbeatInterval is how often a daemon tells the others it is still
+	// in operation (Table 1: "Distributed Heartbeat timeout").
+	HeartbeatInterval time.Duration
+	// DiscoveryTimeout is how long reconfiguration spends determining the
+	// currently reachable set of daemons before forming a new membership
+	// (Table 1: "Discovery timeout").
+	DiscoveryTimeout time.Duration
+
+	// FormTimeout bounds the wait for the coordinator's FORM message after
+	// discovery closes. Zero means DiscoveryTimeout/2.
+	FormTimeout time.Duration
+	// RecoveryTimeout bounds the Virtual Synchrony flush after a new
+	// membership forms. Zero means DiscoveryTimeout/2.
+	RecoveryTimeout time.Duration
+	// TokenInterval paces token forwarding, bounding the ring's rotation
+	// rate. Zero means 1ms.
+	TokenInterval time.Duration
+	// TokenLossTimeout is how long the ring may show no token or data
+	// activity before the daemon reconfigures. Zero means
+	// FaultDetectTimeout.
+	TokenLossTimeout time.Duration
+	// Window is the maximum number of messages a daemon may introduce per
+	// token visit. Zero means 64.
+	Window int
+}
+
+// DefaultConfig returns the "Default Spread" column of the paper's Table 1:
+// timeouts designed to perform adequately on most networks.
+func DefaultConfig() Config {
+	return Config{
+		FaultDetectTimeout: 5 * time.Second,
+		HeartbeatInterval:  2 * time.Second,
+		DiscoveryTimeout:   7 * time.Second,
+	}
+}
+
+// TunedConfig returns the "Tuned Spread" column of the paper's Table 1:
+// timeouts adjusted specifically for the Wackamole application on a
+// dedicated LAN.
+func TunedConfig() Config {
+	return Config{
+		FaultDetectTimeout: 1 * time.Second,
+		HeartbeatInterval:  400 * time.Millisecond,
+		DiscoveryTimeout:   1400 * time.Millisecond,
+	}
+}
+
+// withDefaults fills the derived fields.
+func (c Config) withDefaults() Config {
+	if c.FormTimeout <= 0 {
+		c.FormTimeout = c.DiscoveryTimeout / 2
+	}
+	if c.RecoveryTimeout <= 0 {
+		c.RecoveryTimeout = c.DiscoveryTimeout / 2
+	}
+	if c.TokenInterval <= 0 {
+		c.TokenInterval = time.Millisecond
+	}
+	if c.TokenLossTimeout <= 0 {
+		c.TokenLossTimeout = c.FaultDetectTimeout
+	}
+	if c.Window <= 0 {
+		c.Window = 64
+	}
+	return c
+}
+
+// Validate reports configurations that cannot work.
+func (c Config) Validate() error {
+	if c.FaultDetectTimeout <= 0 || c.HeartbeatInterval <= 0 || c.DiscoveryTimeout <= 0 {
+		return fmt.Errorf("gcs: all Table-1 timeouts must be positive (got fault=%v heartbeat=%v discovery=%v)",
+			c.FaultDetectTimeout, c.HeartbeatInterval, c.DiscoveryTimeout)
+	}
+	if c.HeartbeatInterval >= c.FaultDetectTimeout {
+		return fmt.Errorf("gcs: heartbeat interval %v must be below fault-detection timeout %v",
+			c.HeartbeatInterval, c.FaultDetectTimeout)
+	}
+	return nil
+}
+
+// joinInterval is how often JOIN announcements repeat during discovery.
+func (c Config) joinInterval() time.Duration {
+	return c.DiscoveryTimeout / 5
+}

@@ -1,0 +1,988 @@
+package gcs
+
+import (
+	"fmt"
+	"time"
+
+	"wackamole/internal/env"
+	"wackamole/internal/wire"
+)
+
+// daemonState is the daemon's membership-protocol state.
+type daemonState uint8
+
+const (
+	// stGather: discovering the currently reachable daemons.
+	stGather daemonState = iota + 1
+	// stCommitWait: discovery closed, waiting for the coordinator's FORM.
+	stCommitWait
+	// stRecover: new membership formed, flushing old-ring messages to
+	// preserve Virtual Synchrony.
+	stRecover
+	// stOperational: on an installed ring, token circulating.
+	stOperational
+)
+
+// String names the state for logs and tests.
+func (s daemonState) String() string {
+	switch s {
+	case stGather:
+		return "gather"
+	case stCommitWait:
+		return "commit-wait"
+	case stRecover:
+		return "recover"
+	case stOperational:
+		return "operational"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// MembershipHandler observes daemon-level membership installations. The
+// paper's Table 1 timings are measured at exactly this point: the moment the
+// daemon installs a new configuration after fault detection and discovery.
+type MembershipHandler func(ring RingID, members []DaemonID)
+
+// Daemon is one group-communication daemon. It must be driven entirely from
+// its Env's callback loop; none of its methods are safe for concurrent use
+// from other goroutines.
+type Daemon struct {
+	env env.Env
+	cfg Config
+	id  DaemonID
+
+	state  daemonState
+	closed bool
+
+	round          uint64 // membership-attempt counter, monotone
+	installedRound uint64 // round of the currently installed ring
+	maxEpoch       uint64 // highest ring epoch ever observed
+
+	// Installed ring and its message stream.
+	ring             ringInfo
+	store            map[uint64]*dataMsg
+	highSeq          uint64
+	deliveredSeq     uint64
+	sendQueue        []*dataMsg
+	lastTokenSeq     uint64
+	lastRingActivity time.Time
+
+	heartbeatTimer env.Timer
+	faultTimers    map[DaemonID]env.Timer
+	tokenWatchdog  env.Timer
+	pendingToken   env.Timer
+
+	// Ring state captured when leaving the operational state, used by the
+	// Virtual Synchrony flush during recovery.
+	old oldRing
+
+	// Gather state.
+	gathered       map[DaemonID]bool
+	gatherDeadline env.Timer
+	joinTicker     env.Timer
+	formDeadline   env.Timer
+
+	rec *recovery
+	// earlyRec buffers recovery messages that race ahead of their FORM:
+	// the coordinator broadcasts FORM and its RECOVER_STATE in the same
+	// instant, and per-receiver latency can reorder them. Replayed on
+	// enterRecovery, discarded on install or re-gather.
+	earlyRec []func(*Daemon)
+
+	groups       *groupLayer
+	onMembership MembershipHandler
+	stats        Stats
+}
+
+// Stats counts protocol activity since the daemon started; useful for the
+// administrative channel and for tests asserting behaviour (for example,
+// that a graceful client leave causes no reconfiguration).
+type Stats struct {
+	// MembershipsInstalled counts daemon-level configuration installs.
+	MembershipsInstalled uint64
+	// Reconfigurations counts entries into the discovery (gather) state.
+	Reconfigurations uint64
+	// TokensForwarded counts token passes to the successor.
+	TokensForwarded uint64
+	// DataSent counts first transmissions of totally ordered messages.
+	DataSent uint64
+	// DataRetransmitted counts retransmissions due to token requests.
+	DataRetransmitted uint64
+	// DataDelivered counts messages handed to the group layer in order.
+	DataDelivered uint64
+	// RecoveryFlushes counts old-ring messages delivered during Virtual
+	// Synchrony recovery.
+	RecoveryFlushes uint64
+}
+
+// maxEarlyRec bounds the early-recovery buffer; anything beyond this is
+// protocol noise and the periodic resends recover it.
+const maxEarlyRec = 256
+
+func (d *Daemon) stashEarly(f func(*Daemon)) {
+	if len(d.earlyRec) < maxEarlyRec {
+		d.earlyRec = append(d.earlyRec, f)
+	}
+}
+
+type ringInfo struct {
+	id      RingID
+	members []DaemonID // sorted
+	selfIdx int
+}
+
+func (r ringInfo) contains(id DaemonID) bool {
+	for _, m := range r.members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (r ringInfo) successor(self DaemonID) DaemonID {
+	for i, m := range r.members {
+		if m == self {
+			return r.members[(i+1)%len(r.members)]
+		}
+	}
+	return self
+}
+
+type oldRing struct {
+	ring         ringInfo
+	store        map[uint64]*dataMsg
+	highSeq      uint64
+	deliveredSeq uint64
+}
+
+type recovery struct {
+	form     formMsg
+	mine     recoverStateMsg // snapshot broadcast at recovery entry
+	states   map[DaemonID]recoverStateMsg
+	done     map[DaemonID]bool
+	selfDone bool
+	sent     map[uint64]bool // old-ring seqs already rebroadcast by us
+	timer    env.Timer
+	retry    env.Timer
+}
+
+// NewDaemon creates a daemon on e. Its identity is the endpoint's stationary
+// address. Call Start to begin operation.
+func NewDaemon(e env.Env, cfg Config) (*Daemon, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if e.Log == nil {
+		e.Log = env.NopLogger{}
+	}
+	d := &Daemon{
+		env:         e,
+		cfg:         cfg.withDefaults(),
+		id:          DaemonID(e.Conn.LocalAddr()),
+		faultTimers: map[DaemonID]env.Timer{},
+	}
+	d.groups = newGroupLayer(d)
+	return d, nil
+}
+
+// ID returns the daemon's identity (its stationary address).
+func (d *Daemon) ID() DaemonID { return d.id }
+
+// Start attaches the packet handler and begins the bootstrap discovery.
+func (d *Daemon) Start() {
+	d.env.Conn.SetHandler(d.onPacket)
+	d.enterGather("boot", 0)
+}
+
+// Leave announces a graceful departure to the current ring and stops the
+// daemon. Peers reconfigure as soon as the announcement arrives — skipping
+// the fault-detection timeout entirely — so an administrative daemon
+// shutdown costs only the discovery round, not detection + discovery.
+func (d *Daemon) Leave() {
+	if d.closed {
+		return
+	}
+	if d.state == stOperational && len(d.ring.members) > 1 {
+		d.broadcast(leaveMsg{Ring: d.ring.id, Sender: d.id}.encode())
+	}
+	d.Stop()
+}
+
+// onLeave handles a peer's graceful departure announcement.
+func (d *Daemon) onLeave(m leaveMsg) {
+	if d.state != stOperational || m.Sender == d.id {
+		return
+	}
+	if m.Ring != d.ring.id || !d.ring.contains(m.Sender) {
+		return
+	}
+	d.env.Log.Logf("gcs %s: member %s left gracefully", d.id, m.Sender)
+	d.enterGather("leave:"+string(m.Sender), 0)
+}
+
+// Stop ceases all protocol activity and closes the endpoint.
+func (d *Daemon) Stop() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	d.cancelProtocolTimers()
+	d.groups.stopAll()
+	if err := d.env.Conn.Close(); err != nil {
+		d.env.Log.Logf("gcs %s: close endpoint: %v", d.id, err)
+	}
+}
+
+// SetMembershipHandler registers cb to run at every daemon-level membership
+// installation.
+func (d *Daemon) SetMembershipHandler(cb MembershipHandler) { d.onMembership = cb }
+
+// State returns the daemon's protocol state name (for tests and tooling).
+func (d *Daemon) State() string { return d.state.String() }
+
+// Stats returns a copy of the daemon's activity counters.
+func (d *Daemon) Stats() Stats { return d.stats }
+
+// Ring returns the installed ring id and ordered members; ok is false before
+// the first installation.
+func (d *Daemon) Ring() (RingID, []DaemonID, bool) {
+	if d.ring.id.IsZero() {
+		return RingID{}, nil, false
+	}
+	members := make([]DaemonID, len(d.ring.members))
+	copy(members, d.ring.members)
+	return d.ring.id, members, true
+}
+
+func stopTimer(t env.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (d *Daemon) cancelProtocolTimers() {
+	stopTimer(d.heartbeatTimer)
+	d.heartbeatTimer = nil
+	for id, t := range d.faultTimers {
+		stopTimer(t)
+		delete(d.faultTimers, id)
+	}
+	stopTimer(d.tokenWatchdog)
+	d.tokenWatchdog = nil
+	stopTimer(d.pendingToken)
+	d.pendingToken = nil
+	stopTimer(d.gatherDeadline)
+	d.gatherDeadline = nil
+	stopTimer(d.joinTicker)
+	d.joinTicker = nil
+	stopTimer(d.formDeadline)
+	d.formDeadline = nil
+	if d.rec != nil {
+		stopTimer(d.rec.timer)
+		stopTimer(d.rec.retry)
+		d.rec = nil
+	}
+}
+
+func (d *Daemon) broadcast(payload []byte) {
+	if err := d.env.Conn.Broadcast(payload); err != nil {
+		d.env.Log.Logf("gcs %s: broadcast: %v", d.id, err)
+	}
+}
+
+func (d *Daemon) sendTo(id DaemonID, payload []byte) {
+	if err := d.env.Conn.SendTo(addrOf(id), payload); err != nil {
+		d.env.Log.Logf("gcs %s: send to %s: %v", d.id, id, err)
+	}
+}
+
+// onPacket decodes and dispatches one inbound datagram. Undecodable traffic
+// is logged and dropped; a daemon must survive any bytes thrown at it.
+func (d *Daemon) onPacket(from env.Addr, payload []byte) {
+	if d.closed {
+		return
+	}
+	r := wire.NewReader(payload)
+	t, err := readHeader(r)
+	if err != nil {
+		d.env.Log.Logf("gcs %s: drop packet from %s: %v", d.id, from, err)
+		return
+	}
+	switch t {
+	case mtAlive:
+		m, err := decodeAlive(r)
+		if err == nil {
+			d.onAlive(m)
+		}
+	case mtJoin:
+		m, err := decodeJoin(r)
+		if err == nil {
+			d.onJoin(m)
+		}
+	case mtForm:
+		m, err := decodeForm(r)
+		if err == nil {
+			d.onForm(m)
+		}
+	case mtToken:
+		m, err := decodeToken(r)
+		if err == nil {
+			d.onToken(m)
+		}
+	case mtData:
+		m, err := decodeData(r)
+		if err == nil {
+			d.onData(&m)
+		}
+	case mtRecoverState:
+		m, err := decodeRecoverState(r)
+		if err == nil {
+			d.onRecoverState(m)
+		}
+	case mtRecoverData:
+		m, err := decodeRecoverData(r)
+		if err == nil {
+			d.onRecoverData(m)
+		}
+	case mtRecoverDone:
+		m, err := decodeRecoverDone(r)
+		if err == nil {
+			d.onRecoverDone(m)
+		}
+	case mtLeave:
+		m, err := decodeLeave(r)
+		if err == nil {
+			d.onLeave(m)
+		}
+	default:
+		d.env.Log.Logf("gcs %s: drop packet from %s: unknown type %d", d.id, from, t)
+	}
+}
+
+// ---- Heartbeats and fault detection -------------------------------------
+
+func (d *Daemon) startHeartbeats() {
+	var tick func()
+	tick = func() {
+		if d.closed || d.state != stOperational {
+			return
+		}
+		d.broadcast(aliveMsg{Ring: d.ring.id, Sender: d.id}.encode())
+		d.heartbeatTimer = d.env.Clock.AfterFunc(d.cfg.HeartbeatInterval, tick)
+	}
+	// First heartbeat goes out immediately so peers arm their detectors
+	// from installation time.
+	tick()
+	for _, m := range d.ring.members {
+		if m == d.id {
+			continue
+		}
+		d.armFaultTimer(m)
+	}
+}
+
+func (d *Daemon) armFaultTimer(m DaemonID) {
+	stopTimer(d.faultTimers[m])
+	d.faultTimers[m] = d.env.Clock.AfterFunc(d.cfg.FaultDetectTimeout, func() {
+		if d.closed || d.state != stOperational {
+			return
+		}
+		d.env.Log.Logf("gcs %s: member %s silent beyond fault-detection timeout", d.id, m)
+		d.enterGather("fault:"+string(m), 0)
+	})
+}
+
+func (d *Daemon) onAlive(m aliveMsg) {
+	if d.state != stOperational || m.Sender == d.id {
+		return
+	}
+	if m.Ring == d.ring.id && d.ring.contains(m.Sender) {
+		d.armFaultTimer(m.Sender)
+		return
+	}
+	if !d.ring.contains(m.Sender) {
+		// A daemon outside our membership is alive: a merge (or a booted
+		// daemon) requires full reconfiguration.
+		d.env.Log.Logf("gcs %s: foreign daemon %s detected, reconfiguring", d.id, m.Sender)
+		d.enterGather("foreign:"+string(m.Sender), 0)
+	}
+}
+
+// ---- Gather (discovery) ---------------------------------------------------
+
+func (d *Daemon) enterGather(reason string, minRound uint64) {
+	if d.closed {
+		return
+	}
+	if d.state == stOperational {
+		// Capture the installed ring for the Virtual Synchrony flush.
+		d.old = oldRing{
+			ring:         d.ring,
+			store:        d.store,
+			highSeq:      d.highSeq,
+			deliveredSeq: d.deliveredSeq,
+		}
+	}
+	d.cancelProtocolTimers()
+	d.earlyRec = nil
+	d.stats.Reconfigurations++
+	d.state = stGather
+	if minRound > d.round {
+		d.round = minRound
+	} else {
+		d.round++
+	}
+	d.gathered = map[DaemonID]bool{d.id: true}
+	d.env.Log.Logf("gcs %s: gather round %d (%s)", d.id, d.round, reason)
+	d.sendJoin()
+	var tick func()
+	tick = func() {
+		if d.closed || d.state != stGather {
+			return
+		}
+		d.sendJoin()
+		d.joinTicker = d.env.Clock.AfterFunc(d.cfg.joinInterval(), tick)
+	}
+	d.joinTicker = d.env.Clock.AfterFunc(d.cfg.joinInterval(), tick)
+	d.resetGatherDeadline()
+}
+
+func (d *Daemon) resetGatherDeadline() {
+	stopTimer(d.gatherDeadline)
+	d.gatherDeadline = d.env.Clock.AfterFunc(d.cfg.DiscoveryTimeout, d.closeGather)
+}
+
+func (d *Daemon) sendJoin() {
+	seen := make([]DaemonID, 0, len(d.gathered))
+	for id := range d.gathered {
+		seen = append(seen, id)
+	}
+	sortIDs(seen)
+	d.broadcast(joinMsg{Sender: d.id, Round: d.round, Seen: seen}.encode())
+}
+
+func (d *Daemon) mergeGathered(m joinMsg) {
+	d.gathered[m.Sender] = true
+	for _, id := range m.Seen {
+		d.gathered[id] = true
+	}
+}
+
+func (d *Daemon) onJoin(m joinMsg) {
+	switch d.state {
+	case stOperational:
+		if d.ring.contains(m.Sender) && m.Round <= d.installedRound {
+			return // stale echo of the gather that formed this ring
+		}
+		d.enterGather("join:"+string(m.Sender), m.Round)
+		d.mergeGathered(m)
+	case stGather:
+		switch {
+		case m.Round > d.round:
+			d.round = m.Round
+			d.mergeGathered(m)
+			d.resetGatherDeadline()
+		case m.Round == d.round:
+			d.mergeGathered(m)
+		default:
+			// Help a laggard catch up with the current round.
+			if m.Sender != d.id {
+				seen := make([]DaemonID, 0, len(d.gathered))
+				for id := range d.gathered {
+					seen = append(seen, id)
+				}
+				sortIDs(seen)
+				d.sendTo(m.Sender, joinMsg{Sender: d.id, Round: d.round, Seen: seen}.encode())
+			}
+		}
+	case stCommitWait:
+		switch {
+		case m.Round > d.round:
+			d.enterGather("join:"+string(m.Sender), m.Round)
+			d.mergeGathered(m)
+		case m.Round == d.round && !d.gathered[m.Sender]:
+			// A reachable daemon we missed during discovery: re-gather so
+			// the configuration converges in one attempt instead of two.
+			d.enterGather("late-join:"+string(m.Sender), 0)
+			d.mergeGathered(m)
+		}
+	case stRecover:
+		if m.Round > d.round {
+			d.enterGather("join:"+string(m.Sender), m.Round)
+			d.mergeGathered(m)
+		}
+	}
+}
+
+func (d *Daemon) closeGather() {
+	if d.closed || d.state != stGather {
+		return
+	}
+	stopTimer(d.joinTicker)
+	d.joinTicker = nil
+	members := make([]DaemonID, 0, len(d.gathered))
+	for id := range d.gathered {
+		members = append(members, id)
+	}
+	sortIDs(members)
+	d.state = stCommitWait
+	if members[0] == d.id {
+		d.maxEpoch++
+		form := formMsg{
+			Round:   d.round,
+			Ring:    RingID{Coord: d.id, Epoch: d.maxEpoch},
+			Members: members,
+		}
+		d.env.Log.Logf("gcs %s: forming ring %s with %d members", d.id, form.Ring, len(members))
+		d.broadcast(form.encode())
+		d.onForm(form)
+		return
+	}
+	d.formDeadline = d.env.Clock.AfterFunc(d.cfg.FormTimeout, func() {
+		if d.closed || d.state != stCommitWait {
+			return
+		}
+		d.env.Log.Logf("gcs %s: no FORM from coordinator, re-gathering", d.id)
+		d.enterGather("form-timeout", 0)
+	})
+}
+
+func (d *Daemon) onForm(m formMsg) {
+	if d.closed {
+		return
+	}
+	if d.rec != nil && d.rec.form.Ring == m.Ring {
+		return // duplicate of the FORM we are already recovering under
+	}
+	selfIn := false
+	for _, id := range m.Members {
+		if id == d.id {
+			selfIn = true
+			break
+		}
+	}
+	if !selfIn {
+		return // a configuration that excludes us; our own gather continues
+	}
+	switch d.state {
+	case stGather, stCommitWait:
+		if m.Round < d.round {
+			return
+		}
+	case stRecover:
+		if m.Round <= d.rec.form.Round {
+			return
+		}
+	case stOperational:
+		if m.Round <= d.installedRound {
+			return
+		}
+		// Someone formed a newer configuration that includes us while we
+		// believed we were operational: fall back to discovery so the flush
+		// state stays coherent.
+		d.enterGather("stale-operational", m.Round)
+		return
+	}
+	d.round = m.Round
+	if m.Ring.Epoch > d.maxEpoch {
+		d.maxEpoch = m.Ring.Epoch
+	}
+	stopTimer(d.gatherDeadline)
+	d.gatherDeadline = nil
+	stopTimer(d.joinTicker)
+	d.joinTicker = nil
+	stopTimer(d.formDeadline)
+	d.formDeadline = nil
+	d.enterRecovery(m)
+}
+
+// ---- Recovery (Virtual Synchrony flush) ----------------------------------
+
+func (d *Daemon) enterRecovery(form formMsg) {
+	if d.rec != nil {
+		stopTimer(d.rec.timer)
+		stopTimer(d.rec.retry)
+	}
+	d.state = stRecover
+	rec := &recovery{
+		form:   form,
+		states: map[DaemonID]recoverStateMsg{},
+		done:   map[DaemonID]bool{},
+		sent:   map[uint64]bool{},
+	}
+	d.rec = rec
+	rec.timer = d.env.Clock.AfterFunc(d.cfg.RecoveryTimeout, func() {
+		if d.closed || d.state != stRecover {
+			return
+		}
+		d.env.Log.Logf("gcs %s: recovery for ring %s stalled, re-gathering", d.id, form.Ring)
+		d.enterGather("recovery-timeout", 0)
+	})
+	rec.mine = recoverStateMsg{
+		Ring:    form.Ring,
+		Sender:  d.id,
+		OldRing: d.old.ring.id,
+		OldHigh: d.old.highSeq,
+		Missing: d.oldMissing(),
+	}
+	// Recovery messages race with the FORM broadcast and with each other;
+	// periodic resends make the exchange robust to reordering and loss
+	// without changing its outcome (receivers are idempotent and the state
+	// snapshot is immutable).
+	var resend func()
+	resend = func() {
+		if d.closed || d.state != stRecover || d.rec != rec {
+			return
+		}
+		if form.Members[0] == d.id {
+			d.broadcast(form.encode())
+		}
+		d.broadcast(rec.mine.encode())
+		if rec.selfDone {
+			d.broadcast(recoverDoneMsg{Ring: form.Ring, Sender: d.id}.encode())
+		}
+		rec.retry = d.env.Clock.AfterFunc(d.cfg.RecoveryTimeout/4, resend)
+	}
+	rec.retry = d.env.Clock.AfterFunc(d.cfg.RecoveryTimeout/4, resend)
+	d.broadcast(rec.mine.encode())
+	d.onRecoverState(rec.mine)
+	replay := d.earlyRec
+	d.earlyRec = nil
+	for _, f := range replay {
+		if d.rec != rec {
+			return // a replayed message changed our state; stop
+		}
+		f(d)
+	}
+}
+
+// oldMissing lists the old-ring sequence numbers this daemon never received.
+func (d *Daemon) oldMissing() []uint64 {
+	if d.old.ring.id.IsZero() {
+		return nil
+	}
+	var missing []uint64
+	for s := uint64(1); s <= d.old.highSeq; s++ {
+		if _, ok := d.old.store[s]; !ok {
+			missing = append(missing, s)
+		}
+	}
+	return missing
+}
+
+func (d *Daemon) onRecoverState(m recoverStateMsg) {
+	if d.rec == nil || m.Ring != d.rec.form.Ring {
+		if d.state == stGather || d.state == stCommitWait {
+			d.stashEarly(func(d *Daemon) { d.onRecoverState(m) })
+		}
+		return
+	}
+	d.rec.states[m.Sender] = m
+	d.checkRecovery()
+}
+
+func (d *Daemon) onRecoverData(m recoverDataMsg) {
+	if d.rec == nil || m.Ring != d.rec.form.Ring {
+		if d.state == stGather || d.state == stCommitWait {
+			d.stashEarly(func(d *Daemon) { d.onRecoverData(m) })
+		}
+		return
+	}
+	if d.old.ring.id.IsZero() || m.OldRing != d.old.ring.id {
+		return
+	}
+	if _, ok := d.old.store[m.Msg.Seq]; !ok {
+		msg := m.Msg
+		d.old.store[msg.Seq] = &msg
+	}
+	d.checkRecovery()
+}
+
+func (d *Daemon) onRecoverDone(m recoverDoneMsg) {
+	if d.rec == nil || m.Ring != d.rec.form.Ring {
+		if d.state == stGather || d.state == stCommitWait {
+			d.stashEarly(func(d *Daemon) { d.onRecoverDone(m) })
+		}
+		return
+	}
+	d.rec.done[m.Sender] = true
+	d.checkRecovery()
+}
+
+func (d *Daemon) checkRecovery() {
+	rec := d.rec
+	if rec == nil {
+		return
+	}
+	if len(rec.states) < len(rec.form.Members) {
+		return
+	}
+	if !rec.selfDone {
+		if !d.flushOldRing() {
+			return // still waiting for retransmissions
+		}
+		rec.selfDone = true
+		done := recoverDoneMsg{Ring: rec.form.Ring, Sender: d.id}
+		d.broadcast(done.encode())
+		d.onRecoverDone(done)
+		// onRecoverDone re-enters checkRecovery; avoid double work.
+		return
+	}
+	for _, m := range rec.form.Members {
+		if !rec.done[m] {
+			return
+		}
+	}
+	d.install(rec.form)
+}
+
+// flushOldRing implements the Virtual Synchrony guarantee: all members of
+// the old ring that advance together into the new ring first deliver an
+// identical set of old-ring messages, in sequence order. It reports whether
+// the flush is complete; if retransmissions are still needed it sends the
+// ones this daemon is responsible for and returns false.
+func (d *Daemon) flushOldRing() bool {
+	rec := d.rec
+	if d.old.ring.id.IsZero() {
+		return true // fresh daemon: nothing to flush
+	}
+	// The cohort: new-ring members that came from the same old ring.
+	var cohort []DaemonID
+	target := uint64(0)
+	for _, m := range rec.form.Members {
+		st, ok := rec.states[m]
+		if !ok || st.OldRing != d.old.ring.id {
+			continue
+		}
+		cohort = append(cohort, m)
+		if st.OldHigh > target {
+			target = st.OldHigh
+		}
+	}
+	sortIDs(cohort)
+	lacks := func(m DaemonID, s uint64) bool {
+		st := rec.states[m]
+		if s > st.OldHigh {
+			return true
+		}
+		for _, ms := range st.Missing {
+			if ms == s {
+				return true
+			}
+		}
+		return false
+	}
+	complete := true
+	for s := uint64(1); s <= target; s++ {
+		_, have := d.old.store[s]
+		available := have
+		var firstHolder DaemonID
+		anyLacks := false
+		for _, m := range cohort {
+			if !lacks(m, s) {
+				if firstHolder == "" {
+					firstHolder = m
+				}
+				available = true
+			} else {
+				anyLacks = true
+			}
+		}
+		// Note: "available" from states reflects reception before recovery
+		// started; a message nobody in the cohort holds was never delivered
+		// by anyone (Agreed delivery is contiguous) and is skipped by all.
+		if !available {
+			continue
+		}
+		if !have {
+			complete = false
+			continue
+		}
+		if anyLacks && firstHolder == d.id && !rec.sent[s] {
+			rec.sent[s] = true
+			d.broadcast(recoverDataMsg{Ring: rec.form.Ring, OldRing: d.old.ring.id, Msg: *d.old.store[s]}.encode())
+		}
+	}
+	if !complete {
+		return false
+	}
+	// Deliver every available undelivered old-ring message in sequence
+	// order. All cohort members compute the same set, preserving Virtual
+	// Synchrony.
+	for s := d.old.deliveredSeq + 1; s <= target; s++ {
+		if msg, ok := d.old.store[s]; ok {
+			d.old.deliveredSeq = s
+			d.stats.RecoveryFlushes++
+			d.groups.deliverData(msg)
+		}
+	}
+	return true
+}
+
+func (d *Daemon) install(form formMsg) {
+	stopTimer(d.rec.timer)
+	stopTimer(d.rec.retry)
+	d.rec = nil
+	d.earlyRec = nil
+	selfIdx := 0
+	for i, m := range form.Members {
+		if m == d.id {
+			selfIdx = i
+		}
+	}
+	d.ring = ringInfo{id: form.Ring, members: form.Members, selfIdx: selfIdx}
+	d.installedRound = form.Round
+	d.round = form.Round
+	d.store = map[uint64]*dataMsg{}
+	d.highSeq = 0
+	d.deliveredSeq = 0
+	d.lastTokenSeq = 0
+	d.old = oldRing{}
+	d.state = stOperational
+	d.lastRingActivity = d.env.Clock.Now()
+	d.stats.MembershipsInstalled++
+	d.env.Log.Logf("gcs %s: installed ring %s members=%v", d.id, form.Ring, form.Members)
+
+	d.startHeartbeats()
+	d.startTokenWatchdog()
+	d.groups.onInstall()
+	if selfIdx == 0 {
+		// The coordinator injects the first token.
+		d.onToken(tokenMsg{Ring: d.ring.id, TokenSeq: 1, Seq: 0})
+	}
+	if d.onMembership != nil {
+		members := make([]DaemonID, len(form.Members))
+		copy(members, form.Members)
+		d.onMembership(form.Ring, members)
+	}
+}
+
+// ---- Operational ring: token and data ------------------------------------
+
+func (d *Daemon) startTokenWatchdog() {
+	interval := d.cfg.TokenLossTimeout / 2
+	var tick func()
+	tick = func() {
+		if d.closed || d.state != stOperational {
+			return
+		}
+		if d.env.Clock.Now().Sub(d.lastRingActivity) > d.cfg.TokenLossTimeout {
+			d.env.Log.Logf("gcs %s: token lost on ring %s", d.id, d.ring.id)
+			d.enterGather("token-loss", 0)
+			return
+		}
+		d.tokenWatchdog = d.env.Clock.AfterFunc(interval, tick)
+	}
+	d.tokenWatchdog = d.env.Clock.AfterFunc(interval, tick)
+}
+
+// sendData queues a group-layer message for total ordering. The message is
+// assigned a sequence number when the token next visits this daemon; queued
+// messages survive membership changes and are sent in whatever ring is
+// operational when the token arrives.
+func (d *Daemon) sendData(kind dataKind, payload []byte) {
+	d.sendQueue = append(d.sendQueue, &dataMsg{Origin: d.id, Kind: kind, Payload: payload})
+}
+
+const maxRtrPerToken = 128
+
+// maxSendQueue bounds the unsent-message backlog; Session.Multicast returns
+// ErrBackpressure beyond it. Control messages (joins, leaves, groups-state)
+// bypass the bound — they are few and losing them would wedge membership.
+const maxSendQueue = 4096
+
+func (d *Daemon) onToken(tok tokenMsg) {
+	if d.closed || d.state != stOperational || tok.Ring != d.ring.id {
+		return
+	}
+	if tok.TokenSeq <= d.lastTokenSeq {
+		return // stale or duplicate token
+	}
+	d.lastTokenSeq = tok.TokenSeq
+	d.lastRingActivity = d.env.Clock.Now()
+
+	// Serve retransmission requests we can satisfy; keep the rest.
+	var rtr []uint64
+	for _, s := range tok.Rtr {
+		if msg, ok := d.store[s]; ok {
+			d.stats.DataRetransmitted++
+			d.broadcast(msg.encode())
+		} else {
+			rtr = append(rtr, s)
+		}
+	}
+	// Request our own gaps.
+	for s := d.deliveredSeq + 1; s <= tok.Seq && len(rtr) < maxRtrPerToken; s++ {
+		if _, ok := d.store[s]; !ok {
+			rtr = append(rtr, s)
+		}
+	}
+
+	// Introduce queued messages, up to the window.
+	for n := 0; n < d.cfg.Window && len(d.sendQueue) > 0; n++ {
+		msg := d.sendQueue[0]
+		d.sendQueue = d.sendQueue[1:]
+		tok.Seq++
+		msg.Ring = d.ring.id
+		msg.Seq = tok.Seq
+		d.store[msg.Seq] = msg
+		if msg.Seq > d.highSeq {
+			d.highSeq = msg.Seq
+		}
+		d.stats.DataSent++
+		d.broadcast(msg.encode())
+	}
+	d.tryDeliver()
+
+	tok.Rtr = rtr
+	tok.TokenSeq++
+	succ := d.ring.successor(d.id)
+	ringID := d.ring.id
+	fwd := tok
+	stopTimer(d.pendingToken)
+	d.pendingToken = d.env.Clock.AfterFunc(d.cfg.TokenInterval, func() {
+		if d.closed || d.state != stOperational || d.ring.id != ringID {
+			return
+		}
+		d.stats.TokensForwarded++
+		d.sendTo(succ, fwd.encode())
+	})
+}
+
+func (d *Daemon) onData(m *dataMsg) {
+	if d.state == stOperational && m.Ring == d.ring.id {
+		d.lastRingActivity = d.env.Clock.Now()
+		if _, ok := d.store[m.Seq]; !ok {
+			d.store[m.Seq] = m
+			if m.Seq > d.highSeq {
+				d.highSeq = m.Seq
+			}
+			d.tryDeliver()
+		}
+		return
+	}
+	// A straggler from the previous ring while we are recovering counts as
+	// recovery input.
+	if d.rec != nil && !d.old.ring.id.IsZero() && m.Ring == d.old.ring.id {
+		if _, ok := d.old.store[m.Seq]; !ok {
+			d.old.store[m.Seq] = m
+		}
+		d.checkRecovery()
+	}
+}
+
+// tryDeliver hands contiguous messages to the group layer in sequence
+// order: Agreed delivery.
+func (d *Daemon) tryDeliver() {
+	for {
+		msg, ok := d.store[d.deliveredSeq+1]
+		if !ok {
+			return
+		}
+		d.deliveredSeq++
+		d.stats.DataDelivered++
+		d.groups.deliverData(msg)
+	}
+}

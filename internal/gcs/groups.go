@@ -1,0 +1,389 @@
+package gcs
+
+import (
+	"fmt"
+	"sort"
+
+	"wackamole/internal/wire"
+)
+
+// GroupMember identifies one client process within one group: the daemon it
+// connects through plus its client name. Members order lexicographically by
+// (daemon, client), giving every daemon the identical uniquely ordered
+// membership list the Wackamole algorithm requires (§3.1).
+type GroupMember struct {
+	Daemon DaemonID
+	Client string
+}
+
+// String formats the member as daemon/client.
+func (m GroupMember) String() string { return string(m.Daemon) + "/" + m.Client }
+
+// Less orders members by (daemon, client).
+func (m GroupMember) Less(o GroupMember) bool {
+	if m.Daemon != o.Daemon {
+		return m.Daemon < o.Daemon
+	}
+	return m.Client < o.Client
+}
+
+// ViewReason says why a view was delivered.
+type ViewReason uint8
+
+// View delivery reasons.
+const (
+	// ReasonNetwork: the daemon membership changed (fault, partition,
+	// merge, or daemon boot) and the group was resynchronized.
+	ReasonNetwork ViewReason = iota + 1
+	// ReasonJoin: a client joined the group.
+	ReasonJoin
+	// ReasonLeave: a client left the group (gracefully or because its
+	// session was severed).
+	ReasonLeave
+)
+
+// String names the reason.
+func (r ViewReason) String() string {
+	switch r {
+	case ReasonNetwork:
+		return "network"
+	case ReasonJoin:
+		return "join"
+	case ReasonLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("reason(%d)", uint8(r))
+	}
+}
+
+// View is a group membership notification. Any two clients that receive a
+// view with the same ID received identical, identically ordered Members —
+// the property the Wackamole state synchronization depends on.
+type View struct {
+	ID      ViewID
+	Group   string
+	Reason  ViewReason
+	Members []GroupMember
+}
+
+// Contains reports whether m is in the view.
+func (v View) Contains(m GroupMember) bool {
+	for _, x := range v.Members {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}
+
+// groupLayer maintains the replicated group-membership state above the
+// totally ordered daemon stream. Because every daemon feeds it the same
+// messages in the same order, its state and the views it emits are identical
+// across daemons (a state-machine replication, as the paper notes in §7).
+type groupLayer struct {
+	d        *Daemon
+	sessions map[string]*Session
+	groups   map[string][]GroupMember
+
+	synced        bool
+	contributions map[DaemonID][]stateEntry
+	pendingOps    []*dataMsg
+	pendingCasts  []*dataMsg
+	lastViewID    ViewID
+}
+
+type stateEntry struct {
+	client string
+	groups []string
+}
+
+func newGroupLayer(d *Daemon) *groupLayer {
+	return &groupLayer{
+		d:        d,
+		sessions: map[string]*Session{},
+		groups:   map[string][]GroupMember{},
+		// A daemon with no installed ring is trivially synced with itself;
+		// real synchronization state arrives with the first installation.
+		synced:        false,
+		contributions: map[DaemonID][]stateEntry{},
+	}
+}
+
+// onInstall runs after every daemon membership installation: group state
+// must be resynchronized by exchanging each daemon's local client list as
+// the first totally ordered messages on the new ring.
+func (g *groupLayer) onInstall() {
+	g.synced = false
+	g.contributions = map[DaemonID][]stateEntry{}
+	var entries []stateEntry
+	names := make([]string, 0, len(g.sessions))
+	for name := range g.sessions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := g.sessions[name]
+		gs := make([]string, 0, len(s.joined))
+		for grp := range s.joined {
+			gs = append(gs, grp)
+		}
+		sort.Strings(gs)
+		entries = append(entries, stateEntry{client: name, groups: gs})
+	}
+	g.d.sendData(dkGroupsState, encodeGroupsState(entries))
+}
+
+// stopAll severs every session when the daemon shuts down.
+func (g *groupLayer) stopAll() {
+	for _, s := range g.sessions {
+		s.disconnected()
+	}
+	g.sessions = map[string]*Session{}
+}
+
+// deliverData consumes one totally ordered message from the daemon.
+func (g *groupLayer) deliverData(m *dataMsg) {
+	switch m.Kind {
+	case dkGroupsState:
+		g.onGroupsState(m)
+	case dkGroupJoin, dkGroupLeave:
+		if !g.synced {
+			g.pendingOps = append(g.pendingOps, m)
+			return
+		}
+		g.applyMembershipOp(m, true)
+	case dkGroupCast:
+		if !g.synced {
+			g.pendingCasts = append(g.pendingCasts, m)
+			return
+		}
+		g.deliverCast(m)
+	default:
+		g.d.env.Log.Logf("gcs %s: drop data with unknown kind %d", g.d.id, m.Kind)
+	}
+}
+
+func (g *groupLayer) onGroupsState(m *dataMsg) {
+	if m.Ring != g.d.ring.id {
+		// A groups-state from an interrupted synchronization on a previous
+		// ring; the new installation superseded it.
+		return
+	}
+	entries, err := decodeGroupsState(m.Payload)
+	if err != nil {
+		g.d.env.Log.Logf("gcs %s: bad groups-state from %s: %v", g.d.id, m.Origin, err)
+		return
+	}
+	g.contributions[m.Origin] = entries
+	for _, member := range g.d.ring.members {
+		if _, ok := g.contributions[member]; !ok {
+			return
+		}
+	}
+	g.completeSync(m)
+}
+
+// completeSync rebuilds the replicated group map from all contributions,
+// replays membership operations that were delivered before synchronization
+// completed, then emits views and flushes buffered casts.
+func (g *groupLayer) completeSync(last *dataMsg) {
+	g.groups = map[string][]GroupMember{}
+	members := make([]DaemonID, len(g.d.ring.members))
+	copy(members, g.d.ring.members)
+	sortIDs(members)
+	for _, daemon := range members {
+		for _, e := range g.contributions[daemon] {
+			for _, grp := range e.groups {
+				g.insertMember(grp, GroupMember{Daemon: daemon, Client: e.client})
+			}
+		}
+	}
+	g.synced = true
+	g.lastViewID = ViewID{Ring: last.Ring, Seq: last.Seq}
+	pendingOps := g.pendingOps
+	g.pendingOps = nil
+	changed := map[string]bool{}
+	for grp := range g.groups {
+		changed[grp] = true
+	}
+	for _, op := range pendingOps {
+		grp := g.applyMembershipOp(op, false)
+		if grp != "" {
+			changed[grp] = true
+		}
+		g.lastViewID = ViewID{Ring: op.Ring, Seq: op.Seq}
+	}
+	// One coalesced view per group reflecting the final state.
+	groups := make([]string, 0, len(changed))
+	for grp := range changed {
+		groups = append(groups, grp)
+	}
+	sort.Strings(groups)
+	for _, grp := range groups {
+		g.emitView(grp, ReasonNetwork)
+	}
+	casts := g.pendingCasts
+	g.pendingCasts = nil
+	for _, c := range casts {
+		g.deliverCast(c)
+	}
+}
+
+// applyMembershipOp updates the replicated map for one join/leave and, when
+// emit is set, delivers the resulting view. It returns the affected group.
+func (g *groupLayer) applyMembershipOp(m *dataMsg, emit bool) string {
+	client, grp, err := decodeGroupOp(m.Payload)
+	if err != nil {
+		g.d.env.Log.Logf("gcs %s: bad group op from %s: %v", g.d.id, m.Origin, err)
+		return ""
+	}
+	member := GroupMember{Daemon: m.Origin, Client: client}
+	var mutated bool
+	var reason ViewReason
+	if m.Kind == dkGroupJoin {
+		mutated = g.insertMember(grp, member)
+		reason = ReasonJoin
+	} else {
+		mutated = g.removeMember(grp, member)
+		reason = ReasonLeave
+	}
+	// Keep local session bookkeeping in step with the replicated state.
+	if member.Daemon == g.d.id {
+		if s, ok := g.sessions[client]; ok {
+			if m.Kind == dkGroupJoin {
+				s.joined[grp] = true
+			} else {
+				delete(s.joined, grp)
+			}
+		}
+	}
+	if !mutated {
+		return ""
+	}
+	g.lastViewID = ViewID{Ring: m.Ring, Seq: m.Seq}
+	if emit {
+		g.emitView(grp, reason)
+	}
+	return grp
+}
+
+func (g *groupLayer) insertMember(grp string, m GroupMember) bool {
+	list := g.groups[grp]
+	i := sort.Search(len(list), func(i int) bool { return !list[i].Less(m) })
+	if i < len(list) && list[i] == m {
+		return false
+	}
+	list = append(list, GroupMember{})
+	copy(list[i+1:], list[i:])
+	list[i] = m
+	g.groups[grp] = list
+	return true
+}
+
+func (g *groupLayer) removeMember(grp string, m GroupMember) bool {
+	list := g.groups[grp]
+	for i, x := range list {
+		if x == m {
+			g.groups[grp] = append(list[:i], list[i+1:]...)
+			if len(g.groups[grp]) == 0 {
+				delete(g.groups, grp)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// emitView delivers the group's current membership to every local member.
+func (g *groupLayer) emitView(grp string, reason ViewReason) {
+	list := g.groups[grp]
+	for _, m := range list {
+		if m.Daemon != g.d.id {
+			continue
+		}
+		s, ok := g.sessions[m.Client]
+		if !ok || s.closed {
+			continue
+		}
+		view := View{
+			ID:      g.lastViewID,
+			Group:   grp,
+			Reason:  reason,
+			Members: append([]GroupMember(nil), list...),
+		}
+		if s.viewH != nil {
+			s.viewH(view)
+		}
+	}
+}
+
+func (g *groupLayer) deliverCast(m *dataMsg) {
+	client, grp, body, err := decodeGroupCast(m.Payload)
+	if err != nil {
+		g.d.env.Log.Logf("gcs %s: bad group cast from %s: %v", g.d.id, m.Origin, err)
+		return
+	}
+	from := GroupMember{Daemon: m.Origin, Client: client}
+	for _, member := range g.groups[grp] {
+		if member.Daemon != g.d.id {
+			continue
+		}
+		s, ok := g.sessions[member.Client]
+		if !ok || s.closed || s.msgH == nil {
+			continue
+		}
+		s.msgH(from, grp, append([]byte(nil), body...))
+	}
+}
+
+// ---- payload encodings ----------------------------------------------------
+
+func encodeGroupsState(entries []stateEntry) []byte {
+	w := wire.NewWriter(64)
+	w.U16(uint16(len(entries)))
+	for _, e := range entries {
+		w.String(e.client)
+		w.StringList(e.groups)
+	}
+	return w.Bytes()
+}
+
+func decodeGroupsState(b []byte) ([]stateEntry, error) {
+	r := wire.NewReader(b)
+	n := int(r.U16())
+	entries := make([]stateEntry, 0, n)
+	for i := 0; i < n; i++ {
+		entries = append(entries, stateEntry{client: r.String(), groups: r.StringList()})
+	}
+	return entries, r.Done()
+}
+
+func encodeGroupOp(client, group string) []byte {
+	w := wire.NewWriter(64)
+	w.String(client)
+	w.String(group)
+	return w.Bytes()
+}
+
+func decodeGroupOp(b []byte) (client, group string, err error) {
+	r := wire.NewReader(b)
+	client = r.String()
+	group = r.String()
+	return client, group, r.Done()
+}
+
+func encodeGroupCast(client, group string, body []byte) []byte {
+	w := wire.NewWriter(64 + len(body))
+	w.String(client)
+	w.String(group)
+	w.Bytes16(body)
+	return w.Bytes()
+}
+
+func decodeGroupCast(b []byte) (client, group string, body []byte, err error) {
+	r := wire.NewReader(b)
+	client = r.String()
+	group = r.String()
+	body = r.Bytes16()
+	return client, group, body, r.Done()
+}

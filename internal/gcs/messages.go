@@ -1,0 +1,346 @@
+package gcs
+
+import (
+	"fmt"
+	"sort"
+
+	"wackamole/internal/env"
+	"wackamole/internal/wire"
+)
+
+// DaemonID identifies a daemon by its stationary address ("ip:port").
+// Lexicographic order on DaemonIDs provides the uniquely ordered membership
+// list the Wackamole algorithm requires.
+type DaemonID string
+
+// RingID identifies one installed daemon membership (one "ring").
+type RingID struct {
+	Coord DaemonID
+	Epoch uint64
+}
+
+// IsZero reports whether the ring id is unset (daemon never installed).
+func (r RingID) IsZero() bool { return r.Coord == "" && r.Epoch == 0 }
+
+// String formats the ring id.
+func (r RingID) String() string { return fmt.Sprintf("%s/%d", r.Coord, r.Epoch) }
+
+// ViewID identifies one group-membership view. Ring is the daemon membership
+// the view was installed in; Seq is the ring sequence number of the totally
+// ordered event that created the view, so all daemons derive identical view
+// identifiers.
+type ViewID struct {
+	Ring RingID
+	Seq  uint64
+}
+
+// IsZero reports whether the view id is unset.
+func (v ViewID) IsZero() bool { return v.Ring.IsZero() && v.Seq == 0 }
+
+// String formats the view id.
+func (v ViewID) String() string { return fmt.Sprintf("%s:%d", v.Ring, v.Seq) }
+
+// msgType discriminates daemon wire messages.
+type msgType uint8
+
+const (
+	mtAlive msgType = iota + 1
+	mtJoin
+	mtForm
+	mtToken
+	mtData
+	mtRecoverState
+	mtRecoverData
+	mtRecoverDone
+	mtLeave
+)
+
+// dataKind discriminates the group-layer payloads carried in mtData.
+type dataKind uint8
+
+const (
+	dkGroupsState dataKind = iota + 1
+	dkGroupJoin
+	dkGroupLeave
+	dkGroupCast
+)
+
+const (
+	protoMagicA uint8 = 'W'
+	protoMagicB uint8 = 'G'
+	protoVer    uint8 = 1
+)
+
+type aliveMsg struct {
+	Ring   RingID
+	Sender DaemonID
+}
+
+// leaveMsg announces a graceful daemon departure: peers reconfigure
+// immediately instead of waiting out the fault-detection timeout.
+type leaveMsg struct {
+	Ring   RingID
+	Sender DaemonID
+}
+
+type joinMsg struct {
+	Sender DaemonID
+	Round  uint64
+	Seen   []DaemonID
+}
+
+type formMsg struct {
+	Round   uint64
+	Ring    RingID
+	Members []DaemonID // sorted
+}
+
+type tokenMsg struct {
+	Ring     RingID
+	TokenSeq uint64
+	Seq      uint64
+	Rtr      []uint64
+}
+
+type dataMsg struct {
+	Ring    RingID
+	Seq     uint64
+	Origin  DaemonID
+	Kind    dataKind
+	Payload []byte
+}
+
+type recoverStateMsg struct {
+	Ring    RingID // new ring being formed
+	Sender  DaemonID
+	OldRing RingID
+	OldHigh uint64
+	Missing []uint64
+}
+
+type recoverDataMsg struct {
+	Ring    RingID // new ring being formed
+	OldRing RingID
+	Msg     dataMsg
+}
+
+type recoverDoneMsg struct {
+	Ring   RingID
+	Sender DaemonID
+}
+
+func writeHeader(w *wire.Writer, t msgType) {
+	w.U8(protoMagicA)
+	w.U8(protoMagicB)
+	w.U8(protoVer)
+	w.U8(uint8(t))
+}
+
+func readHeader(r *wire.Reader) (msgType, error) {
+	if r.U8() != protoMagicA || r.U8() != protoMagicB {
+		return 0, fmt.Errorf("gcs: bad magic")
+	}
+	if v := r.U8(); v != protoVer {
+		return 0, fmt.Errorf("gcs: unsupported protocol version %d", v)
+	}
+	t := msgType(r.U8())
+	if err := r.Err(); err != nil {
+		return 0, err
+	}
+	return t, nil
+}
+
+func writeRing(w *wire.Writer, r RingID) {
+	w.String(string(r.Coord))
+	w.U64(r.Epoch)
+}
+
+func readRing(r *wire.Reader) RingID {
+	return RingID{Coord: DaemonID(r.String()), Epoch: r.U64()}
+}
+
+func writeIDList(w *wire.Writer, ids []DaemonID) {
+	ss := make([]string, len(ids))
+	for i, id := range ids {
+		ss[i] = string(id)
+	}
+	w.StringList(ss)
+}
+
+func readIDList(r *wire.Reader) []DaemonID {
+	ss := r.StringList()
+	ids := make([]DaemonID, len(ss))
+	for i, s := range ss {
+		ids[i] = DaemonID(s)
+	}
+	return ids
+}
+
+func (m aliveMsg) encode() []byte {
+	w := wire.NewWriter(64)
+	writeHeader(w, mtAlive)
+	writeRing(w, m.Ring)
+	w.String(string(m.Sender))
+	return w.Bytes()
+}
+
+func decodeAlive(r *wire.Reader) (aliveMsg, error) {
+	m := aliveMsg{Ring: readRing(r), Sender: DaemonID(r.String())}
+	return m, r.Done()
+}
+
+func (m leaveMsg) encode() []byte {
+	w := wire.NewWriter(64)
+	writeHeader(w, mtLeave)
+	writeRing(w, m.Ring)
+	w.String(string(m.Sender))
+	return w.Bytes()
+}
+
+func decodeLeave(r *wire.Reader) (leaveMsg, error) {
+	m := leaveMsg{Ring: readRing(r), Sender: DaemonID(r.String())}
+	return m, r.Done()
+}
+
+func (m joinMsg) encode() []byte {
+	w := wire.NewWriter(128)
+	writeHeader(w, mtJoin)
+	w.String(string(m.Sender))
+	w.U64(m.Round)
+	writeIDList(w, m.Seen)
+	return w.Bytes()
+}
+
+func decodeJoin(r *wire.Reader) (joinMsg, error) {
+	m := joinMsg{Sender: DaemonID(r.String()), Round: r.U64(), Seen: readIDList(r)}
+	return m, r.Done()
+}
+
+func (m formMsg) encode() []byte {
+	w := wire.NewWriter(128)
+	writeHeader(w, mtForm)
+	w.U64(m.Round)
+	writeRing(w, m.Ring)
+	writeIDList(w, m.Members)
+	return w.Bytes()
+}
+
+func decodeForm(r *wire.Reader) (formMsg, error) {
+	m := formMsg{Round: r.U64(), Ring: readRing(r), Members: readIDList(r)}
+	return m, r.Done()
+}
+
+func (m tokenMsg) encode() []byte {
+	w := wire.NewWriter(128)
+	writeHeader(w, mtToken)
+	writeRing(w, m.Ring)
+	w.U64(m.TokenSeq)
+	w.U64(m.Seq)
+	w.U64List(m.Rtr)
+	return w.Bytes()
+}
+
+func decodeToken(r *wire.Reader) (tokenMsg, error) {
+	m := tokenMsg{Ring: readRing(r), TokenSeq: r.U64(), Seq: r.U64(), Rtr: r.U64List()}
+	return m, r.Done()
+}
+
+func (m dataMsg) encode() []byte {
+	w := wire.NewWriter(128 + len(m.Payload))
+	writeHeader(w, mtData)
+	m.encodeBody(w)
+	return w.Bytes()
+}
+
+func (m dataMsg) encodeBody(w *wire.Writer) {
+	writeRing(w, m.Ring)
+	w.U64(m.Seq)
+	w.String(string(m.Origin))
+	w.U8(uint8(m.Kind))
+	w.Bytes16(m.Payload)
+}
+
+func decodeDataBody(r *wire.Reader) dataMsg {
+	return dataMsg{
+		Ring:    readRing(r),
+		Seq:     r.U64(),
+		Origin:  DaemonID(r.String()),
+		Kind:    dataKind(r.U8()),
+		Payload: r.Bytes16(),
+	}
+}
+
+func decodeData(r *wire.Reader) (dataMsg, error) {
+	m := decodeDataBody(r)
+	return m, r.Done()
+}
+
+func (m recoverStateMsg) encode() []byte {
+	w := wire.NewWriter(128)
+	writeHeader(w, mtRecoverState)
+	writeRing(w, m.Ring)
+	w.String(string(m.Sender))
+	writeRing(w, m.OldRing)
+	w.U64(m.OldHigh)
+	w.U64List(m.Missing)
+	return w.Bytes()
+}
+
+func decodeRecoverState(r *wire.Reader) (recoverStateMsg, error) {
+	m := recoverStateMsg{
+		Ring:    readRing(r),
+		Sender:  DaemonID(r.String()),
+		OldRing: readRing(r),
+		OldHigh: r.U64(),
+		Missing: r.U64List(),
+	}
+	return m, r.Done()
+}
+
+func (m recoverDataMsg) encode() []byte {
+	w := wire.NewWriter(160 + len(m.Msg.Payload))
+	writeHeader(w, mtRecoverData)
+	writeRing(w, m.Ring)
+	writeRing(w, m.OldRing)
+	m.Msg.encodeBody(w)
+	return w.Bytes()
+}
+
+func decodeRecoverData(r *wire.Reader) (recoverDataMsg, error) {
+	m := recoverDataMsg{Ring: readRing(r), OldRing: readRing(r), Msg: decodeDataBody(r)}
+	return m, r.Done()
+}
+
+func (m recoverDoneMsg) encode() []byte {
+	w := wire.NewWriter(64)
+	writeHeader(w, mtRecoverDone)
+	writeRing(w, m.Ring)
+	w.String(string(m.Sender))
+	return w.Bytes()
+}
+
+func decodeRecoverDone(r *wire.Reader) (recoverDoneMsg, error) {
+	m := recoverDoneMsg{Ring: readRing(r), Sender: DaemonID(r.String())}
+	return m, r.Done()
+}
+
+// sortIDs sorts daemon identifiers into the canonical membership order.
+func sortIDs(ids []DaemonID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// idsEqual reports whether two sorted id lists are identical.
+func idsEqual(a, b []DaemonID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// addrOf converts a daemon id back to a transport address.
+func addrOf(id DaemonID) env.Addr { return env.Addr(id) }

@@ -1,0 +1,159 @@
+package gcs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors reported by session operations.
+var (
+	ErrSessionClosed = errors.New("gcs: session closed")
+	ErrNameInUse     = errors.New("gcs: client name already connected")
+	ErrDaemonClosed  = errors.New("gcs: daemon stopped")
+	ErrPayloadTooBig = errors.New("gcs: payload exceeds the message size limit")
+	ErrBackpressure  = errors.New("gcs: send queue full")
+)
+
+// MaxPayload bounds one multicast payload (the wire format length-prefixes
+// payloads with 16 bits, minus headroom for the envelope).
+const MaxPayload = 60 * 1024
+
+// Session is a client connection to a local daemon, the analogue of a Spread
+// client connection (§4.2 of the paper). Wackamole runs as one such client.
+//
+// All methods and callbacks run on the daemon's callback loop; handlers must
+// not block.
+type Session struct {
+	d      *Daemon
+	name   string
+	joined map[string]bool
+	closed bool
+
+	viewH func(View)
+	msgH  func(from GroupMember, group string, payload []byte)
+	discH func()
+}
+
+// Connect attaches a named client to the daemon. Names must be unique per
+// daemon; the pair (daemon id, client name) identifies the member
+// cluster-wide.
+func (d *Daemon) Connect(name string) (*Session, error) {
+	if d.closed {
+		return nil, ErrDaemonClosed
+	}
+	if name == "" {
+		return nil, fmt.Errorf("gcs: empty client name")
+	}
+	if _, ok := d.groups.sessions[name]; ok {
+		return nil, fmt.Errorf("%w: %q on %s", ErrNameInUse, name, d.id)
+	}
+	s := &Session{d: d, name: name, joined: map[string]bool{}}
+	d.groups.sessions[name] = s
+	return s, nil
+}
+
+// Member returns this session's cluster-wide identity.
+func (s *Session) Member() GroupMember {
+	return GroupMember{Daemon: s.d.id, Client: s.name}
+}
+
+// SetViewHandler registers the group membership callback.
+func (s *Session) SetViewHandler(h func(View)) { s.viewH = h }
+
+// SetMessageHandler registers the Agreed-delivery message callback.
+func (s *Session) SetMessageHandler(h func(from GroupMember, group string, payload []byte)) {
+	s.msgH = h
+}
+
+// SetDisconnectHandler registers the callback invoked when the session is
+// severed (daemon shutdown or simulated connection loss). A Wackamole
+// client reacts by dropping all of its virtual interfaces and periodically
+// reconnecting, per §4.2.
+func (s *Session) SetDisconnectHandler(h func()) { s.discH = h }
+
+// Join requests membership in group. The membership becomes effective — and
+// a View is delivered — when the join is delivered in total order. A client
+// join does not trigger daemon-level reconfiguration, which is why
+// voluntary membership changes complete in milliseconds rather than at
+// fault-detection timescales (§6).
+func (s *Session) Join(group string) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if group == "" {
+		return fmt.Errorf("gcs: empty group name")
+	}
+	s.d.sendData(dkGroupJoin, encodeGroupOp(s.name, group))
+	return nil
+}
+
+// Leave requests departure from group.
+func (s *Session) Leave(group string) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	s.d.sendData(dkGroupLeave, encodeGroupOp(s.name, group))
+	return nil
+}
+
+// Multicast sends payload to every member of group with Agreed (totally
+// ordered) delivery, including this client if it is a member. Oversized
+// payloads and a full daemon send queue are rejected rather than silently
+// degraded (the daemon's flow control admits Window messages per token
+// visit, so a persistent ErrBackpressure means the client outruns the
+// ring).
+func (s *Session) Multicast(group string, payload []byte) error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	if len(payload) > MaxPayload {
+		return fmt.Errorf("%w: %d bytes", ErrPayloadTooBig, len(payload))
+	}
+	if len(s.d.sendQueue) >= maxSendQueue {
+		return ErrBackpressure
+	}
+	s.d.sendData(dkGroupCast, encodeGroupCast(s.name, group, payload))
+	return nil
+}
+
+// Joined reports whether the session's membership in group is currently
+// effective (the join has been delivered).
+func (s *Session) Joined(group string) bool { return s.joined[group] }
+
+// Disconnect leaves all groups gracefully and detaches from the daemon.
+func (s *Session) Disconnect() error {
+	if s.closed {
+		return ErrSessionClosed
+	}
+	for group := range s.joined {
+		s.d.sendData(dkGroupLeave, encodeGroupOp(s.name, group))
+	}
+	s.closed = true
+	delete(s.d.groups.sessions, s.name)
+	return nil
+}
+
+// Sever simulates abrupt loss of the client-daemon connection: the daemon
+// removes the client (broadcasting leaves on its behalf, as Spread does when
+// a client socket dies) and the client's disconnect handler fires.
+func (s *Session) Sever() {
+	if s.closed {
+		return
+	}
+	for group := range s.joined {
+		s.d.sendData(dkGroupLeave, encodeGroupOp(s.name, group))
+	}
+	delete(s.d.groups.sessions, s.name)
+	s.disconnected()
+}
+
+// disconnected marks the session dead and notifies the client.
+func (s *Session) disconnected() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.discH != nil {
+		s.discH()
+	}
+}

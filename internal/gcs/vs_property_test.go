@@ -1,0 +1,142 @@
+package gcs_test
+
+// Randomized Virtual Synchrony property suite: under arbitrary schedules of
+// partitions, heals and racing multicasts, any two clients that end up in
+// the same component must have delivered identical message sequences, and
+// the cluster must reconverge to one ring (the liveness half).
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"wackamole/internal/gcs"
+	"wackamole/internal/netsim"
+	"wackamole/internal/sim"
+)
+
+func TestVirtualSynchronyUnderRandomChurn(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const n = 5
+			c := newCluster(t, 200+seed, n, gcs.TunedConfig())
+			recs := make([]*clientRec, n)
+			for i := range recs {
+				recs[i] = c.connectClient(i, "w", "wack")
+			}
+			c.sim.RunFor(5 * time.Second)
+
+			rng := sim.New(seed).Rand()
+			partitioned := false
+			msgID := 0
+			for step := 0; step < 10; step++ {
+				switch rng.Intn(3) {
+				case 0: // burst of casts from random clients
+					for k := 0; k < 5; k++ {
+						i := rng.Intn(n)
+						msgID++
+						if err := recs[i].sess.Multicast("wack", []byte(fmt.Sprintf("m%04d", msgID))); err != nil {
+							// Backpressure under churn is acceptable.
+							continue
+						}
+					}
+				case 1:
+					if !partitioned {
+						cut := 1 + rng.Intn(n-1)
+						var a, b []*netsim.Host
+						for i, h := range c.hosts {
+							if i < cut {
+								a = append(a, h)
+							} else {
+								b = append(b, h)
+							}
+						}
+						c.seg.Partition(a, b)
+						partitioned = true
+					}
+				case 2:
+					if partitioned {
+						c.seg.Heal()
+						partitioned = false
+					}
+				}
+				c.sim.RunFor(time.Duration(rng.Intn(4000)) * time.Millisecond)
+			}
+			if partitioned {
+				c.seg.Heal()
+			}
+			c.sim.RunFor(20 * time.Second)
+
+			// Liveness: one ring again.
+			idx := make([]int, n)
+			for i := range idx {
+				idx[i] = i
+			}
+			c.sameRing(idx, n)
+
+			// Safety: clients sharing their final view id delivered
+			// identical full sequences only if they were together the whole
+			// time; that is too strong under churn. The checkable VS core:
+			// for each pair, one's delivery sequence of messages from any
+			// single sender is a subsequence-consistent order — since total
+			// order per component fixes relative order, any two clients'
+			// sequences must agree on the relative order of the messages
+			// they BOTH delivered.
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					assertRelativeOrderConsistent(t, recs[i].msgs, recs[j].msgs)
+				}
+			}
+		})
+	}
+}
+
+// assertRelativeOrderConsistent fails if two delivery sequences order any
+// common pair of messages differently.
+func assertRelativeOrderConsistent(t *testing.T, a, b []string) {
+	t.Helper()
+	posB := make(map[string]int, len(b))
+	for i, m := range b {
+		posB[m] = i
+	}
+	last := -1
+	for _, m := range a {
+		if p, ok := posB[m]; ok {
+			if p < last {
+				t.Fatalf("common messages delivered in different orders (%q)", m)
+			}
+			last = p
+		}
+	}
+}
+
+func TestNoDuplicateDeliveries(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		c := newCluster(t, 300+seed, 3, gcs.TunedConfig())
+		recs := make([]*clientRec, 3)
+		for i := range recs {
+			recs[i] = c.connectClient(i, "w", "wack")
+		}
+		c.sim.RunFor(5 * time.Second)
+		for k := 0; k < 20; k++ {
+			if err := recs[0].sess.Multicast("wack", []byte(fmt.Sprintf("u%02d", k))); err != nil {
+				t.Fatal(err)
+			}
+			if k == 10 {
+				// A reconfiguration in the middle of the stream.
+				c.hosts[2].NICs()[0].SetUp(false)
+			}
+		}
+		c.sim.RunFor(10 * time.Second)
+		for i := 0; i < 2; i++ {
+			seen := map[string]bool{}
+			for _, m := range recs[i].msgs {
+				if seen[m] {
+					t.Fatalf("seed %d: client %d delivered %q twice", seed, i, m)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}

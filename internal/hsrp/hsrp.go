@@ -1,0 +1,256 @@
+// Package hsrp implements a simplified Hot Standby Router Protocol, the
+// Cisco baseline the paper discusses (§7): one active router and one
+// standby exchange hello messages; the standby takes over when the active
+// timer expires without hellos from the active router. Defaults follow the
+// paper's description: hellos every 3 seconds, timeouts of 10 seconds.
+package hsrp
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"wackamole/internal/env"
+	"wackamole/internal/netsim"
+	"wackamole/internal/wire"
+)
+
+// Port carries hello messages in the simulation (real HSRP uses UDP 1985).
+const Port = 1985
+
+// Defaults from the paper: "By default, hello messages are sent every 3
+// seconds and the Active and Standby timeouts are set to 10 seconds."
+const (
+	DefaultHello = 3 * time.Second
+	DefaultHold  = 10 * time.Second
+)
+
+// Role is the router's current role.
+type Role uint8
+
+// Roles.
+const (
+	RoleListen Role = iota + 1
+	RoleStandby
+	RoleActive
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleListen:
+		return "listen"
+	case RoleStandby:
+		return "standby"
+	case RoleActive:
+		return "active"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Config parameterizes one HSRP router.
+type Config struct {
+	// Group identifies the standby group.
+	Group uint8
+	// Priority is the election weight (higher wins; ties broken by higher
+	// interface address).
+	Priority uint8
+	// VIP is the standby group's virtual address.
+	VIP netip.Addr
+	// Hello and Hold override the defaults when positive.
+	Hello time.Duration
+	Hold  time.Duration
+}
+
+func (c Config) hello() time.Duration {
+	if c.Hello <= 0 {
+		return DefaultHello
+	}
+	return c.Hello
+}
+
+func (c Config) hold() time.Duration {
+	if c.Hold <= 0 {
+		return DefaultHold
+	}
+	return c.Hold
+}
+
+// Router is one HSRP instance.
+type Router struct {
+	host *netsim.Host
+	nic  *netsim.NIC
+	cfg  Config
+
+	role    Role
+	sock    *netsim.Socket
+	peers   map[netip.Addr]peerInfo
+	helloT  env.Timer
+	activeT env.Timer
+	running bool
+}
+
+type peerInfo struct {
+	priority uint8
+	role     Role
+}
+
+// New binds an HSRP router on (host, nic).
+func New(host *netsim.Host, nic *netsim.NIC, cfg Config) (*Router, error) {
+	if !cfg.VIP.IsValid() {
+		return nil, fmt.Errorf("hsrp: missing virtual address")
+	}
+	r := &Router{host: host, nic: nic, cfg: cfg, role: RoleListen, peers: map[netip.Addr]peerInfo{}}
+	sock, err := host.BindUDP(netip.Addr{}, Port, func(src, _ netip.AddrPort, payload []byte) {
+		r.onHello(src.Addr(), payload)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("hsrp: %w", err)
+	}
+	r.sock = sock
+	return r, nil
+}
+
+// Start begins listening and helloing; the initial election resolves after
+// the hold timeout.
+func (r *Router) Start() {
+	if r.running {
+		return
+	}
+	r.running = true
+	r.startHellos()
+	r.armActiveTimer()
+}
+
+// Stop silences the router.
+func (r *Router) Stop() {
+	r.running = false
+	stop(r.helloT)
+	stop(r.activeT)
+	r.sock.Close()
+}
+
+// Role returns the router's current role.
+func (r *Router) Role() Role { return r.role }
+
+func stop(t env.Timer) {
+	if t != nil {
+		t.Stop()
+	}
+}
+
+func (r *Router) startHellos() {
+	var tick func()
+	tick = func() {
+		if !r.running {
+			return
+		}
+		r.sendHello()
+		r.helloT = r.host.AfterFunc(r.cfg.hello(), tick)
+	}
+	tick()
+}
+
+func (r *Router) armActiveTimer() {
+	stop(r.activeT)
+	r.activeT = r.host.AfterFunc(r.cfg.hold(), func() {
+		if r.running && r.role != RoleActive {
+			r.onActiveDown()
+		}
+	})
+}
+
+// onActiveDown fires when no active-router hellos arrived for the hold
+// time: the standby becomes active; with no standby either, the best
+// candidate by (priority, address) takes over.
+func (r *Router) onActiveDown() {
+	if r.role == RoleStandby || r.bestCandidate() {
+		r.becomeActive()
+		return
+	}
+	r.role = RoleStandby
+	r.armActiveTimer()
+}
+
+// bestCandidate reports whether this router wins the election among the
+// peers heard recently.
+func (r *Router) bestCandidate() bool {
+	type cand struct {
+		prio uint8
+		addr netip.Addr
+	}
+	cands := []cand{{r.cfg.Priority, r.nic.Primary()}}
+	for a, p := range r.peers {
+		cands = append(cands, cand{p.priority, a})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prio != cands[j].prio {
+			return cands[i].prio > cands[j].prio
+		}
+		return cands[j].addr.Less(cands[i].addr)
+	})
+	return cands[0].addr == r.nic.Primary()
+}
+
+func (r *Router) becomeActive() {
+	r.role = RoleActive
+	stop(r.activeT)
+	if !r.nic.HasAddr(r.cfg.VIP) {
+		if err := r.nic.AddAddr(r.cfg.VIP); err != nil {
+			_ = err // only duplicates fail, excluded by HasAddr
+		}
+	}
+	if err := r.host.SendGratuitousARP(r.nic, r.cfg.VIP); err != nil {
+		_ = err // interface down during fault injection
+	}
+	r.sendHello()
+}
+
+func (r *Router) sendHello() {
+	w := wire.NewWriter(16)
+	w.U8(r.cfg.Group)
+	w.U8(r.cfg.Priority)
+	w.U8(uint8(r.role))
+	dst := netip.AddrPortFrom(r.nic.Broadcast(), Port)
+	src := netip.AddrPortFrom(r.nic.Primary(), Port)
+	if err := r.host.SendUDP(src, dst, w.Bytes()); err != nil {
+		_ = err
+	}
+}
+
+func (r *Router) onHello(from netip.Addr, payload []byte) {
+	if !r.running || from == r.nic.Primary() {
+		return
+	}
+	rd := wire.NewReader(payload)
+	group := rd.U8()
+	prio := rd.U8()
+	role := Role(rd.U8())
+	if rd.Done() != nil || group != r.cfg.Group {
+		return
+	}
+	r.peers[from] = peerInfo{priority: prio, role: role}
+	if role == RoleActive {
+		if r.role == RoleActive {
+			// Two actives (e.g. after a partition heal): the loser steps
+			// down by (priority, address).
+			if !r.bestCandidate() {
+				r.stepDown()
+			}
+			return
+		}
+		r.armActiveTimer()
+	}
+}
+
+func (r *Router) stepDown() {
+	r.role = RoleListen
+	if r.nic.HasAddr(r.cfg.VIP) {
+		if err := r.nic.RemoveAddr(r.cfg.VIP); err != nil {
+			_ = err
+		}
+	}
+	r.armActiveTimer()
+}

@@ -1,0 +1,179 @@
+package ipmgr
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+
+	"wackamole/internal/netsim"
+	"wackamole/internal/sim"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestManagerIdempotency(t *testing.T) {
+	be := &FakeBackend{}
+	m := New(be)
+	a := addr("10.0.1.1")
+	if err := m.Acquire(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.Ops) != 1 {
+		t.Fatalf("backend saw %d ops, want 1: %v", len(be.Ops), be.Ops)
+	}
+	if !m.Holds(a) {
+		t.Fatal("Holds = false after acquire")
+	}
+	if err := m.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if len(be.Ops) != 2 {
+		t.Fatalf("backend saw %d ops, want 2: %v", len(be.Ops), be.Ops)
+	}
+	if m.Holds(a) {
+		t.Fatal("Holds = true after release")
+	}
+}
+
+func TestManagerHeldSorted(t *testing.T) {
+	m := New(&FakeBackend{})
+	for _, s := range []string{"10.0.1.9", "10.0.1.1", "10.0.1.5"} {
+		if err := m.Acquire(addr(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	held := m.Held()
+	if len(held) != 3 || held[0] != addr("10.0.1.1") || held[2] != addr("10.0.1.9") {
+		t.Fatalf("Held() = %v, want sorted", held)
+	}
+}
+
+func TestManagerAcquireFailureNotHeld(t *testing.T) {
+	injected := errors.New("nope")
+	be := &FakeBackend{FailAcquire: func(netip.Addr) error { return injected }}
+	m := New(be)
+	if err := m.Acquire(addr("10.0.1.1")); !errors.Is(err, injected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if m.Holds(addr("10.0.1.1")) {
+		t.Fatal("failed acquire left the address held")
+	}
+}
+
+func TestReleaseAllContinuesPastErrors(t *testing.T) {
+	bad := addr("10.0.1.2")
+	injected := errors.New("stuck")
+	be := &FakeBackend{FailRelease: func(a netip.Addr) error {
+		if a == bad {
+			return injected
+		}
+		return nil
+	}}
+	m := New(be)
+	for _, s := range []string{"10.0.1.1", "10.0.1.2", "10.0.1.3"} {
+		if err := m.Acquire(addr(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := m.ReleaseAll()
+	if !errors.Is(err, injected) {
+		t.Fatalf("ReleaseAll err = %v, want injected", err)
+	}
+	if m.Holds(addr("10.0.1.1")) || m.Holds(addr("10.0.1.3")) {
+		t.Fatal("ReleaseAll did not release the healthy addresses")
+	}
+	if !m.Holds(bad) {
+		t.Fatal("failed release should leave the address held")
+	}
+}
+
+func TestNICBackend(t *testing.T) {
+	s := sim.New(1)
+	nw := netsim.New(s)
+	seg := nw.NewSegment("lan", netsim.DefaultSegmentConfig())
+	h := nw.NewHost("a")
+	nic := h.AttachNIC(seg, "eth0", netip.MustParsePrefix("10.0.0.1/24"))
+	m := New(&NICBackend{NIC: nic})
+	vip := addr("10.0.0.100")
+	if err := m.Acquire(vip); err != nil {
+		t.Fatal(err)
+	}
+	if !nic.HasAddr(vip) {
+		t.Fatal("NIC missing acquired address")
+	}
+	if err := m.Release(vip); err != nil {
+		t.Fatal(err)
+	}
+	if nic.HasAddr(vip) {
+		t.Fatal("NIC kept released address")
+	}
+}
+
+func TestExecBackendDryRunRecordsCommands(t *testing.T) {
+	be := &ExecBackend{Device: "eth0", DryRun: true}
+	m := New(be)
+	if err := m.Acquire(addr("192.0.2.10")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release(addr("192.0.2.10")); err != nil {
+		t.Fatal(err)
+	}
+	cmds := be.Commands()
+	if len(cmds) != 2 {
+		t.Fatalf("recorded %d commands, want 2: %v", len(cmds), cmds)
+	}
+	if cmds[0] != "ip addr add 192.0.2.10/32 dev eth0" {
+		t.Fatalf("add command = %q", cmds[0])
+	}
+	if cmds[1] != "ip addr del 192.0.2.10/32 dev eth0" {
+		t.Fatalf("del command = %q", cmds[1])
+	}
+}
+
+func TestExecBackendPrefixBits(t *testing.T) {
+	be := &ExecBackend{Device: "bond0", PrefixBits: 24, DryRun: true}
+	if err := be.Acquire(addr("192.0.2.10")); err != nil {
+		t.Fatal(err)
+	}
+	if got := be.Commands()[0]; !strings.Contains(got, "192.0.2.10/24") {
+		t.Fatalf("command = %q, want /24", got)
+	}
+}
+
+type failLogSink struct{ lines []string }
+
+func (s *failLogSink) Logf(format string, args ...any) {
+	s.lines = append(s.lines, fmt.Sprintf(format, args...))
+}
+
+func TestLoggingBackendPassesThroughAndLogs(t *testing.T) {
+	sink := &failLogSink{}
+	be := &LoggingBackend{Inner: &FakeBackend{}, Log: sink}
+	if err := be.Acquire(addr("10.0.1.1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := be.Release(addr("10.0.1.1")); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.lines) != 2 {
+		t.Fatalf("logged %d lines, want 2: %v", len(sink.lines), sink.lines)
+	}
+	failing := &LoggingBackend{
+		Inner: &FakeBackend{FailAcquire: func(netip.Addr) error { return errors.New("boom") }},
+		Log:   sink,
+	}
+	if err := failing.Acquire(addr("10.0.1.2")); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !strings.Contains(sink.lines[len(sink.lines)-1], "failed") {
+		t.Fatal("failure not logged")
+	}
+}

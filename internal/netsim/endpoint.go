@@ -1,0 +1,87 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"wackamole/internal/env"
+)
+
+// Endpoint adapts a host UDP socket to env.PacketConn so that protocol code
+// written against the abstract runtime can run unchanged on the simulator.
+// The endpoint's stationary address is the NIC's primary address; Broadcast
+// sends to the NIC's subnet broadcast (and, per the env contract, the sender
+// also receives its own broadcasts).
+type Endpoint struct {
+	host    *Host
+	nic     *NIC
+	port    uint16
+	sock    *Socket
+	handler env.Handler
+	closed  bool
+}
+
+// OpenEndpoint binds (nic.Primary(), port) and returns the packet endpoint.
+func (h *Host) OpenEndpoint(nic *NIC, port uint16) (*Endpoint, error) {
+	ep := &Endpoint{host: h, nic: nic, port: port}
+	sock, err := h.BindUDP(netip.Addr{}, port, func(src, dst netip.AddrPort, payload []byte) {
+		if ep.closed || ep.handler == nil {
+			return
+		}
+		ep.handler(env.Addr(src.String()), payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	ep.sock = sock
+	return ep, nil
+}
+
+// LocalAddr implements env.PacketConn.
+func (e *Endpoint) LocalAddr() env.Addr {
+	return env.Addr(netip.AddrPortFrom(e.nic.primary, e.port).String())
+}
+
+// SendTo implements env.PacketConn.
+func (e *Endpoint) SendTo(to env.Addr, payload []byte) error {
+	if e.closed {
+		return fmt.Errorf("netsim: endpoint %s closed", e.LocalAddr())
+	}
+	dst, err := netip.ParseAddrPort(string(to))
+	if err != nil {
+		return fmt.Errorf("netsim: bad address %q: %w", to, err)
+	}
+	return e.host.SendUDP(netip.AddrPortFrom(e.nic.primary, e.port), dst, payload)
+}
+
+// Broadcast implements env.PacketConn.
+func (e *Endpoint) Broadcast(payload []byte) error {
+	if e.closed {
+		return fmt.Errorf("netsim: endpoint %s closed", e.LocalAddr())
+	}
+	dst := netip.AddrPortFrom(e.nic.Broadcast(), e.port)
+	return e.host.SendUDP(netip.AddrPortFrom(e.nic.primary, e.port), dst, payload)
+}
+
+// SetHandler implements env.PacketConn.
+func (e *Endpoint) SetHandler(h env.Handler) { e.handler = h }
+
+// Close implements env.PacketConn.
+func (e *Endpoint) Close() error {
+	if !e.closed {
+		e.closed = true
+		e.sock.Close()
+	}
+	return nil
+}
+
+var _ env.PacketConn = (*Endpoint)(nil)
+
+// Env returns a complete protocol runtime for this endpoint, logging through
+// log (nil means discard).
+func (e *Endpoint) Env(log env.Logger) env.Env {
+	if log == nil {
+		log = env.NopLogger{}
+	}
+	return env.Env{Clock: e.host, Conn: e, Log: log}
+}

@@ -1,0 +1,218 @@
+// Package netsim simulates the local-area network testbed of the Wackamole
+// paper (§6) under deterministic virtual time: Ethernet-like segments with
+// MAC addressing and broadcast domains, ARP with per-interface caches and
+// TTLs, UDP sockets, an IP forwarding path for routers, network partitions,
+// and interface/host fault injection.
+//
+// The simulation operates at the level the paper's mechanisms need: frames
+// are addressed by MAC, IP-to-MAC resolution uses real ARP request/reply
+// exchanges (encoded in RFC 826 wire format by package arp), and stale ARP
+// cache entries blackhole traffic exactly the way they would on a real
+// segment — which is what makes Wackamole's ARP spoofing observable.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"wackamole/internal/env"
+	"wackamole/internal/sim"
+)
+
+// MAC is a 48-bit Ethernet address stored in the low bits of a uint64.
+type MAC uint64
+
+// BroadcastMAC is the all-ones Ethernet broadcast address.
+const BroadcastMAC MAC = 0xFFFFFFFFFFFF
+
+// String formats the MAC in colon-separated hex.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x",
+		byte(m>>40), byte(m>>32), byte(m>>24), byte(m>>16), byte(m>>8), byte(m))
+}
+
+// Bytes returns the 6-byte big-endian representation.
+func (m MAC) Bytes() [6]byte {
+	return [6]byte{byte(m >> 40), byte(m >> 32), byte(m >> 24), byte(m >> 16), byte(m >> 8), byte(m)}
+}
+
+// MACFromBytes builds a MAC from its 6-byte representation.
+func MACFromBytes(b [6]byte) MAC {
+	return MAC(uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5]))
+}
+
+type frameKind uint8
+
+const (
+	frameARP frameKind = iota + 1
+	frameIPv4
+)
+
+// frame is an Ethernet-level datagram on a segment.
+type frame struct {
+	src  MAC
+	dst  MAC
+	kind frameKind
+	arp  []byte    // RFC 826 payload when kind == frameARP
+	pkt  *ipPacket // when kind == frameIPv4
+}
+
+// ipPacket is a simulated IPv4+UDP datagram. Only UDP is modelled; that is
+// all the paper's protocols and measurement workload use.
+type ipPacket struct {
+	src     netip.Addr
+	dst     netip.Addr
+	ttl     uint8
+	srcPort uint16
+	dstPort uint16
+	payload []byte
+}
+
+// SegmentConfig holds per-broadcast-domain link characteristics.
+type SegmentConfig struct {
+	// LatencyMin and LatencyMax bound one-way frame latency; each frame
+	// draws uniformly from the interval.
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// LossRate is the probability, per receiver, that a frame is dropped.
+	LossRate float64
+}
+
+// DefaultSegmentConfig models a lightly loaded switched 100 Mbit LAN.
+func DefaultSegmentConfig() SegmentConfig {
+	return SegmentConfig{
+		LatencyMin: 100 * time.Microsecond,
+		LatencyMax: 300 * time.Microsecond,
+	}
+}
+
+// Network is a collection of segments and hosts driven by one simulator.
+type Network struct {
+	sim     *sim.Sim
+	nextMAC MAC
+	hosts   []*Host
+	log     env.Logger
+	trace   func(TraceEvent)
+}
+
+// New returns an empty network on s.
+func New(s *sim.Sim) *Network {
+	return &Network{sim: s, nextMAC: 0x0A0000000001, log: env.NopLogger{}}
+}
+
+// SetLogger routes network-level diagnostics (drops, unroutable packets) to l.
+func (n *Network) SetLogger(l env.Logger) {
+	if l == nil {
+		l = env.NopLogger{}
+	}
+	n.log = l
+}
+
+// Sim returns the simulator driving this network.
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// Hosts returns all hosts created on the network, in creation order.
+func (n *Network) Hosts() []*Host {
+	out := make([]*Host, len(n.hosts))
+	copy(out, n.hosts)
+	return out
+}
+
+// NewSegment creates a broadcast domain with the given link characteristics.
+func (n *Network) NewSegment(name string, cfg SegmentConfig) *Segment {
+	if cfg.LatencyMax < cfg.LatencyMin {
+		cfg.LatencyMax = cfg.LatencyMin
+	}
+	return &Segment{net: n, name: name, cfg: cfg, partition: map[*NIC]int{}}
+}
+
+// Segment is an Ethernet broadcast domain (one switch). Partitioning a
+// segment models a switch failure splitting it into isolated port groups, as
+// footnote 1 of the paper describes.
+type Segment struct {
+	net       *Network
+	name      string
+	cfg       SegmentConfig
+	nics      []*NIC
+	partition map[*NIC]int
+}
+
+// Name returns the segment's label.
+func (s *Segment) Name() string { return s.name }
+
+// Partition splits the segment so that only hosts within the same group can
+// exchange frames. Every host with a NIC on this segment must appear in
+// exactly one group; Partition panics otherwise, because a silently missing
+// host would invalidate an experiment.
+func (s *Segment) Partition(groups ...[]*Host) {
+	assigned := make(map[*NIC]int, len(s.nics))
+	for gi, group := range groups {
+		for _, h := range group {
+			found := false
+			for _, nic := range h.nics {
+				if nic.seg == s {
+					if _, dup := assigned[nic]; dup {
+						panic(fmt.Sprintf("netsim: host %s listed in multiple partition groups", h.name))
+					}
+					assigned[nic] = gi + 1
+					found = true
+				}
+			}
+			if !found {
+				panic(fmt.Sprintf("netsim: host %s has no NIC on segment %s", h.name, s.name))
+			}
+		}
+	}
+	if len(assigned) != len(s.nics) {
+		panic(fmt.Sprintf("netsim: partition of %s covers %d of %d NICs", s.name, len(assigned), len(s.nics)))
+	}
+	s.partition = assigned
+}
+
+// Heal removes any partition, restoring full connectivity.
+func (s *Segment) Heal() {
+	s.partition = map[*NIC]int{}
+}
+
+func (s *Segment) reachable(a, b *NIC) bool {
+	return s.partition[a] == s.partition[b]
+}
+
+func (s *Segment) latency() time.Duration {
+	spread := s.cfg.LatencyMax - s.cfg.LatencyMin
+	if spread <= 0 {
+		return s.cfg.LatencyMin
+	}
+	return s.cfg.LatencyMin + time.Duration(s.net.sim.Rand().Int63n(int64(spread)))
+}
+
+// transmit schedules delivery of fr from src to all matching reachable NICs.
+func (s *Segment) transmit(src *NIC, fr frame) {
+	s.net.emitTrace(traceOf(s, fr, TraceSend, src.host.name))
+	for _, nic := range s.nics {
+		if nic == src || !nic.up || !nic.host.alive {
+			continue
+		}
+		if !s.reachable(src, nic) {
+			continue
+		}
+		if fr.dst != BroadcastMAC && fr.dst != nic.mac {
+			continue
+		}
+		if s.cfg.LossRate > 0 && s.net.sim.Rand().Float64() < s.cfg.LossRate {
+			s.net.log.Logf("netsim: %s dropped frame %s -> %s", s.name, fr.src, fr.dst)
+			s.net.emitTrace(traceOf(s, fr, TraceDrop, nic.host.name))
+			continue
+		}
+		nic := nic
+		frCopy := fr
+		s.net.sim.After(s.latency()+nic.host.jitter(), func() {
+			if nic.up && nic.host.alive {
+				s.net.emitTrace(traceOf(s, frCopy, TraceDeliver, nic.host.name))
+				nic.host.receiveFrame(nic, frCopy)
+			}
+		})
+	}
+}

@@ -1,0 +1,183 @@
+package probe
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"wackamole/internal/netsim"
+	"wackamole/internal/sim"
+)
+
+func setup(t *testing.T) (*sim.Sim, *netsim.Network, *netsim.Host, *netsim.Host) {
+	t.Helper()
+	s := sim.New(1)
+	nw := netsim.New(s)
+	lan := nw.NewSegment("lan", netsim.DefaultSegmentConfig())
+	server := nw.NewHost("alpha")
+	server.AttachNIC(lan, "eth0", netip.MustParsePrefix("10.0.0.10/24"))
+	client := nw.NewHost("client")
+	client.AttachNIC(lan, "eth0", netip.MustParsePrefix("10.0.0.50/24"))
+	return s, nw, server, client
+}
+
+func TestServerEchoesHostname(t *testing.T) {
+	s, _, server, client := setup(t)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(client, ClientConfig{
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.0.0.10"), 8080),
+		LocalPort: 9001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s.RunFor(time.Second)
+	c.Stop()
+	if c.Responses() < 90 {
+		t.Fatalf("got %d responses in 1s at 10ms interval", c.Responses())
+	}
+	if c.ByServer()["alpha"] != c.Responses() {
+		t.Fatalf("ByServer = %v", c.ByServer())
+	}
+	if c.LastFrom() != "alpha" {
+		t.Fatalf("LastFrom = %q", c.LastFrom())
+	}
+	if len(c.Gaps()) != 0 {
+		t.Fatalf("unexpected gaps on a healthy path: %v", c.Gaps())
+	}
+}
+
+func TestClientRecordsGapAcrossOutage(t *testing.T) {
+	s, _, server, client := setup(t)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(client, ClientConfig{
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.0.0.10"), 8080),
+		LocalPort: 9001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s.RunFor(time.Second)
+	server.NICs()[0].SetUp(false)
+	s.RunFor(2 * time.Second)
+	server.NICs()[0].SetUp(true)
+	s.RunFor(time.Second)
+	c.Stop()
+	gaps := c.Gaps()
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %v, want exactly one", gaps)
+	}
+	d := gaps[0].Duration()
+	if d < 1900*time.Millisecond || d > 2300*time.Millisecond {
+		t.Fatalf("gap duration = %v, want ≈2s", d)
+	}
+	if gaps[0].From != "alpha" || gaps[0].To != "alpha" {
+		t.Fatalf("gap endpoints = %q -> %q", gaps[0].From, gaps[0].To)
+	}
+	if c.MaxGap() < d {
+		t.Fatal("MaxGap smaller than the recorded gap")
+	}
+}
+
+func TestResetStatsKeepsGapContinuity(t *testing.T) {
+	s, _, server, client := setup(t)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(client, ClientConfig{
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.0.0.10"), 8080),
+		LocalPort: 9001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s.RunFor(time.Second)
+	c.ResetStats()
+	if c.Responses() != 0 || len(c.Gaps()) != 0 || c.MaxGap() != 0 {
+		t.Fatal("ResetStats left statistics behind")
+	}
+	// An outage that begins immediately after the reset must still be
+	// measured against the pre-reset last response.
+	server.NICs()[0].SetUp(false)
+	s.RunFor(time.Second)
+	server.NICs()[0].SetUp(true)
+	s.RunFor(500 * time.Millisecond)
+	c.Stop()
+	if len(c.Gaps()) != 1 {
+		t.Fatalf("gap across a reset not recorded: %v", c.Gaps())
+	}
+}
+
+func TestGapThresholdConfigurable(t *testing.T) {
+	s, _, server, client := setup(t)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(client, ClientConfig{
+		Target:       netip.AddrPortFrom(netip.MustParseAddr("10.0.0.10"), 8080),
+		LocalPort:    9001,
+		Interval:     50 * time.Millisecond,
+		GapThreshold: time.Hour, // nothing registers
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s.RunFor(time.Second)
+	server.NICs()[0].SetUp(false)
+	s.RunFor(2 * time.Second)
+	server.NICs()[0].SetUp(true)
+	s.RunFor(time.Second)
+	if len(c.Gaps()) != 0 {
+		t.Fatal("gap recorded despite a one-hour threshold")
+	}
+	if c.MaxGap() < 2*time.Second {
+		t.Fatalf("MaxGap = %v, want ≥ outage", c.MaxGap())
+	}
+}
+
+func TestPortCollisionSurfaces(t *testing.T) {
+	_, _, server, _ := setup(t)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(server, 8080); err == nil {
+		t.Fatal("double server bind succeeded")
+	}
+}
+
+func TestServerRepliesFromRequestedAddress(t *testing.T) {
+	// The server must answer from the virtual address the request targeted,
+	// not its stationary address — clients track the service, not the host.
+	s, _, server, client := setup(t)
+	vip := netip.MustParseAddr("10.0.0.100")
+	if err := server.NICs()[0].AddAddr(vip); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	var gotSrc netip.Addr
+	if _, err := client.BindUDP(netip.Addr{}, 9002, func(src, _ netip.AddrPort, _ []byte) {
+		gotSrc = src.Addr()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	err := client.SendUDP(
+		netip.AddrPortFrom(netip.MustParseAddr("10.0.0.50"), 9002),
+		netip.AddrPortFrom(vip, 8080), []byte("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if gotSrc != vip {
+		t.Fatalf("reply source = %v, want the virtual address %v", gotSrc, vip)
+	}
+}

@@ -1,0 +1,194 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All protocol code in this repository is written against the abstract
+// runtime in package env; under test and in the benchmark harness that
+// runtime is backed by a Sim, which executes events in virtual time on a
+// single goroutine. A seeded random source makes every run reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wackamole/internal/env"
+)
+
+// Epoch is the instant at which every simulation starts. The concrete value
+// is arbitrary; it only needs to be stable so that logs and traces from
+// different runs line up.
+var Epoch = time.Date(2003, time.June, 22, 0, 0, 0, 0, time.UTC)
+
+// Sim is a discrete-event simulator. It is not safe for concurrent use; all
+// interaction must happen from the goroutine driving Run/Step, which is also
+// the goroutine on which scheduled callbacks execute.
+type Sim struct {
+	now    time.Time
+	queue  eventQueue
+	seq    uint64
+	rng    *rand.Rand
+	fired  uint64
+	inStep bool
+}
+
+// New returns a simulator positioned at Epoch whose random source is seeded
+// with seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		now: Epoch,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Elapsed returns how much virtual time has passed since the simulation
+// started.
+func (s *Sim) Elapsed() time.Duration { return s.now.Sub(Epoch) }
+
+// Rand returns the simulator's seeded random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Fired reports how many events have executed so far.
+func (s *Sim) Fired() uint64 { return s.fired }
+
+// Pending reports how many events are scheduled but not yet executed,
+// including cancelled timers that have not been collected.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the timer. It reports whether the call prevented the event
+// from firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.cancelled || t.ev.done {
+		return false
+	}
+	t.ev.cancelled = true
+	return true
+}
+
+// At schedules fn to run at instant t. Instants in the past run as soon as
+// control returns to the event loop, at the current virtual time.
+func (s *Sim) At(t time.Time, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t.Before(s.now) {
+		t = s.now
+	}
+	ev := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d from the current virtual time. Negative
+// durations are treated as zero.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now.Add(d), fn)
+}
+
+// AfterFunc adapts After to the env.Clock interface, so a bare simulator can
+// serve as the clock for protocol code that is not tied to a simulated host.
+func (s *Sim) AfterFunc(d time.Duration, fn func()) env.Timer {
+	return s.After(d, fn)
+}
+
+var _ env.Clock = (*Sim)(nil)
+
+// Step executes the next pending event, advancing virtual time to its
+// deadline. It reports whether an event was executed.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.at.Before(s.now) {
+			panic(fmt.Sprintf("sim: event scheduled at %v before now %v", ev.at, s.now))
+		}
+		s.now = ev.at
+		ev.done = true
+		s.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Sim) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with deadlines at or before t, then advances the
+// clock to exactly t. Events scheduled beyond t remain pending.
+func (s *Sim) RunUntil(t time.Time) {
+	for {
+		ev := s.queue.peekLive()
+		if ev == nil || ev.at.After(t) {
+			break
+		}
+		s.Step()
+	}
+	if t.After(s.now) {
+		s.now = t
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (s *Sim) RunFor(d time.Duration) {
+	s.RunUntil(s.now.Add(d))
+}
+
+type event struct {
+	at        time.Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	done      bool
+}
+
+// eventQueue is a min-heap ordered by (deadline, insertion sequence) so that
+// ties break deterministically in FIFO order.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+func (q *eventQueue) peekLive() *event {
+	for q.Len() > 0 {
+		ev := (*q)[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(q)
+	}
+	return nil
+}

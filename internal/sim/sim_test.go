@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStartsAtEpoch(t *testing.T) {
+	s := New(1)
+	if !s.Now().Equal(Epoch) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), Epoch)
+	}
+	if s.Elapsed() != 0 {
+		t.Fatalf("Elapsed() = %v, want 0", s.Elapsed())
+	}
+}
+
+func TestAfterRunsInOrder(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order = %v, want %v", got, want)
+		}
+	}
+	if s.Elapsed() != 3*time.Second {
+		t.Fatalf("Elapsed = %v, want 3s", s.Elapsed())
+	}
+}
+
+func TestTieBreakIsFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie-break order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(time.Second, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop() = false on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop() = true, want false")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled timer fired")
+	}
+}
+
+func TestTimerStopAfterFire(t *testing.T) {
+	s := New(1)
+	var tm *Timer
+	tm = s.After(time.Second, func() {})
+	s.Run()
+	if tm.Stop() {
+		t.Fatal("Stop() = true after fire, want false")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New(1)
+	var at []time.Duration
+	s.After(time.Second, func() {
+		at = append(at, s.Elapsed())
+		s.After(time.Second, func() {
+			at = append(at, s.Elapsed())
+		})
+	})
+	s.Run()
+	if len(at) != 2 || at[0] != time.Second || at[1] != 2*time.Second {
+		t.Fatalf("nested fire times = %v", at)
+	}
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	s := New(1)
+	early, late := false, false
+	s.After(time.Second, func() { early = true })
+	s.After(10*time.Second, func() { late = true })
+	s.RunUntil(Epoch.Add(5 * time.Second))
+	if !early || late {
+		t.Fatalf("early=%v late=%v, want true,false", early, late)
+	}
+	if s.Elapsed() != 5*time.Second {
+		t.Fatalf("Elapsed = %v, want 5s", s.Elapsed())
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+	s.RunFor(5 * time.Second)
+	if !late {
+		t.Fatal("late event did not fire after RunFor")
+	}
+}
+
+func TestPastDeadlineClampsToNow(t *testing.T) {
+	s := New(1)
+	s.RunUntil(Epoch.Add(time.Minute))
+	fired := time.Time{}
+	s.At(Epoch, func() { fired = s.Now() })
+	s.Run()
+	if !fired.Equal(Epoch.Add(time.Minute)) {
+		t.Fatalf("past event fired at %v, want clamped to now", fired)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	trace := func(seed int64) []int64 {
+		s := New(seed)
+		var out []int64
+		var step func()
+		step = func() {
+			out = append(out, s.Elapsed().Milliseconds())
+			if len(out) < 50 {
+				d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+				s.After(d, step)
+			}
+		}
+		s.After(0, step)
+		s.Run()
+		return out
+	}
+	a, b := trace(42), trace(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRandDiffersBySeed(t *testing.T) {
+	a, b := New(1).Rand().Int63(), New(2).Rand().Int63()
+	if a == b {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+// TestQuickOrdering is a property-based check: any batch of randomly timed
+// events executes in nondecreasing deadline order.
+func TestQuickOrdering(t *testing.T) {
+	prop := func(seed int64, delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		s := New(seed)
+		var fired []time.Duration
+		for _, d := range delaysMs {
+			s.After(time.Duration(d)*time.Millisecond, func() {
+				fired = append(fired, s.Elapsed())
+			})
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(delaysMs)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopInsideEarlierEvent(t *testing.T) {
+	s := New(1)
+	fired := false
+	var victim *Timer
+	victim = s.After(2*time.Second, func() { fired = true })
+	s.After(time.Second, func() { victim.Stop() })
+	s.Run()
+	if fired {
+		t.Fatal("timer fired despite Stop from earlier event")
+	}
+}
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	}
+}

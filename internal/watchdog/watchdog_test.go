@@ -1,0 +1,178 @@
+package watchdog
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"wackamole/internal/netsim"
+	"wackamole/internal/probe"
+	"wackamole/internal/sim"
+)
+
+func TestFiresAfterThreshold(t *testing.T) {
+	s := sim.New(1)
+	healthy := true
+	fired := 0
+	w, err := New(s, Config{
+		Check:     func() bool { return healthy },
+		Action:    func() { fired++ },
+		Interval:  time.Second,
+		Threshold: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.RunFor(10 * time.Second)
+	if fired != 0 {
+		t.Fatal("fired while healthy")
+	}
+	healthy = false
+	s.RunFor(2 * time.Second)
+	if fired != 0 {
+		t.Fatal("fired before the threshold")
+	}
+	s.RunFor(5 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1", fired)
+	}
+	if !w.Fired() {
+		t.Fatal("Fired() = false")
+	}
+	// No repeat fire.
+	s.RunFor(10 * time.Second)
+	if fired != 1 {
+		t.Fatalf("action repeated: %d", fired)
+	}
+}
+
+func TestTransientFailureResetsCounter(t *testing.T) {
+	s := sim.New(2)
+	healthy := true
+	fired := false
+	w, err := New(s, Config{
+		Check:  func() bool { return healthy },
+		Action: func() { fired = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.RunFor(5 * time.Second)
+	healthy = false
+	s.RunFor(2 * time.Second) // two misses, below the default threshold of 3
+	healthy = true
+	s.RunFor(10 * time.Second)
+	if fired {
+		t.Fatal("fired on a transient failure")
+	}
+}
+
+func TestStopPreventsFiring(t *testing.T) {
+	s := sim.New(3)
+	fired := false
+	w, err := New(s, Config{
+		Check:  func() bool { return false },
+		Action: func() { fired = true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.RunFor(time.Second)
+	w.Stop()
+	s.RunFor(20 * time.Second)
+	if fired {
+		t.Fatal("fired after Stop")
+	}
+}
+
+func TestResetRearms(t *testing.T) {
+	s := sim.New(4)
+	healthy := false
+	fired := 0
+	w, err := New(s, Config{
+		Check:     func() bool { return healthy },
+		Action:    func() { fired++ },
+		Threshold: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.RunFor(3 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	healthy = true
+	w.Reset()
+	s.RunFor(3 * time.Second)
+	healthy = false
+	s.RunFor(3 * time.Second)
+	if fired != 2 {
+		t.Fatalf("fired %d after reset, want 2", fired)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	s := sim.New(5)
+	if _, err := New(s, Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := New(s, Config{Check: func() bool { return true }}); err == nil {
+		t.Fatal("missing action accepted")
+	}
+}
+
+func TestNICCheck(t *testing.T) {
+	s := sim.New(6)
+	nw := netsim.New(s)
+	seg := nw.NewSegment("lan", netsim.DefaultSegmentConfig())
+	h := nw.NewHost("a")
+	nic := h.AttachNIC(seg, "eth0", netip.MustParsePrefix("10.0.0.1/24"))
+	check := NICCheck(nic)
+	if !check() {
+		t.Fatal("healthy NIC reported down")
+	}
+	nic.SetUp(false)
+	if check() {
+		t.Fatal("downed NIC reported up")
+	}
+	nic.SetUp(true)
+	h.Crash()
+	if check() {
+		t.Fatal("crashed host reported up")
+	}
+}
+
+func TestUDPServiceCheckDetectsLocalServiceDeath(t *testing.T) {
+	s := sim.New(7)
+	nw := netsim.New(s)
+	seg := nw.NewSegment("lan", netsim.DefaultSegmentConfig())
+	h := nw.NewHost("a")
+	h.AttachNIC(seg, "eth0", netip.MustParsePrefix("10.0.0.1/24"))
+	srv, err := probe.NewServer(h, 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check, err := UDPServiceCheck(h, netip.AddrPortFrom(netip.MustParseAddr("10.0.0.1"), 8080), 9050)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	w, err := New(h, Config{Check: check, Action: func() { fired = true }, Interval: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	s.RunFor(10 * time.Second)
+	if fired {
+		t.Fatal("fired while the service answered")
+	}
+	srv.Close() // the application dies; the host stays healthy
+	s.RunFor(10 * time.Second)
+	if !fired {
+		t.Fatal("service death never detected")
+	}
+}

@@ -1,0 +1,239 @@
+// Package wire implements the compact, network-byte-order encoding used by
+// every protocol message in this repository. The original Wackamole paper
+// notes that its messaging layer must handle endian conflicts across
+// platforms (§4.2); fixing big-endian on the wire resolves that here.
+//
+// Writer never fails; Reader accumulates the first error and returns zero
+// values afterwards, so decoding code can run straight-line and check Err
+// once at the end.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrTruncated is returned when a read runs past the end of the buffer.
+var ErrTruncated = errors.New("wire: truncated message")
+
+// ErrTooLong is returned when a length-prefixed field exceeds its prefix
+// range.
+var ErrTooLong = errors.New("wire: field too long")
+
+// MaxStringLen bounds length-prefixed byte fields (16-bit prefix).
+const MaxStringLen = 1<<16 - 1
+
+// Writer serializes values into a growing buffer.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with capacity preallocated to sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// Bytes returns the encoded buffer. The slice aliases the Writer's internal
+// storage; callers must not retain it across further writes.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends a byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian 16-bit value.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian 32-bit value.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian 64-bit value.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+		return
+	}
+	w.U8(0)
+}
+
+// Duration appends a duration as nanoseconds.
+func (w *Writer) Duration(d time.Duration) { w.U64(uint64(d)) }
+
+// Bytes16 appends a 16-bit length prefix followed by b. Inputs longer than
+// MaxStringLen panic: message fields in this codebase are small by
+// construction, so an oversized field is a programming error.
+func (w *Writer) Bytes16(b []byte) {
+	if len(b) > MaxStringLen {
+		panic(fmt.Sprintf("wire: Bytes16 field of %d bytes exceeds %d", len(b), MaxStringLen))
+	}
+	w.U16(uint16(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String appends a 16-bit length-prefixed string.
+func (w *Writer) String(s string) { w.Bytes16([]byte(s)) }
+
+// StringList appends a 16-bit count followed by each string.
+func (w *Writer) StringList(ss []string) {
+	if len(ss) > MaxStringLen {
+		panic(fmt.Sprintf("wire: list of %d entries exceeds %d", len(ss), MaxStringLen))
+	}
+	w.U16(uint16(len(ss)))
+	for _, s := range ss {
+		w.String(s)
+	}
+}
+
+// U64List appends a 16-bit count followed by each value.
+func (w *Writer) U64List(vs []uint64) {
+	if len(vs) > MaxStringLen {
+		panic(fmt.Sprintf("wire: list of %d entries exceeds %d", len(vs), MaxStringLen))
+	}
+	w.U16(uint16(len(vs)))
+	for _, v := range vs {
+		w.U64(v)
+	}
+}
+
+// Reader deserializes values from a buffer, remembering the first error.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Err returns the first decoding error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining reports how many bytes are left unread.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns nil if the buffer was decoded exactly and without error.
+func (r *Reader) Done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("wire: %d trailing bytes", r.Remaining())
+	}
+	return nil
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.err = ErrTruncated
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian 16-bit value.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Bool reads one byte as a boolean; any nonzero value is true.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Duration reads a nanosecond-encoded duration.
+func (r *Reader) Duration() time.Duration { return time.Duration(r.U64()) }
+
+// Bytes16 reads a 16-bit length-prefixed byte field. The result is a copy.
+func (r *Reader) Bytes16() []byte {
+	n := int(r.U16())
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a 16-bit length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U16())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// StringList reads a 16-bit count-prefixed string list.
+func (r *Reader) StringList() []string {
+	n := int(r.U16())
+	if r.err != nil {
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.String())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}
+
+// U64List reads a 16-bit count-prefixed list of 64-bit values.
+func (r *Reader) U64List() []uint64 {
+	n := int(r.U16())
+	if r.err != nil {
+		return nil
+	}
+	out := make([]uint64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.U64())
+	}
+	if r.err != nil {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+// Package wackamole is a from-scratch Go implementation of Wackamole, the
+// N-way fail-over infrastructure for reliable servers and routers of Amir,
+// Caudy, Munjal, Schlossnagle and Tutu (DSN 2003). It keeps every public
+// virtual IP address of a cluster covered by exactly one live server, for
+// any pattern of server crashes, network partitions and merges, by running
+// a provably correct state-synchronization algorithm over a group
+// communication substrate with Virtual Synchrony semantics.
+//
+// A Node bundles the three components of the paper's architecture
+// (Figure 1): the group-communication daemon (package gcs, standing in for
+// the Spread toolkit), the Wackamole state-synchronization engine (package
+// core), and the IP-address control mechanism plus ARP notification
+// (packages ipmgr and arp). Nodes run identically over the deterministic
+// network simulator (package netsim, see Cluster) and over real UDP sockets
+// (package env/realtime, see cmd/wackamole).
+package wackamole
+
+import (
+	"fmt"
+	"time"
+
+	"wackamole/internal/arp"
+	"wackamole/internal/core"
+	"wackamole/internal/env"
+	"wackamole/internal/gcs"
+	"wackamole/internal/ipmgr"
+)
+
+// DefaultGroup is the process group Wackamole daemons join.
+const DefaultGroup = "wackamole"
+
+// DefaultPort is the UDP port the group-communication daemons use.
+const DefaultPort = 4803
+
+// ClientName is the name under which the Wackamole engine connects to its
+// local group-communication daemon.
+const ClientName = "wackd"
+
+// defaultReconnectInterval paces reconnection attempts after the engine
+// loses its daemon connection (§4.2 of the paper).
+const defaultReconnectInterval = time.Second
+
+// Config configures one Node.
+type Config struct {
+	// Group names the process group; every node of one cluster must agree.
+	// Empty means DefaultGroup.
+	Group string
+	// GCS holds the group-communication timeouts (the paper's Table 1).
+	GCS gcs.Config
+	// Engine holds the Wackamole algorithm configuration: the virtual
+	// address groups, preferences, and balance/maturity behaviour.
+	Engine core.Config
+	// ReconnectInterval paces reconnection attempts after losing the
+	// daemon connection. Zero means one second.
+	ReconnectInterval time.Duration
+}
+
+func (c Config) group() string {
+	if c.Group == "" {
+		return DefaultGroup
+	}
+	return c.Group
+}
+
+func (c Config) reconnectInterval() time.Duration {
+	if c.ReconnectInterval <= 0 {
+		return defaultReconnectInterval
+	}
+	return c.ReconnectInterval
+}
+
+// Node is one Wackamole instance: a group-communication daemon, the
+// state-synchronization engine, and the address control glue. Like
+// everything in this module, it must be driven from its Env's single
+// callback loop.
+type Node struct {
+	env     env.Env
+	cfg     Config
+	daemon  *gcs.Daemon
+	sess    *gcs.Session
+	engine  *core.Engine
+	ips     *ipmgr.Manager
+	started bool
+	stopped bool
+}
+
+// NewNode builds a Node on e. backend performs the platform-specific
+// address manipulation; notify announces ownership changes (nil disables
+// notification — only sensible in unit tests, since without ARP updates
+// routers keep forwarding to the failed server until their caches expire).
+func NewNode(e env.Env, cfg Config, backend ipmgr.Backend, notify arp.Notifier) (*Node, error) {
+	if e.Log == nil {
+		e.Log = env.NopLogger{}
+	}
+	daemon, err := gcs.NewDaemon(e, cfg.GCS)
+	if err != nil {
+		return nil, fmt.Errorf("wackamole: %w", err)
+	}
+	n := &Node{env: e, cfg: cfg, daemon: daemon, ips: ipmgr.New(backend)}
+	self := gcs.GroupMember{Daemon: daemon.ID(), Client: ClientName}
+	engine, err := core.NewEngine(cfg.Engine, core.Deps{
+		Self: core.MemberID(self.String()),
+		Cast: func(payload []byte) error {
+			if n.sess == nil {
+				return fmt.Errorf("wackamole: not connected")
+			}
+			return n.sess.Multicast(n.cfg.group(), payload)
+		},
+		IPs:    n.ips,
+		Notify: notify,
+		Clock:  e.Clock,
+		Log:    e.Log,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.engine = engine
+	return n, nil
+}
+
+// Start launches the daemon, connects the engine to it and joins the group.
+func (n *Node) Start() error {
+	if n.started {
+		return fmt.Errorf("wackamole: already started")
+	}
+	n.started = true
+	n.daemon.Start()
+	n.engine.Start()
+	return n.connect()
+}
+
+// connect attaches a fresh session and joins the group; used at startup and
+// by the reconnection loop.
+func (n *Node) connect() error {
+	sess, err := n.daemon.Connect(ClientName)
+	if err != nil {
+		return fmt.Errorf("wackamole: connect: %w", err)
+	}
+	n.sess = sess
+	group := n.cfg.group()
+	sess.SetViewHandler(func(v gcs.View) {
+		if v.Group != group {
+			return
+		}
+		view := core.View{ID: v.ID.String()}
+		for _, m := range v.Members {
+			view.Members = append(view.Members, core.MemberID(m.String()))
+		}
+		n.engine.OnView(view)
+	})
+	sess.SetMessageHandler(func(from gcs.GroupMember, g string, payload []byte) {
+		if g != group {
+			return
+		}
+		n.engine.OnMessage(core.MemberID(from.String()), payload)
+	})
+	sess.SetDisconnectHandler(func() {
+		// §4.2: a Wackamole daemon disconnected from its group
+		// communication drops all virtual interfaces and periodically
+		// attempts to reconnect.
+		n.sess = nil
+		n.engine.OnDisconnect()
+		n.scheduleReconnect()
+	})
+	return sess.Join(group)
+}
+
+func (n *Node) scheduleReconnect() {
+	n.env.Clock.AfterFunc(n.cfg.reconnectInterval(), func() {
+		if n.stopped || n.sess != nil {
+			return
+		}
+		if err := n.connect(); err != nil {
+			n.env.Log.Logf("wackamole: reconnect failed: %v; retrying", err)
+			n.scheduleReconnect()
+		}
+	})
+}
+
+// LeaveService departs gracefully: the engine releases its addresses and
+// the client leaves the group, while the local group-communication daemon
+// keeps running. The remaining members reallocate within milliseconds (the
+// §6 voluntary-departure measurement), because a client leave does not
+// trigger daemon-level reconfiguration.
+func (n *Node) LeaveService() error {
+	if n.sess == nil {
+		return fmt.Errorf("wackamole: not connected")
+	}
+	sess := n.sess
+	n.sess = nil
+	if err := sess.Disconnect(); err != nil {
+		return err
+	}
+	n.engine.OnDisconnect()
+	n.engine.Stop()
+	return nil
+}
+
+// Stop shuts the node down completely: graceful service departure followed
+// by a graceful daemon departure, so the surviving daemons reconfigure
+// after one discovery round instead of waiting out fault detection.
+func (n *Node) Stop() {
+	n.stopped = true
+	if n.sess != nil {
+		if err := n.LeaveService(); err != nil {
+			n.env.Log.Logf("wackamole: leave on stop: %v", err)
+		}
+	}
+	n.engine.Stop()
+	n.daemon.Leave()
+}
+
+// Status returns the engine's current snapshot.
+func (n *Node) Status() core.Status { return n.engine.Snapshot() }
+
+// Engine exposes the state-synchronization engine (administrative channel
+// operations like TriggerBalance go through it).
+func (n *Node) Engine() *core.Engine { return n.engine }
+
+// Daemon exposes the node's group-communication daemon.
+func (n *Node) Daemon() *gcs.Daemon { return n.daemon }
+
+// Session exposes the engine's current daemon session; nil while
+// disconnected. Tests use it for §4.2 fault injection via Sever.
+func (n *Node) Session() *gcs.Session { return n.sess }
+
+// IPs exposes the node's address manager.
+func (n *Node) IPs() *ipmgr.Manager { return n.ips }
+
+// Member returns the node's cluster-wide member identity.
+func (n *Node) Member() core.MemberID {
+	return core.MemberID(gcs.GroupMember{Daemon: n.daemon.ID(), Client: ClientName}.String())
+}

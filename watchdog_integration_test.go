@@ -1,0 +1,94 @@
+package wackamole_test
+
+// Integration of the §4.2 run-time application checks: an HTTP-like service
+// dies while its host, daemon and interfaces stay healthy — invisible to
+// the membership service. The watchdog detects it and triggers the
+// graceful-departure path, migrating the virtual addresses to servers whose
+// service still answers.
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/core"
+	"wackamole/internal/probe"
+	"wackamole/internal/watchdog"
+)
+
+func TestWatchdogMigratesVIPsWhenServiceDies(t *testing.T) {
+	c := newCluster(t, wackamole.ClusterOptions{Seed: 77, Servers: 3, VIPs: 6})
+	const servicePort = 8080
+	servers := make([]*probe.Server, len(c.Servers))
+	dogs := make([]*watchdog.Watchdog, len(c.Servers))
+	for i, srv := range c.Servers {
+		ps, err := probe.NewServer(srv.Host, servicePort)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = ps
+		check, err := watchdog.UDPServiceCheck(srv.Host,
+			netip.AddrPortFrom(wackamole.ServerAddr(i), servicePort), 9050)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := srv.Node
+		dog, err := watchdog.New(srv.Host, watchdog.Config{
+			Check: check,
+			Action: func() {
+				if err := node.LeaveService(); err != nil {
+					t.Errorf("watchdog leave: %v", err)
+				}
+			},
+			Interval:  500 * time.Millisecond,
+			Threshold: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dog.Start()
+		dogs[i] = dog
+	}
+	c.Settle()
+	checkExactlyOnce(t, c)
+	c.RunFor(5 * time.Second)
+	for i, dog := range dogs {
+		if dog.Fired() {
+			t.Fatalf("watchdog %d fired with a healthy service", i)
+		}
+	}
+
+	// Kill server 1's application only: daemon, host and NIC stay healthy,
+	// so the membership service sees nothing (§4.2's blind spot).
+	victim := 1
+	servers[victim].Close()
+	migrated := time.Duration(-1)
+	start := c.Sim.Elapsed()
+	for waited := time.Duration(0); waited < 30*time.Second; waited += 100 * time.Millisecond {
+		c.RunFor(100 * time.Millisecond)
+		if len(c.Servers[victim].Node.IPs().Held()) == 0 {
+			migrated = c.Sim.Elapsed() - start
+			break
+		}
+	}
+	if migrated < 0 {
+		t.Fatal("dead service never triggered migration")
+	}
+	// Detection budget: threshold × interval plus slack; the migration
+	// itself is the graceful path (milliseconds).
+	if migrated > 5*time.Second {
+		t.Fatalf("migration took %v, want within the watchdog budget", migrated)
+	}
+	c.RunFor(2 * time.Second)
+	checkExactlyOnce(t, c)
+	if c.Servers[victim].Node.Status().State != core.StateDetached {
+		t.Fatal("victim still participates after leaving service")
+	}
+	// The daemon membership survives: the victim's gcs daemon is still a
+	// ring member (only the client left).
+	_, members, ok := c.Servers[0].Node.Daemon().Ring()
+	if !ok || len(members) != 3 {
+		t.Fatalf("daemon ring = %v, want all three daemons", members)
+	}
+}
