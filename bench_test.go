@@ -17,21 +17,22 @@ import (
 	"time"
 
 	"wackamole/internal/experiment"
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 	"wackamole/internal/rip"
 )
 
 // reportTrials runs one seeded trial per iteration and reports the mean of
 // the simulated measurement under unit.
-func reportTrials(b *testing.B, unit string, trial func(seed int64) (time.Duration, error)) {
+func reportTrials(b *testing.B, unit string, trial runner.Trial) {
 	b.Helper()
 	var total time.Duration
 	for i := 0; i < b.N; i++ {
-		d, err := trial(int64(1000 + i*7919))
+		s, err := trial(int64(1000 + i*7919))
 		if err != nil {
 			b.Fatal(err)
 		}
-		total += d
+		total += s.Value
 	}
 	b.ReportMetric(total.Seconds()/float64(b.N), unit)
 }
@@ -43,7 +44,7 @@ func BenchmarkTable1(b *testing.B) {
 	for _, nc := range experiment.NamedConfigs() {
 		nc := nc
 		b.Run(string(nc.Name), func(b *testing.B) {
-			reportTrials(b, "sec/notification", func(seed int64) (time.Duration, error) {
+			reportTrials(b, "sec/notification", func(seed int64) (runner.Sample, error) {
 				return experiment.Table1Trial(seed, 5, nc.Cfg)
 			})
 		})
@@ -57,7 +58,7 @@ func BenchmarkFigure5(b *testing.B) {
 		for _, n := range experiment.Figure5Sizes {
 			nc, n := nc, n
 			b.Run(fmt.Sprintf("%s/servers=%d", nc.Name, n), func(b *testing.B) {
-				reportTrials(b, "sec/failover", func(seed int64) (time.Duration, error) {
+				reportTrials(b, "sec/failover", func(seed int64) (runner.Sample, error) {
 					return experiment.Figure5Trial(seed, n, nc.Cfg)
 				})
 			})
@@ -68,7 +69,7 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkGracefulLeave measures the voluntary-departure interruption of
 // §6 (paper: typically ~10ms, bounded by 250ms).
 func BenchmarkGracefulLeave(b *testing.B) {
-	reportTrials(b, "sec/leave", func(seed int64) (time.Duration, error) {
+	reportTrials(b, "sec/leave", func(seed int64) (runner.Sample, error) {
 		return experiment.GracefulTrial(seed, 4, gcs.TunedConfig())
 	})
 }
@@ -80,7 +81,7 @@ func BenchmarkRouterFailover(b *testing.B) {
 	for _, mode := range []experiment.RouterMode{experiment.RouterModeNaive, experiment.RouterModeAdvertiseAll} {
 		mode := mode
 		b.Run(string(mode), func(b *testing.B) {
-			reportTrials(b, "sec/failover", func(seed int64) (time.Duration, error) {
+			reportTrials(b, "sec/failover", func(seed int64) (runner.Sample, error) {
 				return experiment.RouterTrial(seed, mode, gcs.TunedConfig(), ripCfg)
 			})
 		})
@@ -108,13 +109,13 @@ func BenchmarkLoadSensitivity(b *testing.B) {
 	for _, jitter := range []time.Duration{0, 300 * time.Millisecond, 600 * time.Millisecond} {
 		jitter := jitter
 		b.Run(jitter.String(), func(b *testing.B) {
-			total := 0
+			total := uint64(0)
 			for i := 0; i < b.N; i++ {
-				n, _, err := experiment.LoadTrial(int64(3000+i), jitter, 60*time.Second)
+				s, err := experiment.LoadTrial(int64(3000+i), jitter, 60*time.Second)
 				if err != nil {
 					b.Fatal(err)
 				}
-				total += n
+				total += s.Metrics.ViewChanges
 			}
 			b.ReportMetric(float64(total)/float64(b.N), "false-reconfigs/min")
 		})
@@ -132,7 +133,7 @@ func BenchmarkAblationARPSpoof(b *testing.B) {
 			name = "off"
 		}
 		b.Run(name, func(b *testing.B) {
-			reportTrials(b, "sec/failover", func(seed int64) (time.Duration, error) {
+			reportTrials(b, "sec/failover", func(seed int64) (runner.Sample, error) {
 				return experiment.ARPSpoofTrial(seed, spoof, ttl)
 			})
 		})
@@ -150,7 +151,7 @@ func BenchmarkAblationConflictRelease(b *testing.B) {
 			name = "lazy"
 		}
 		b.Run(name, func(b *testing.B) {
-			reportTrials(b, "addr-sec/merge", func(seed int64) (time.Duration, error) {
+			reportTrials(b, "addr-sec/merge", func(seed int64) (runner.Sample, error) {
 				return experiment.ConflictReleaseTrial(seed, lazy)
 			})
 		})
@@ -167,7 +168,7 @@ func BenchmarkAblationBalance(b *testing.B) {
 			name = "off"
 		}
 		b.Run(name, func(b *testing.B) {
-			reportTrials(b, "skew-addrs", func(seed int64) (time.Duration, error) {
+			reportTrials(b, "skew-addrs", func(seed int64) (runner.Sample, error) {
 				return experiment.BalanceChurnTrial(seed, disabled)
 			})
 		})
@@ -184,7 +185,7 @@ func BenchmarkAblationMaturity(b *testing.B) {
 			name = "off"
 		}
 		b.Run(name, func(b *testing.B) {
-			reportTrials(b, "moves/boot", func(seed int64) (time.Duration, error) {
+			reportTrials(b, "moves/boot", func(seed int64) (runner.Sample, error) {
 				return experiment.MaturityBootTrial(seed, bootstrap)
 			})
 		})

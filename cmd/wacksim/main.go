@@ -1,10 +1,14 @@
 // Command wacksim regenerates every table and figure of the paper's
 // evaluation on the deterministic simulator:
 //
-//	wacksim -experiment all -trials 10
+//	wacksim -experiment all -trials 10 -parallel 8
 //
-// Experiments: table1, figure5, graceful, router, baselines, ablations, all.
-// Output is markdown, suitable for pasting into EXPERIMENTS.md.
+// Experiments: table1, figure5, graceful, router, baselines, load,
+// ablations, all. Output is markdown, suitable for pasting into
+// EXPERIMENTS.md; -format csv switches figure5 to CSV and -json emits one
+// JSON object per result row (NDJSON) instead of tables. Trials are
+// independent simulations, so -parallel N spreads them over N workers
+// without changing any number in the output.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"wackamole/internal/experiment"
+	"wackamole/internal/experiment/runner"
 )
 
 func main() {
@@ -27,6 +32,9 @@ func run(args []string, out io.Writer) int {
 	trials := fs.Int("trials", 10, "seeded trials per data point")
 	format := fs.String("format", "markdown", "figure5 output format: markdown|csv")
 	seed := fs.Int64("seed", 1, "base seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit NDJSON result rows instead of tables")
+	progress := fs.Bool("progress", false, "report per-trial progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -39,80 +47,90 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 
+	opts := []experiment.Option{experiment.Parallel(*parallel)}
+	if *progress {
+		opts = append(opts, experiment.WithSink(runner.SinkFunc(func(p runner.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "error: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "wacksim: [%d/%d] %s seed=%d %s\n", p.Done, p.Total, p.Point, p.Seed, status)
+		})))
+	}
+
+	emit := func(title, table string, rows []experiment.JSONRow) error {
+		if *jsonOut {
+			return experiment.WriteNDJSON(out, rows)
+		}
+		fmt.Fprintln(out, title)
+		fmt.Fprintln(out)
+		fmt.Fprint(out, table)
+		return nil
+	}
+
 	runners := map[string]func() error{
 		"table1": func() error {
-			rows, err := experiment.Table1(*seed, *trials)
+			rows, err := experiment.Table1(*seed, *trials, opts...)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "## Table 1 — Spread timeout tuning and induced notification time")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderTable1(rows))
-			return nil
+			return emit("## Table 1 — Spread timeout tuning and induced notification time",
+				experiment.RenderTable1(rows), experiment.Table1JSON(rows))
 		},
 		"figure5": func() error {
-			rows, err := experiment.Figure5(*seed, *trials)
+			rows, err := experiment.Figure5(*seed, *trials, opts...)
 			if err != nil {
 				return err
+			}
+			if *jsonOut {
+				return experiment.WriteNDJSON(out, experiment.Figure5JSON(rows))
 			}
 			if *format == "csv" {
 				fmt.Fprint(out, experiment.RenderFigure5CSV(rows))
 				return nil
 			}
-			fmt.Fprintln(out, "## Figure 5 — Average availability interruption vs cluster size")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderFigure5(rows))
-			return nil
+			return emit("## Figure 5 — Average availability interruption vs cluster size",
+				experiment.RenderFigure5(rows), nil)
 		},
 		"graceful": func() error {
-			rows, err := experiment.Graceful(*seed, *trials, []int{2, 4, 8, 12})
+			rows, err := experiment.Graceful(*seed, *trials, []int{2, 4, 8, 12}, opts...)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "## §6 — Availability interruption on voluntary (graceful) departure")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderGraceful(rows))
-			return nil
+			return emit("## §6 — Availability interruption on voluntary (graceful) departure",
+				experiment.RenderGraceful(rows), experiment.GracefulJSON(rows))
 		},
 		"router": func() error {
-			rows, err := experiment.RouterComparison(*seed, *trials)
+			rows, err := experiment.RouterComparison(*seed, *trials, opts...)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "## §5.2 — Virtual-router fail-over: naive vs advertise-all dynamic routing")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderRouterComparison(rows))
-			return nil
+			return emit("## §5.2 — Virtual-router fail-over: naive vs advertise-all dynamic routing",
+				experiment.RenderRouterComparison(rows), experiment.RouterJSON(rows))
 		},
 		"baselines": func() error {
-			rows, err := experiment.Baselines(*seed, *trials)
+			rows, err := experiment.Baselines(*seed, *trials, opts...)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "## §7 — Fail-over time against the related-work baselines")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderBaselines(rows))
-			return nil
+			return emit("## §7 — Fail-over time against the related-work baselines",
+				experiment.RenderBaselines(rows), experiment.BaselinesJSON(rows))
 		},
 		"load": func() error {
-			rows, err := experiment.LoadSensitivity(*seed, *trials)
+			rows, err := experiment.LoadSensitivity(*seed, *trials, opts...)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "## §6 — Load sensitivity: false failure detections vs scheduling delay")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderLoadSensitivity(rows))
-			return nil
+			return emit("## §6 — Load sensitivity: false failure detections vs scheduling delay",
+				experiment.RenderLoadSensitivity(rows), experiment.LoadJSON(rows))
 		},
 		"ablations": func() error {
-			rows, err := experiment.Ablations(*seed, *trials)
+			rows, err := experiment.Ablations(*seed, *trials, opts...)
 			if err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "## Ablations — §3.4/§5.1 design choices")
-			fmt.Fprintln(out)
-			fmt.Fprint(out, experiment.RenderAblations(rows))
-			return nil
+			return emit("## Ablations — §3.4/§5.1 design choices",
+				experiment.RenderAblations(rows), experiment.AblationsJSON(rows))
 		},
 	}
 	order := []string{"table1", "figure5", "graceful", "router", "baselines", "load", "ablations"}
@@ -122,16 +140,18 @@ func run(args []string, out io.Writer) int {
 		selected = order
 	}
 	for _, name := range selected {
-		runner, ok := runners[strings.TrimSpace(name)]
+		run, ok := runners[strings.TrimSpace(name)]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "wacksim: unknown experiment %q (want %s or all)\n", name, strings.Join(order, "|"))
 			return 2
 		}
-		if err := runner(); err != nil {
+		if err := run(); err != nil {
 			fmt.Fprintf(os.Stderr, "wacksim: %s: %v\n", name, err)
 			return 1
 		}
-		fmt.Fprintln(out)
+		if !*jsonOut {
+			fmt.Fprintln(out)
+		}
 	}
 	return 0
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -92,5 +93,58 @@ func TestBadFormatRejected(t *testing.T) {
 	var out strings.Builder
 	if code := run([]string{"-format", "yaml"}, &out); code != 2 {
 		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestParallelMatchesSerial pins the acceptance criterion that -parallel
+// never changes the rendered tables: trials are independent simulations, so
+// the worker count only affects wall-clock time.
+func TestParallelMatchesSerial(t *testing.T) {
+	render := func(workers string) string {
+		var out strings.Builder
+		args := []string{"-experiment", "figure5", "-trials", "1", "-seed", "7", "-parallel", workers}
+		if code := run(args, &out); code != 0 {
+			t.Fatalf("exit code = %d", code)
+		}
+		return out.String()
+	}
+	if serial, parallel := render("1"), render("8"); serial != parallel {
+		t.Fatalf("-parallel changed the table:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+// TestJSONOutputIsValidNDJSON checks that -json emits one parseable object
+// per row, carrying the statistics and the protocol-activity counters.
+func TestJSONOutputIsValidNDJSON(t *testing.T) {
+	var out strings.Builder
+	code := run([]string{"-experiment", "graceful,load", "-trials", "1", "-json"}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) < 5 { // 4 graceful sizes + ≥1 load point
+		t.Fatalf("only %d NDJSON lines:\n%s", len(lines), out.String())
+	}
+	sawMetrics := false
+	for _, line := range lines {
+		var row struct {
+			Experiment string             `json:"experiment"`
+			Point      string             `json:"point"`
+			Trials     int                `json:"trials"`
+			MeanSec    float64            `json:"mean_s"`
+			Metrics    map[string]float64 `json:"metrics"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if row.Experiment == "" || row.Point == "" || row.Trials != 1 {
+			t.Fatalf("incomplete row: %q", line)
+		}
+		if row.Metrics["frames_sent"] > 0 {
+			sawMetrics = true
+		}
+	}
+	if !sawMetrics {
+		t.Fatal("no row carried a nonzero frames_sent counter")
 	}
 }

@@ -36,12 +36,12 @@ func run() error {
 	fmt.Printf("dynamic routing: RIP-style advertisements every %v\n\n", ripCfg.AdvertisePeriod)
 	for _, mode := range []experiment.RouterMode{experiment.RouterModeNaive, experiment.RouterModeAdvertiseAll} {
 		fmt.Printf("== %s setup ==\n", mode)
-		d, err := experiment.RouterTrial(7, mode, cfg, ripCfg)
+		s, err := experiment.RouterTrial(7, mode, cfg, ripCfg)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("client-visible interruption after crashing the active router: %v\n\n",
-			d.Round(time.Millisecond))
+			s.Value.Round(time.Millisecond))
 	}
 	fmt.Println("the advertise-all setup hands off as fast as Wackamole reconfigures;")
 	fmt.Println("the naive setup additionally waits for routing reconvergence (§5.2).")

@@ -74,8 +74,25 @@ type Engine struct {
 	balanceTimer env.Timer
 	matureTimer  env.Timer
 
-	hook func(Event)
+	hook  func(Event)
+	stats Stats
 }
+
+// Stats counts the engine's address-management actions since Start; the
+// experiment harness aggregates them across a cluster to attribute observed
+// traffic and interruptions to reallocation activity.
+type Stats struct {
+	// Acquires and Releases count individual virtual addresses acquired
+	// and released (not groups).
+	Acquires uint64
+	Releases uint64
+	// Announces counts ownership-change notifications requested from the
+	// notifier (§5.1 ARP spoofing; the notifier may suppress them).
+	Announces uint64
+}
+
+// Stats returns a copy of the engine's activity counters.
+func (e *Engine) Stats() Stats { return e.stats }
 
 // NewEngine validates the configuration and returns an Engine in the
 // detached state. Call Start, then feed it group events.
@@ -541,6 +558,8 @@ func (e *Engine) acquireGroup(g, why string) {
 			e.emit(EventError, g, fmt.Sprintf("acquire %v: %v", a, err))
 			continue
 		}
+		e.stats.Acquires++
+		e.stats.Announces++
 		e.deps.Notify.Announce(a)
 	}
 	e.owned[g] = true
@@ -555,6 +574,7 @@ func (e *Engine) releaseGroup(g, why string) {
 			e.emit(EventError, g, fmt.Sprintf("release %v: %v", a, err))
 			continue
 		}
+		e.stats.Releases++
 		e.deps.Notify.Withdraw(a)
 	}
 	delete(e.owned, g)

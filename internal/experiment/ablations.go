@@ -6,6 +6,7 @@ import (
 
 	"wackamole"
 	"wackamole/internal/core"
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 	"wackamole/internal/netsim"
 )
@@ -16,41 +17,43 @@ type AblationRow struct {
 	Variant    string
 	Metric     string
 	Stat       Stat
+	Metrics    runner.Metrics
+	Errors     int
 }
 
 // ARPSpoofTrial measures the fail-over interruption with and without the
 // §5.1 gratuitous-ARP notification. Without it, the router keeps forwarding
 // to the failed server's MAC until its ARP cache entry expires (ttl).
-func ARPSpoofTrial(seed int64, spoof bool, ttl time.Duration) (time.Duration, error) {
+func ARPSpoofTrial(seed int64, spoof bool, ttl time.Duration) (runner.Sample, error) {
 	cfg := gcs.TunedConfig()
 	wc, err := NewWebCluster(seed, 4, cfg, func(o *wackamole.ClusterOptions) {
 		o.DisableARPSpoof = !spoof
 		o.RouterARPTTL = ttl
 	})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	wc.WarmUp(cfg)
 	// Randomize the fault phase against the ARP entry's lifetime too.
 	wc.RunFor(time.Duration(wc.Sim.Rand().Int63n(int64(ttl))))
 	victim, holders := wc.Owner(wc.Target)
 	if holders != 1 {
-		return 0, fmt.Errorf("experiment: %d holders before fault", holders)
+		return runner.Sample{}, fmt.Errorf("experiment: %d holders before fault", holders)
 	}
 	wc.FailServer(victim)
 	maxWait := 2*ttl + 4*(cfg.FaultDetectTimeout+cfg.DiscoveryTimeout)
 	gap, err := wc.MeasureInterruption(maxWait)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
-	return gap.Duration(), nil
+	return runner.Sample{Value: gap.Duration(), Metrics: clusterMetrics(wc.Cluster)}, nil
 }
 
 // ConflictReleaseTrial integrates the amount of duplicate coverage
 // (address-seconds during which a virtual address is answerable on both
 // sides of a healed partition) for the eager release of §3.4 versus the
 // lazy variant that waits for GATHER to complete.
-func ConflictReleaseTrial(seed int64, lazy bool) (time.Duration, error) {
+func ConflictReleaseTrial(seed int64, lazy bool) (runner.Sample, error) {
 	// A congested-LAN latency profile spreads the STATE_MSG exchange over a
 	// measurable window; on a quiet LAN both variants resolve within one
 	// token rotation and the difference drowns in the (identical)
@@ -65,7 +68,7 @@ func ConflictReleaseTrial(seed int64, lazy bool) (time.Duration, error) {
 		Segment:             seg,
 	})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	c.Settle()
 	c.Partition([]int{0, 1, 2}, []int{3, 4, 5})
@@ -81,13 +84,13 @@ func ConflictReleaseTrial(seed int64, lazy bool) (time.Duration, error) {
 			}
 		}
 	}
-	return duplicate, nil
+	return runner.Sample{Value: duplicate, Metrics: clusterMetrics(c)}, nil
 }
 
 // BalanceChurnTrial puts the cluster through fail/restore churn and
 // reports the final allocation skew (max−min addresses per live server),
 // with or without the §3.4 re-balancing procedure.
-func BalanceChurnTrial(seed int64, disabled bool) (time.Duration, error) {
+func BalanceChurnTrial(seed int64, disabled bool) (runner.Sample, error) {
 	c, err := wackamole.NewCluster(wackamole.ClusterOptions{
 		Seed:           seed,
 		Servers:        4,
@@ -97,7 +100,7 @@ func BalanceChurnTrial(seed int64, disabled bool) (time.Duration, error) {
 		DisableBalance: disabled,
 	})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	c.Settle()
 	for _, victim := range []int{3, 2} {
@@ -118,14 +121,14 @@ func BalanceChurnTrial(seed int64, disabled bool) (time.Duration, error) {
 	}
 	// Encode the skew as a duration of whole units so the shared Stat
 	// machinery applies (1 "second" = 1 address of skew).
-	return time.Duration(maxC-minC) * time.Second, nil
+	return runner.Sample{Value: time.Duration(maxC-minC) * time.Second, Metrics: clusterMetrics(c)}, nil
 }
 
 // MaturityBootTrial boots a cluster one server every two seconds and counts
 // address movements (releases) during the boot window — the churn the §3.4
 // maturity bootstrap exists to avoid. Re-balancing runs aggressively, as a
 // production cluster would configure for steady state.
-func MaturityBootTrial(seed int64, bootstrap bool) (time.Duration, error) {
+func MaturityBootTrial(seed int64, bootstrap bool) (runner.Sample, error) {
 	c, err := wackamole.NewCluster(wackamole.ClusterOptions{
 		Seed:           seed,
 		Servers:        5,
@@ -137,7 +140,7 @@ func MaturityBootTrial(seed int64, bootstrap bool) (time.Duration, error) {
 		StartStagger:   2 * time.Second,
 	})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	releases := 0
 	for _, srv := range c.Servers {
@@ -151,53 +154,67 @@ func MaturityBootTrial(seed int64, bootstrap bool) (time.Duration, error) {
 	// The cluster must end fully covered either way.
 	for _, vip := range c.VIPs() {
 		if _, holders := c.Owner(vip); holders != 1 {
-			return 0, fmt.Errorf("experiment: %v held by %d after boot", vip, holders)
+			return runner.Sample{}, fmt.Errorf("experiment: %v held by %d after boot", vip, holders)
 		}
 	}
-	return time.Duration(releases) * time.Second, nil
+	return runner.Sample{Value: time.Duration(releases) * time.Second, Metrics: clusterMetrics(c)}, nil
+}
+
+// ablationSteps enumerates every design-choice experiment in presentation
+// order.
+func ablationSteps() []struct {
+	experiment, variant, metric string
+	f                           runner.Trial
+} {
+	const ttl = 30 * time.Second
+	return []struct {
+		experiment, variant, metric string
+		f                           runner.Trial
+	}{
+		{"arp-spoofing (§5.1)", "spoof on", "client interruption",
+			func(s int64) (runner.Sample, error) { return ARPSpoofTrial(s, true, ttl) }},
+		{"arp-spoofing (§5.1)", "spoof off (30s ARP TTL)", "client interruption",
+			func(s int64) (runner.Sample, error) { return ARPSpoofTrial(s, false, ttl) }},
+		{"conflict release (§3.4)", "eager", "duplicate coverage (addr·time)",
+			func(s int64) (runner.Sample, error) { return ConflictReleaseTrial(s, false) }},
+		{"conflict release (§3.4)", "lazy (end of GATHER)", "duplicate coverage (addr·time)",
+			func(s int64) (runner.Sample, error) { return ConflictReleaseTrial(s, true) }},
+		{"re-balancing (§3.4)", "enabled", "allocation skew (addresses)",
+			func(s int64) (runner.Sample, error) { return BalanceChurnTrial(s, false) }},
+		{"re-balancing (§3.4)", "disabled", "allocation skew (addresses)",
+			func(s int64) (runner.Sample, error) { return BalanceChurnTrial(s, true) }},
+		{"maturity bootstrap (§3.4)", "enabled", "boot-time address movements",
+			func(s int64) (runner.Sample, error) { return MaturityBootTrial(s, true) }},
+		{"maturity bootstrap (§3.4)", "disabled", "boot-time address movements",
+			func(s int64) (runner.Sample, error) { return MaturityBootTrial(s, false) }},
+	}
 }
 
 // Ablations runs every design-choice experiment.
-func Ablations(baseSeed int64, trials int) ([]AblationRow, error) {
-	var rows []AblationRow
-	run := func(experiment, variant, metric string, f func(seed int64) (time.Duration, error)) error {
-		var samples []time.Duration
-		for _, seed := range Seeds(baseSeed, trials) {
-			d, err := f(seed)
-			if err != nil {
-				return fmt.Errorf("%s/%s: %w", experiment, variant, err)
-			}
-			samples = append(samples, d)
-		}
-		rows = append(rows, AblationRow{Experiment: experiment, Variant: variant, Metric: metric, Stat: Summarize(samples)})
-		return nil
-	}
-	const ttl = 30 * time.Second
-	steps := []struct {
-		experiment, variant, metric string
-		f                           func(seed int64) (time.Duration, error)
-	}{
-		{"arp-spoofing (§5.1)", "spoof on", "client interruption",
-			func(s int64) (time.Duration, error) { return ARPSpoofTrial(s, true, ttl) }},
-		{"arp-spoofing (§5.1)", "spoof off (30s ARP TTL)", "client interruption",
-			func(s int64) (time.Duration, error) { return ARPSpoofTrial(s, false, ttl) }},
-		{"conflict release (§3.4)", "eager", "duplicate coverage (addr·time)",
-			func(s int64) (time.Duration, error) { return ConflictReleaseTrial(s, false) }},
-		{"conflict release (§3.4)", "lazy (end of GATHER)", "duplicate coverage (addr·time)",
-			func(s int64) (time.Duration, error) { return ConflictReleaseTrial(s, true) }},
-		{"re-balancing (§3.4)", "enabled", "allocation skew (addresses)",
-			func(s int64) (time.Duration, error) { return BalanceChurnTrial(s, false) }},
-		{"re-balancing (§3.4)", "disabled", "allocation skew (addresses)",
-			func(s int64) (time.Duration, error) { return BalanceChurnTrial(s, true) }},
-		{"maturity bootstrap (§3.4)", "enabled", "boot-time address movements",
-			func(s int64) (time.Duration, error) { return MaturityBootTrial(s, true) }},
-		{"maturity bootstrap (§3.4)", "disabled", "boot-time address movements",
-			func(s int64) (time.Duration, error) { return MaturityBootTrial(s, false) }},
-	}
+func Ablations(baseSeed int64, trials int, opts ...Option) ([]AblationRow, error) {
+	steps := ablationSteps()
+	var points []runner.Point
 	for _, st := range steps {
-		if err := run(st.experiment, st.variant, st.metric, st.f); err != nil {
+		points = append(points, runner.Point{
+			Label: fmt.Sprintf("ablations/%s/%s", st.experiment, st.variant),
+			Seeds: Seeds(baseSeed, trials),
+			Run:   st.f,
+		})
+	}
+	var rows []AblationRow
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
 			return nil, err
 		}
+		rows = append(rows, AblationRow{
+			Experiment: steps[i].experiment,
+			Variant:    steps[i].variant,
+			Metric:     steps[i].metric,
+			Stat:       stat,
+			Metrics:    metrics,
+			Errors:     errs,
+		})
 	}
 	return rows, nil
 }

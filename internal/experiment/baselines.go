@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"time"
 
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/fake"
 	"wackamole/internal/gcs"
 	"wackamole/internal/hsrp"
@@ -16,9 +17,11 @@ import (
 
 // BaselineRow is one line of the §7 baseline fail-over comparison.
 type BaselineRow struct {
-	System string
-	Detail string
-	Stat   Stat
+	System  string
+	Detail  string
+	Stat    Stat
+	Metrics runner.Metrics
+	Errors  int
 }
 
 // pairTopology is a two-server fail-over pair behind a router with an
@@ -26,6 +29,7 @@ type BaselineRow struct {
 // used to measure every baseline with the same §6 methodology.
 type pairTopology struct {
 	sim       *sim.Sim
+	net       *netsim.Network
 	main      *netsim.Host
 	backup    *netsim.Host
 	mainNIC   *netsim.NIC
@@ -46,7 +50,7 @@ func newPairTopology(seed int64) (*pairTopology, error) {
 	router.AttachNIC(ext, "out", netip.MustParsePrefix("192.168.1.1/24"))
 	router.EnableForwarding()
 
-	p := &pairTopology{sim: s, vip: netip.MustParseAddr("10.0.0.100")}
+	p := &pairTopology{sim: s, net: nw, vip: netip.MustParseAddr("10.0.0.100")}
 	p.main = nw.NewHost("main")
 	p.mainNIC = p.main.AttachNIC(lan, "eth0", netip.MustParsePrefix("10.0.0.10/24"))
 	p.main.SetDefaultGateway(p.mainNIC, netip.MustParseAddr("10.0.0.1"))
@@ -74,12 +78,13 @@ func newPairTopology(seed int64) (*pairTopology, error) {
 }
 
 // measureFailover warms the probe path up, fails the main server and
-// returns the client-visible interruption.
-func (p *pairTopology) measureFailover(maxWait time.Duration) (time.Duration, error) {
+// returns the client-visible interruption together with the topology's
+// traffic counters.
+func (p *pairTopology) measureFailover(maxWait time.Duration) (runner.Sample, error) {
 	p.client.Start()
 	p.sim.RunFor(2 * time.Second)
 	if p.client.Responses() == 0 {
-		return 0, fmt.Errorf("experiment: service never answered before the fault")
+		return runner.Sample{}, fmt.Errorf("experiment: service never answered before the fault")
 	}
 	// Uniform fault phase relative to the protocols' periodic timers.
 	p.sim.RunFor(time.Duration(p.sim.Rand().Int63n(int64(3 * time.Second))))
@@ -90,68 +95,68 @@ func (p *pairTopology) measureFailover(maxWait time.Duration) (time.Duration, er
 	for waited := time.Duration(0); waited < maxWait; waited += step {
 		p.sim.RunFor(step)
 		if gaps := p.client.Gaps(); len(gaps) > 0 {
-			return gaps[0].Duration(), nil
+			return runner.Sample{Value: gaps[0].Duration(), Metrics: networkMetrics(p.net)}, nil
 		}
 	}
-	return 0, fmt.Errorf("experiment: no fail-over within %v", maxWait)
+	return runner.Sample{}, fmt.Errorf("experiment: no fail-over within %v", maxWait)
 }
 
 // VRRPTrial measures VRRP fail-over with RFC 2338 defaults (1s adverts).
-func VRRPTrial(seed int64) (time.Duration, error) {
+func VRRPTrial(seed int64) (runner.Sample, error) {
 	p, err := newPairTopology(seed)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	master, err := vrrp.New(p.main, p.mainNIC, vrrp.Config{VRID: 1, Priority: 200, VIP: p.vip, Preempt: true})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	backup, err := vrrp.New(p.backup, p.backupNIC, vrrp.Config{VRID: 1, Priority: 100, VIP: p.vip, Preempt: true})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	master.Start()
 	backup.Start()
 	p.sim.RunFor(8 * time.Second) // initial election
 	if master.State() != vrrp.StateMaster {
-		return 0, fmt.Errorf("experiment: vrrp election failed (main %v)", master.State())
+		return runner.Sample{}, fmt.Errorf("experiment: vrrp election failed (main %v)", master.State())
 	}
 	return p.measureFailover(30 * time.Second)
 }
 
 // HSRPTrial measures HSRP fail-over with the defaults the paper quotes
 // (hello 3s, timeouts 10s).
-func HSRPTrial(seed int64) (time.Duration, error) {
+func HSRPTrial(seed int64) (runner.Sample, error) {
 	p, err := newPairTopology(seed)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	active, err := hsrp.New(p.main, p.mainNIC, hsrp.Config{Group: 1, Priority: 200, VIP: p.vip})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	standby, err := hsrp.New(p.backup, p.backupNIC, hsrp.Config{Group: 1, Priority: 100, VIP: p.vip})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	active.Start()
 	standby.Start()
 	p.sim.RunFor(25 * time.Second) // initial election resolves after hold
 	if active.Role() != hsrp.RoleActive {
-		return 0, fmt.Errorf("experiment: hsrp election failed (main %v)", active.Role())
+		return runner.Sample{}, fmt.Errorf("experiment: hsrp election failed (main %v)", active.Role())
 	}
 	return p.measureFailover(40 * time.Second)
 }
 
 // FakeTrial measures the Linux Fake scheme: the backup probes the main's
 // service every second and takes over after three consecutive misses.
-func FakeTrial(seed int64) (time.Duration, error) {
+func FakeTrial(seed int64) (runner.Sample, error) {
 	p, err := newPairTopology(seed)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	if err := p.mainNIC.AddAddr(p.vip); err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	mon, err := fake.New(p.backup, p.backupNIC, fake.Config{
 		Target:    netip.AddrPortFrom(p.vip, ServicePort),
@@ -159,42 +164,54 @@ func FakeTrial(seed int64) (time.Duration, error) {
 		LocalPort: 9100,
 	})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	mon.Start()
 	return p.measureFailover(30 * time.Second)
 }
 
-// Baselines runs the fail-over comparison: Wackamole under both Table 1
-// configurations against VRRP, HSRP and Fake, all measured identically.
-func Baselines(baseSeed int64, trials int) ([]BaselineRow, error) {
-	type system struct {
+// baselineSystems enumerates the §7 comparison in presentation order.
+func baselineSystems() []struct {
+	name   string
+	detail string
+	run    runner.Trial
+} {
+	return []struct {
 		name   string
 		detail string
-		run    func(seed int64) (time.Duration, error)
-	}
-	systems := []system{
-		{"wackamole (tuned)", "Table 1 tuned timeouts", func(s int64) (time.Duration, error) {
+		run    runner.Trial
+	}{
+		{"wackamole (tuned)", "Table 1 tuned timeouts", func(s int64) (runner.Sample, error) {
 			return Figure5Trial(s, 2, gcs.TunedConfig())
 		}},
-		{"wackamole (default)", "Table 1 default timeouts", func(s int64) (time.Duration, error) {
+		{"wackamole (default)", "Table 1 default timeouts", func(s int64) (runner.Sample, error) {
 			return Figure5Trial(s, 2, gcs.DefaultConfig())
 		}},
 		{"vrrp", "RFC 2338 defaults: 1s adverts, 3×+skew master-down", VRRPTrial},
 		{"hsrp", "hello 3s, hold 10s (§7)", HSRPTrial},
 		{"fake", "1s service probes, 3-miss threshold", FakeTrial},
 	}
-	var rows []BaselineRow
+}
+
+// Baselines runs the fail-over comparison: Wackamole under both Table 1
+// configurations against VRRP, HSRP and Fake, all measured identically.
+func Baselines(baseSeed int64, trials int, opts ...Option) ([]BaselineRow, error) {
+	systems := baselineSystems()
+	var points []runner.Point
 	for _, sys := range systems {
-		var samples []time.Duration
-		for _, seed := range Seeds(baseSeed, trials) {
-			d, err := sys.run(seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", sys.name, err)
-			}
-			samples = append(samples, d)
+		points = append(points, runner.Point{
+			Label: fmt.Sprintf("baselines/%s", sys.name),
+			Seeds: Seeds(baseSeed, trials),
+			Run:   sys.run,
+		})
+	}
+	var rows []BaselineRow
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, BaselineRow{System: sys.name, Detail: sys.detail, Stat: Summarize(samples)})
+		rows = append(rows, BaselineRow{System: systems[i].name, Detail: systems[i].detail, Stat: stat, Metrics: metrics, Errors: errs})
 	}
 	return rows, nil
 }

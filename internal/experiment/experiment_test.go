@@ -10,25 +10,45 @@ import (
 
 func TestFigure5TrialTunedMatchesPaperBand(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
-		d, err := Figure5Trial(seed, 4, gcs.TunedConfig())
+		s, err := Figure5Trial(seed, 4, gcs.TunedConfig())
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		// Paper: 2s–2.4s plus small protocol overheads.
-		if d < 1900*time.Millisecond || d > 2800*time.Millisecond {
-			t.Fatalf("seed %d: tuned interruption %v outside the paper band", seed, d)
+		if s.Value < 1900*time.Millisecond || s.Value > 2800*time.Millisecond {
+			t.Fatalf("seed %d: tuned interruption %v outside the paper band", seed, s.Value)
 		}
 	}
 }
 
 func TestFigure5TrialDefaultMatchesPaperBand(t *testing.T) {
-	d, err := Figure5Trial(5, 4, gcs.DefaultConfig())
+	s, err := Figure5Trial(5, 4, gcs.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Paper: 10s–12s plus small protocol overheads.
-	if d < 9500*time.Millisecond || d > 13*time.Second {
-		t.Fatalf("default interruption %v outside the paper band", d)
+	if s.Value < 9500*time.Millisecond || s.Value > 13*time.Second {
+		t.Fatalf("default interruption %v outside the paper band", s.Value)
+	}
+}
+
+func TestFigure5TrialReportsMetrics(t *testing.T) {
+	s, err := Figure5Trial(2, 4, gcs.TunedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics
+	if m.MembershipsInstalled == 0 || m.TokenRotations == 0 || m.FramesSent == 0 {
+		t.Fatalf("trial metrics missing protocol activity: %+v", m)
+	}
+	if m.ViewChanges == 0 {
+		t.Fatalf("a fail-over trial must record a view change: %+v", m)
+	}
+	if m.ARPSpoofs == 0 {
+		t.Fatalf("a take-over must spoof ARP (§5.1): %+v", m)
+	}
+	if m.Acquires == 0 {
+		t.Fatalf("a take-over must acquire addresses: %+v", m)
 	}
 }
 
@@ -37,10 +57,11 @@ func TestFaultPhaseSpreadsDetectionTime(t *testing.T) {
 	// interruptions should not all be identical.
 	var min, max time.Duration
 	for seed := int64(10); seed < 18; seed++ {
-		d, err := Figure5Trial(seed, 2, gcs.TunedConfig())
+		s, err := Figure5Trial(seed, 2, gcs.TunedConfig())
 		if err != nil {
 			t.Fatal(err)
 		}
+		d := s.Value
 		if min == 0 || d < min {
 			min = d
 		}
@@ -57,16 +78,16 @@ func TestFaultPhaseSpreadsDetectionTime(t *testing.T) {
 }
 
 func TestGracefulTrialIsMilliseconds(t *testing.T) {
-	d, err := GracefulTrial(3, 3, gcs.TunedConfig())
+	s, err := GracefulTrial(3, 3, gcs.TunedConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// §6: typically ~10ms, conservative upper bound 250ms.
-	if d > 250*time.Millisecond {
-		t.Fatalf("graceful-leave interruption %v exceeds the paper's 250ms bound", d)
+	if s.Value > 250*time.Millisecond {
+		t.Fatalf("graceful-leave interruption %v exceeds the paper's 250ms bound", s.Value)
 	}
-	if d < probeFloor() {
-		t.Fatalf("interruption %v below the probe interval floor", d)
+	if s.Value < probeFloor() {
+		t.Fatalf("interruption %v below the probe interval floor", s.Value)
 	}
 }
 
@@ -74,14 +95,14 @@ func probeFloor() time.Duration { return 9 * time.Millisecond }
 
 func TestTable1TrialBands(t *testing.T) {
 	cfg := gcs.TunedConfig()
-	d, err := Table1Trial(7, 5, cfg)
+	s, err := Table1Trial(7, 5, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lo := cfg.FaultDetectTimeout - cfg.HeartbeatInterval + cfg.DiscoveryTimeout - 100*time.Millisecond
 	hi := cfg.FaultDetectTimeout + cfg.DiscoveryTimeout + 500*time.Millisecond
-	if d < lo || d > hi {
-		t.Fatalf("notification delay %v outside [%v, %v]", d, lo, hi)
+	if s.Value < lo || s.Value > hi {
+		t.Fatalf("notification delay %v outside [%v, %v]", s.Value, lo, hi)
 	}
 }
 
@@ -104,8 +125,28 @@ func TestSummarize(t *testing.T) {
 	if s.StdDev != time.Second {
 		t.Fatalf("StdDev = %v, want 1s", s.StdDev)
 	}
+	if s.P50 != 2*time.Second || s.P99 != 3*time.Second {
+		t.Fatalf("percentiles = p50 %v p99 %v", s.P50, s.P99)
+	}
 	if z := Summarize(nil); z.N != 0 {
 		t.Fatalf("Summarize(nil) = %+v", z)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var ds []time.Duration
+	for i := 1; i <= 100; i++ {
+		ds = append(ds, time.Duration(i)*time.Millisecond)
+	}
+	s := Summarize(ds)
+	if s.P50 != 50*time.Millisecond {
+		t.Fatalf("P50 = %v, want 50ms", s.P50)
+	}
+	if s.P99 != 99*time.Millisecond {
+		t.Fatalf("P99 = %v, want 99ms", s.P99)
+	}
+	if one := Summarize(ds[:1]); one.P50 != time.Millisecond || one.P99 != time.Millisecond {
+		t.Fatalf("single-sample percentiles = %+v", one)
 	}
 }
 

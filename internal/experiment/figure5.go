@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 )
 
@@ -39,70 +40,80 @@ var Figure5Sizes = []int{2, 4, 6, 8, 10, 12}
 // servers maintaining 10 virtual addresses, a client probing one of them
 // every 10ms, and a fault disconnecting the interface of the server
 // covering it.
-func Figure5Trial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
+func Figure5Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 	wc, err := NewWebCluster(seed, n, cfg)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	wc.WarmUp(cfg)
 	victim, holders := wc.Owner(wc.Target)
 	if holders != 1 {
-		return 0, fmt.Errorf("experiment: %d holders of the target before fault", holders)
+		return runner.Sample{}, fmt.Errorf("experiment: %d holders of the target before fault", holders)
 	}
 	wc.FailServer(victim)
 	maxWait := 4 * (cfg.FaultDetectTimeout + cfg.DiscoveryTimeout)
 	gap, err := wc.MeasureInterruption(maxWait)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	if gap.To == gap.From {
-		return 0, fmt.Errorf("experiment: service resumed on the failed server %q", gap.To)
+		return runner.Sample{}, fmt.Errorf("experiment: service resumed on the failed server %q", gap.To)
 	}
-	return gap.Duration(), nil
+	return runner.Sample{Value: gap.Duration(), Metrics: clusterMetrics(wc.Cluster)}, nil
 }
 
 // Figure5Row is one point of Figure 5.
 type Figure5Row struct {
-	Config ConfigName
-	Size   int
-	Stat   Stat
-	Errors int
+	Config  ConfigName
+	Size    int
+	Stat    Stat
+	Metrics runner.Metrics
+	Errors  int
 }
 
 // Figure5 sweeps cluster size × configuration with `trials` seeded runs per
 // point, reproducing the paper's Figure 5 ("Average Availability
 // Interruption with Varying Cluster Size").
-func Figure5(baseSeed int64, trials int) ([]Figure5Row, error) {
-	var rows []Figure5Row
+func Figure5(baseSeed int64, trials int, opts ...Option) ([]Figure5Row, error) {
+	type key struct {
+		cfg  ConfigName
+		size int
+	}
+	var keys []key
+	var points []runner.Point
 	for _, nc := range NamedConfigs() {
 		for _, n := range Figure5Sizes {
-			var samples []time.Duration
-			errs := 0
-			for _, seed := range Seeds(baseSeed+int64(n), trials) {
-				d, err := Figure5Trial(seed, n, nc.Cfg)
-				if err != nil {
-					errs++
-					continue
-				}
-				samples = append(samples, d)
-			}
-			if len(samples) == 0 {
-				return nil, fmt.Errorf("experiment: figure5 %s n=%d: all %d trials failed", nc.Name, n, trials)
-			}
-			rows = append(rows, Figure5Row{Config: nc.Name, Size: n, Stat: Summarize(samples), Errors: errs})
+			nc, n := nc, n
+			keys = append(keys, key{nc.Name, n})
+			points = append(points, runner.Point{
+				Label: fmt.Sprintf("figure5/%s/n=%d", nc.Name, n),
+				Seeds: Seeds(baseSeed+int64(n), trials),
+				Run: func(seed int64) (runner.Sample, error) {
+					return Figure5Trial(seed, n, nc.Cfg)
+				},
+			})
 		}
+	}
+	var rows []Figure5Row
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Figure5Row{Config: keys[i].cfg, Size: keys[i].size, Stat: stat, Metrics: metrics, Errors: errs})
 	}
 	return rows, nil
 }
 
 // RenderFigure5 formats the rows as the two series of the paper's figure.
 func RenderFigure5(rows []Figure5Row) string {
-	header := []string{"config", "cluster size", "trials", "mean interruption", "min", "max", "stddev"}
+	header := []string{"config", "cluster size", "trials", "mean interruption", "min", "p50", "p99", "max", "stddev"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
 			string(r.Config), fmt.Sprintf("%d", r.Size), fmt.Sprintf("%d", r.Stat.N),
-			Seconds(r.Stat.Mean), Seconds(r.Stat.Min), Seconds(r.Stat.Max), Seconds(r.Stat.StdDev),
+			Seconds(r.Stat.Mean), Seconds(r.Stat.Min), Seconds(r.Stat.P50), Seconds(r.Stat.P99),
+			Seconds(r.Stat.Max), Seconds(r.Stat.StdDev),
 		})
 	}
 	return Table(header, cells)
@@ -113,68 +124,80 @@ func RenderFigure5(rows []Figure5Row) string {
 // seconds, one series per configuration).
 func RenderFigure5CSV(rows []Figure5Row) string {
 	var b strings.Builder
-	b.WriteString("config,cluster_size,trials,mean_s,min_s,max_s,stddev_s\n")
+	b.WriteString("config,cluster_size,trials,mean_s,min_s,p50_s,p99_s,max_s,stddev_s\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.3f,%.3f,%.3f\n",
+		fmt.Fprintf(&b, "%s,%d,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
 			r.Config, r.Size, r.Stat.N,
-			r.Stat.Mean.Seconds(), r.Stat.Min.Seconds(), r.Stat.Max.Seconds(), r.Stat.StdDev.Seconds())
+			r.Stat.Mean.Seconds(), r.Stat.Min.Seconds(), r.Stat.P50.Seconds(), r.Stat.P99.Seconds(),
+			r.Stat.Max.Seconds(), r.Stat.StdDev.Seconds())
 	}
 	return b.String()
 }
 
 // GracefulRow reports the voluntary-departure measurement of §6.
 type GracefulRow struct {
-	Size int
-	Stat Stat
+	Size    int
+	Stat    Stat
+	Metrics runner.Metrics
+	Errors  int
 }
 
 // GracefulTrial measures the availability interruption when the server
 // covering the probed address leaves voluntarily (administrative
 // departure): the client-visible gap, bounded below by the 10ms probe
 // interval.
-func GracefulTrial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
+func GracefulTrial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 	wc, err := NewWebCluster(seed, n, cfg)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	wc.WarmUp(cfg)
 	victim, holders := wc.Owner(wc.Target)
 	if holders != 1 {
-		return 0, fmt.Errorf("experiment: %d holders of the target before leave", holders)
+		return runner.Sample{}, fmt.Errorf("experiment: %d holders of the target before leave", holders)
 	}
 	if err := wc.Servers[victim].Node.LeaveService(); err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	wc.RunFor(2 * time.Second)
 	if _, holders := wc.Owner(wc.Target); holders != 1 {
-		return 0, fmt.Errorf("experiment: target not reallocated after graceful leave")
+		return runner.Sample{}, fmt.Errorf("experiment: target not reallocated after graceful leave")
 	}
 	// The interruption may be too short to register as a gap; the largest
 	// inter-response spacing bounds it either way.
-	return wc.Client.MaxGap(), nil
+	return runner.Sample{Value: wc.Client.MaxGap(), Metrics: clusterMetrics(wc.Cluster)}, nil
 }
 
 // Graceful sweeps the graceful-leave measurement over cluster sizes.
-func Graceful(baseSeed int64, trials int, sizes []int) ([]GracefulRow, error) {
+// Individual failing trials are tolerated and counted per point, exactly
+// like Figure5; only a point with no surviving trial aborts the sweep.
+func Graceful(baseSeed int64, trials int, sizes []int, opts ...Option) ([]GracefulRow, error) {
 	cfg := gcs.TunedConfig()
-	var rows []GracefulRow
+	var points []runner.Point
 	for _, n := range sizes {
-		var samples []time.Duration
-		for _, seed := range Seeds(baseSeed+int64(n)*13, trials) {
-			d, err := GracefulTrial(seed, n, cfg)
-			if err != nil {
-				return nil, err
-			}
-			samples = append(samples, d)
+		n := n
+		points = append(points, runner.Point{
+			Label: fmt.Sprintf("graceful/n=%d", n),
+			Seeds: Seeds(baseSeed+int64(n)*13, trials),
+			Run: func(seed int64) (runner.Sample, error) {
+				return GracefulTrial(seed, n, cfg)
+			},
+		})
+	}
+	var rows []GracefulRow
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, GracefulRow{Size: n, Stat: Summarize(samples)})
+		rows = append(rows, GracefulRow{Size: sizes[i], Stat: stat, Metrics: metrics, Errors: errs})
 	}
 	return rows, nil
 }
 
 // RenderGraceful formats the graceful-leave results.
 func RenderGraceful(rows []GracefulRow) string {
-	header := []string{"cluster size", "trials", "mean interruption", "min", "max"}
+	header := []string{"cluster size", "trials", "mean interruption", "min", "max", "errors"}
 	var cells [][]string
 	for _, r := range rows {
 		cells = append(cells, []string{
@@ -182,6 +205,7 @@ func RenderGraceful(rows []GracefulRow) string {
 			fmt.Sprintf("%.1fms", float64(r.Stat.Mean.Microseconds())/1000),
 			fmt.Sprintf("%.1fms", float64(r.Stat.Min.Microseconds())/1000),
 			fmt.Sprintf("%.1fms", float64(r.Stat.Max.Microseconds())/1000),
+			fmt.Sprintf("%d", r.Errors),
 		})
 	}
 	return Table(header, cells)

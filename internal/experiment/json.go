@@ -1,0 +1,142 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wackamole/internal/experiment/runner"
+)
+
+// json.go renders every sweep's rows as machine-readable records (one JSON
+// object per line, the shape benchmark-archival tooling ingests), so the
+// evaluation can be diffed, plotted and regression-tracked without parsing
+// markdown. cmd/wacksim's -json flag is the front end.
+
+// JSONRow is one machine-readable result row.
+type JSONRow struct {
+	Experiment string `json:"experiment"`
+	Point      string `json:"point"`
+	// Unit names the measured quantity (what the *_s statistics are).
+	Unit   string `json:"unit"`
+	Trials int    `json:"trials"`
+	Errors int    `json:"errors"`
+	// The measured distribution in seconds.
+	MeanSec   float64 `json:"mean_s"`
+	MinSec    float64 `json:"min_s"`
+	P50Sec    float64 `json:"p50_s"`
+	P99Sec    float64 `json:"p99_s"`
+	MaxSec    float64 `json:"max_s"`
+	StdDevSec float64 `json:"stddev_s"`
+	// Extra carries experiment-specific scalars (e.g. false
+	// reconfigurations per minute for the load sweep).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Metrics sums the per-trial protocol-activity counters of the
+	// point's successful trials.
+	Metrics runner.Metrics `json:"metrics"`
+}
+
+// jsonRow fills the common fields from a Stat.
+func jsonRow(experiment, point, unit string, st Stat, errs int, m runner.Metrics) JSONRow {
+	return JSONRow{
+		Experiment: experiment,
+		Point:      point,
+		Unit:       unit,
+		Trials:     st.N,
+		Errors:     errs,
+		MeanSec:    st.Mean.Seconds(),
+		MinSec:     st.Min.Seconds(),
+		P50Sec:     st.P50.Seconds(),
+		P99Sec:     st.P99.Seconds(),
+		MaxSec:     st.Max.Seconds(),
+		StdDevSec:  st.StdDev.Seconds(),
+		Metrics:    m,
+	}
+}
+
+// Figure5JSON converts Figure 5 rows.
+func Figure5JSON(rows []Figure5Row) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, jsonRow("figure5", fmt.Sprintf("%s/n=%d", r.Config, r.Size),
+			"interruption", r.Stat, r.Errors, r.Metrics))
+	}
+	return out
+}
+
+// Table1JSON converts Table 1 rows.
+func Table1JSON(rows []Table1Row) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		row := jsonRow("table1", string(r.Config), "notification", r.Measured, r.Errors, r.Metrics)
+		row.Extra = map[string]float64{
+			"fault_detect_s":  r.FaultDetect.Seconds(),
+			"heartbeat_s":     r.Heartbeat.Seconds(),
+			"discovery_s":     r.Discovery.Seconds(),
+			"predicted_min_s": r.PredictedMin.Seconds(),
+			"predicted_max_s": r.PredictedMax.Seconds(),
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// GracefulJSON converts graceful-leave rows.
+func GracefulJSON(rows []GracefulRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, jsonRow("graceful", fmt.Sprintf("n=%d", r.Size),
+			"interruption", r.Stat, r.Errors, r.Metrics))
+	}
+	return out
+}
+
+// RouterJSON converts §5.2 comparison rows.
+func RouterJSON(rows []RouterRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, jsonRow("router", string(r.Mode), "interruption", r.Stat, r.Errors, r.Metrics))
+	}
+	return out
+}
+
+// BaselinesJSON converts §7 baseline rows.
+func BaselinesJSON(rows []BaselineRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, jsonRow("baselines", r.System, "failover", r.Stat, r.Errors, r.Metrics))
+	}
+	return out
+}
+
+// LoadJSON converts load-sensitivity rows.
+func LoadJSON(rows []LoadRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		row := jsonRow("load", fmt.Sprintf("jitter=%v", r.Jitter), "max_client_gap", r.MaxGap, r.Errors, r.Metrics)
+		row.Extra = map[string]float64{"false_reconfigs_per_min": r.FalseReconfigs}
+		out = append(out, row)
+	}
+	return out
+}
+
+// AblationsJSON converts ablation rows.
+func AblationsJSON(rows []AblationRow) []JSONRow {
+	var out []JSONRow
+	for _, r := range rows {
+		out = append(out, jsonRow("ablations", fmt.Sprintf("%s/%s", r.Experiment, r.Variant),
+			r.Metric, r.Stat, r.Errors, r.Metrics))
+	}
+	return out
+}
+
+// WriteNDJSON writes one JSON object per row (newline-delimited JSON).
+func WriteNDJSON(w io.Writer, rows []JSONRow) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

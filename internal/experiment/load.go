@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 )
 
@@ -24,21 +25,25 @@ type LoadRow struct {
 	// MaxGap is the largest client-visible inter-response gap observed
 	// (service hiccups caused purely by the false positives).
 	MaxGap Stat
+	// Metrics sums the protocol activity within the observation window
+	// (boot-time activity excluded); its ViewChanges are the false
+	// reconfigurations.
+	Metrics runner.Metrics
+	Errors  int
 }
 
 // LoadTrial runs a fault-free web cluster whose servers suffer scheduling
-// jitter, and counts spurious reconfigurations over the window.
-func LoadTrial(seed int64, jitter time.Duration, window time.Duration) (int, time.Duration, error) {
+// jitter over the window. The sample's value is the largest client-visible
+// gap; its metrics are the in-window activity delta, whose ViewChanges
+// count the spurious reconfigurations.
+func LoadTrial(seed int64, jitter time.Duration, window time.Duration) (runner.Sample, error) {
 	cfg := gcs.TunedConfig()
 	wc, err := NewWebCluster(seed, 4, cfg)
 	if err != nil {
-		return 0, 0, err
+		return runner.Sample{}, err
 	}
 	wc.Settle()
-	reconfigsAtStart := 0
-	for _, srv := range wc.Cluster.Servers {
-		reconfigsAtStart += int(srv.Node.Daemon().Stats().Reconfigurations)
-	}
+	before := clusterMetrics(wc.Cluster)
 	// Load appears on the servers only; the client and router machines
 	// (the measurement apparatus) stay unloaded.
 	for _, srv := range wc.Cluster.Servers {
@@ -48,17 +53,16 @@ func LoadTrial(seed int64, jitter time.Duration, window time.Duration) (int, tim
 	wc.RunFor(time.Second)
 	wc.Client.ResetStats()
 	wc.RunFor(window)
-	reconfigs := 0
-	for _, srv := range wc.Cluster.Servers {
-		reconfigs += int(srv.Node.Daemon().Stats().Reconfigurations)
-	}
-	return reconfigs - reconfigsAtStart, wc.Client.MaxGap(), nil
+	return runner.Sample{
+		Value:   wc.Client.MaxGap(),
+		Metrics: metricsDelta(before, clusterMetrics(wc.Cluster)),
+	}, nil
 }
 
 // LoadSensitivity sweeps the jitter bound. The heartbeat interval (400ms
 // tuned) is the natural scale: false positives appear as the jitter
 // approaches the fault-detection margin (T − H = 600ms).
-func LoadSensitivity(baseSeed int64, trials int) ([]LoadRow, error) {
+func LoadSensitivity(baseSeed int64, trials int, opts ...Option) ([]LoadRow, error) {
 	jitters := []time.Duration{
 		0,
 		100 * time.Millisecond,
@@ -66,22 +70,29 @@ func LoadSensitivity(baseSeed int64, trials int) ([]LoadRow, error) {
 		600 * time.Millisecond,
 	}
 	const window = 60 * time.Second
-	var rows []LoadRow
+	var points []runner.Point
 	for _, j := range jitters {
-		totalReconfigs := 0
-		var gaps []time.Duration
-		for _, seed := range Seeds(baseSeed, trials) {
-			n, gap, err := LoadTrial(seed, j, window)
-			if err != nil {
-				return nil, fmt.Errorf("jitter %v: %w", j, err)
-			}
-			totalReconfigs += n
-			gaps = append(gaps, gap)
+		j := j
+		points = append(points, runner.Point{
+			Label: fmt.Sprintf("load/jitter=%v", j),
+			Seeds: Seeds(baseSeed, trials),
+			Run: func(seed int64) (runner.Sample, error) {
+				return LoadTrial(seed, j, window)
+			},
+		})
+	}
+	var rows []LoadRow
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
+			return nil, err
 		}
 		rows = append(rows, LoadRow{
-			Jitter:         j,
-			FalseReconfigs: float64(totalReconfigs) / float64(trials),
-			MaxGap:         Summarize(gaps),
+			Jitter:         jitters[i],
+			FalseReconfigs: float64(metrics.ViewChanges) / float64(stat.N),
+			MaxGap:         stat,
+			Metrics:        metrics,
+			Errors:         errs,
 		})
 	}
 	return rows, nil

@@ -1,0 +1,63 @@
+package experiment
+
+import (
+	"wackamole"
+	"wackamole/internal/experiment/runner"
+	"wackamole/internal/gcs"
+	"wackamole/internal/netsim"
+)
+
+// metrics.go collects the per-trial protocol-activity counters exposed by
+// internal/gcs (daemon stats), internal/core (engine stats) and
+// internal/netsim (network counters) into the runner's Metrics struct, so
+// every Stat row of the evaluation carries the observability needed to
+// debug a divergent trial.
+
+// networkMetrics snapshots the simulated network's traffic counters.
+func networkMetrics(nw *netsim.Network) runner.Metrics {
+	c := nw.Counters()
+	return runner.Metrics{
+		ARPSpoofs:     c.ARPSpoofs,
+		FramesSent:    c.FramesSent,
+		FramesDropped: c.FramesDropped,
+	}
+}
+
+// nodeMetrics folds one Wackamole node's daemon and engine counters into m.
+func nodeMetrics(m *runner.Metrics, n *wackamole.Node) {
+	var ds gcs.Stats
+	ds.Merge(n.Daemon().Stats())
+	m.MembershipsInstalled += ds.MembershipsInstalled
+	m.ViewChanges += ds.Reconfigurations
+	m.TokenRotations += ds.TokensForwarded
+	m.MessagesDelivered += ds.DataDelivered
+	es := n.Engine().Stats()
+	m.Acquires += es.Acquires
+	m.Releases += es.Releases
+}
+
+// clusterMetrics snapshots a whole simulated cluster: every member's daemon
+// and engine counters plus the network totals.
+func clusterMetrics(c *wackamole.Cluster) runner.Metrics {
+	m := networkMetrics(c.Net)
+	for _, srv := range c.Servers {
+		nodeMetrics(&m, srv.Node)
+	}
+	return m
+}
+
+// metricsDelta returns the activity between two snapshots of the same
+// world (counters are monotone, so a plain field-wise difference).
+func metricsDelta(before, after runner.Metrics) runner.Metrics {
+	return runner.Metrics{
+		MembershipsInstalled: after.MembershipsInstalled - before.MembershipsInstalled,
+		ViewChanges:          after.ViewChanges - before.ViewChanges,
+		TokenRotations:       after.TokenRotations - before.TokenRotations,
+		MessagesDelivered:    after.MessagesDelivered - before.MessagesDelivered,
+		Acquires:             after.Acquires - before.Acquires,
+		Releases:             after.Releases - before.Releases,
+		ARPSpoofs:            after.ARPSpoofs - before.ARPSpoofs,
+		FramesSent:           after.FramesSent - before.FramesSent,
+		FramesDropped:        after.FramesDropped - before.FramesDropped,
+	}
+}

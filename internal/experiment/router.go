@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wackamole/internal/core"
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 	"wackamole/internal/netsim"
 	"wackamole/internal/probe"
@@ -43,9 +44,20 @@ var (
 // upstream RIP router towards the client) and an internal web network.
 type virtualRouterScenario struct {
 	sim     *sim.Sim
+	net     *netsim.Network
 	frHosts [2]*netsim.Host
 	frs     [2]*router.PhysicalRouter
 	client  *probe.Client
+}
+
+// metrics snapshots the scenario's protocol activity: network-wide traffic
+// plus the two fail-over routers' daemon and engine counters.
+func (sc *virtualRouterScenario) metrics() runner.Metrics {
+	m := networkMetrics(sc.net)
+	for _, fr := range sc.frs {
+		nodeMetrics(&m, fr.Node)
+	}
+	return m
 }
 
 func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config) (*virtualRouterScenario, error) {
@@ -70,7 +82,7 @@ func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCf
 	}
 	uRIP.Start()
 
-	sc := &virtualRouterScenario{sim: s}
+	sc := &virtualRouterScenario{sim: s, net: nw}
 
 	// The indivisible virtual address group spanning both networks (§5.2).
 	group := core.VIPGroup{Name: "vrouter", Addrs: []netip.Addr{extVIP, webVIP}}
@@ -142,10 +154,10 @@ func (sc *virtualRouterScenario) activeRouter() (int, error) {
 
 // RouterTrial measures the client-visible interruption when the active
 // physical router crashes, under the given §5.2 setup.
-func RouterTrial(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config) (time.Duration, error) {
+func RouterTrial(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config) (runner.Sample, error) {
 	sc, err := newVirtualRouterScenario(seed, mode, cfg, ripCfg)
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	// Warm-up: let memberships form, the active router join the routing
 	// protocol and learn the client network (first periodic advertisement),
@@ -154,7 +166,7 @@ func RouterTrial(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config)
 	sc.client.Start()
 	sc.sim.RunFor(ripCfg.AdvertisePeriod + 5*time.Second)
 	if sc.client.Responses() == 0 {
-		return 0, fmt.Errorf("experiment: no responses during warm-up")
+		return runner.Sample{}, fmt.Errorf("experiment: no responses during warm-up")
 	}
 	// Random fault phase relative to the advertisement period.
 	sc.sim.RunFor(time.Duration(sc.sim.Rand().Int63n(int64(ripCfg.AdvertisePeriod))))
@@ -163,7 +175,7 @@ func RouterTrial(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config)
 
 	active, err := sc.activeRouter()
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	sc.frHosts[active].Crash()
 	maxWait := 3*ripCfg.AdvertisePeriod + 4*(cfg.FaultDetectTimeout+cfg.DiscoveryTimeout)
@@ -171,34 +183,44 @@ func RouterTrial(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config)
 	for waited := time.Duration(0); waited < maxWait; waited += step {
 		sc.sim.RunFor(step)
 		if gaps := sc.client.Gaps(); len(gaps) > 0 {
-			return gaps[0].Duration(), nil
+			return runner.Sample{Value: gaps[0].Duration(), Metrics: sc.metrics()}, nil
 		}
 	}
-	return 0, fmt.Errorf("experiment: router fail-over never completed within %v", maxWait)
+	return runner.Sample{}, fmt.Errorf("experiment: router fail-over never completed within %v", maxWait)
 }
 
 // RouterRow is one line of the §5.2 comparison.
 type RouterRow struct {
-	Mode RouterMode
-	Stat Stat
+	Mode    RouterMode
+	Stat    Stat
+	Metrics runner.Metrics
+	Errors  int
 }
 
 // RouterComparison contrasts the naive setup against advertise-all, with
 // tuned Wackamole timeouts and 30s RIP advertisements.
-func RouterComparison(baseSeed int64, trials int) ([]RouterRow, error) {
+func RouterComparison(baseSeed int64, trials int, opts ...Option) ([]RouterRow, error) {
 	cfg := gcs.TunedConfig()
 	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
+	modes := []RouterMode{RouterModeNaive, RouterModeAdvertiseAll}
+	var points []runner.Point
+	for _, mode := range modes {
+		mode := mode
+		points = append(points, runner.Point{
+			Label: fmt.Sprintf("router/%s", mode),
+			Seeds: Seeds(baseSeed, trials),
+			Run: func(seed int64) (runner.Sample, error) {
+				return RouterTrial(seed, mode, cfg, ripCfg)
+			},
+		})
+	}
 	var rows []RouterRow
-	for _, mode := range []RouterMode{RouterModeNaive, RouterModeAdvertiseAll} {
-		var samples []time.Duration
-		for _, seed := range Seeds(baseSeed, trials) {
-			d, err := RouterTrial(seed, mode, cfg, ripCfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", mode, err)
-			}
-			samples = append(samples, d)
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
+			return nil, err
 		}
-		rows = append(rows, RouterRow{Mode: mode, Stat: Summarize(samples)})
+		rows = append(rows, RouterRow{Mode: modes[i], Stat: stat, Metrics: metrics, Errors: errs})
 	}
 	return rows, nil
 }

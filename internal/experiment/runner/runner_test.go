@@ -1,0 +1,153 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowTrial derives a deterministic value from the seed while sleeping a
+// seed-dependent amount, so parallel executions finish out of order.
+func slowTrial(seed int64) (Sample, error) {
+	time.Sleep(time.Duration(seed%7) * time.Millisecond)
+	return Sample{
+		Value:   time.Duration(seed) * time.Microsecond,
+		Metrics: Metrics{FramesSent: uint64(seed)},
+	}, nil
+}
+
+func grid(points, seeds int) []Point {
+	var out []Point
+	for p := 0; p < points; p++ {
+		pt := Point{Label: fmt.Sprintf("point%d", p), Run: slowTrial}
+		for s := 0; s < seeds; s++ {
+			pt.Seeds = append(pt.Seeds, int64(p*100+s))
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+func TestParallelRunMatchesSerialRun(t *testing.T) {
+	serial := Run(grid(4, 6), Options{Workers: 1})
+	parallel := Run(grid(4, 6), Options{Workers: 8})
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel run diverged from serial run:\n%+v\n---\n%+v", serial, parallel)
+	}
+	if len(serial) != 4 || len(serial[0].Values) != 6 {
+		t.Fatalf("unexpected result shape: %+v", serial)
+	}
+	// Ordering is by seed position, not completion time.
+	for si, v := range serial[1].Values {
+		if v != time.Duration(100+si)*time.Microsecond {
+			t.Fatalf("values out of seed order: %v", serial[1].Values)
+		}
+	}
+	if serial[0].Metrics.FramesSent != 0+1+2+3+4+5 {
+		t.Fatalf("metrics not aggregated: %+v", serial[0].Metrics)
+	}
+}
+
+func TestErrorAndPanicIsolation(t *testing.T) {
+	sentinel := errors.New("trial failed")
+	pt := Point{
+		Label: "mixed",
+		Seeds: []int64{1, 2, 3, 4},
+		Run: func(seed int64) (Sample, error) {
+			switch seed {
+			case 2:
+				return Sample{}, sentinel
+			case 3:
+				panic("divergent trial")
+			}
+			return Sample{Value: time.Duration(seed) * time.Second}, nil
+		},
+	}
+	results := Run([]Point{pt}, Options{Workers: 4})
+	res := results[0]
+	if len(res.Values) != 2 || res.Values[0] != time.Second || res.Values[1] != 4*time.Second {
+		t.Fatalf("surviving values = %v", res.Values)
+	}
+	if len(res.Errors) != 2 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	if res.Errors[0].Seed != 2 || !errors.Is(res.Errors[0], sentinel) {
+		t.Fatalf("error 0 = %+v", res.Errors[0])
+	}
+	if res.Errors[1].Seed != 3 || res.Errors[1].Err == nil {
+		t.Fatalf("panic not captured: %+v", res.Errors[1])
+	}
+}
+
+func TestWorkerPoolIsBounded(t *testing.T) {
+	const workers = 3
+	var inFlight, maxSeen int64
+	pt := Point{
+		Label: "bounded",
+		Seeds: make([]int64, 24),
+		Run: func(int64) (Sample, error) {
+			n := atomic.AddInt64(&inFlight, 1)
+			for {
+				m := atomic.LoadInt64(&maxSeen)
+				if n <= m || atomic.CompareAndSwapInt64(&maxSeen, m, n) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			atomic.AddInt64(&inFlight, -1)
+			return Sample{}, nil
+		},
+	}
+	for i := range pt.Seeds {
+		pt.Seeds[i] = int64(i)
+	}
+	Run([]Point{pt}, Options{Workers: workers})
+	if got := atomic.LoadInt64(&maxSeen); got > workers {
+		t.Fatalf("observed %d concurrent trials, worker bound is %d", got, workers)
+	}
+	if got := atomic.LoadInt64(&maxSeen); got < 2 {
+		t.Fatalf("observed %d concurrent trials, expected parallelism", got)
+	}
+}
+
+func TestSinkSeesEveryTrial(t *testing.T) {
+	var mu sync.Mutex
+	var events []Progress
+	sink := SinkFunc(func(p Progress) {
+		mu.Lock()
+		events = append(events, p)
+		mu.Unlock()
+	})
+	points := grid(2, 3)
+	points[1].Run = func(int64) (Sample, error) { return Sample{}, errors.New("boom") }
+	Run(points, Options{Workers: 4, Sink: sink})
+	if len(events) != 6 {
+		t.Fatalf("sink saw %d events, want 6", len(events))
+	}
+	failures := 0
+	for _, ev := range events {
+		if ev.Total != 6 || ev.Done < 1 || ev.Done > 6 {
+			t.Fatalf("bad progress event: %+v", ev)
+		}
+		if ev.Err != nil {
+			failures++
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("sink saw %d failures, want 3", failures)
+	}
+}
+
+func TestZeroJobs(t *testing.T) {
+	if res := Run(nil, Options{}); len(res) != 0 {
+		t.Fatalf("Run(nil) = %+v", res)
+	}
+	res := Run([]Point{{Label: "empty"}}, Options{})
+	if len(res) != 1 || len(res[0].Values) != 0 || len(res[0].Errors) != 0 {
+		t.Fatalf("empty point = %+v", res)
+	}
+}

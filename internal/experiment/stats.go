@@ -13,6 +13,7 @@ type Stat struct {
 	N              int
 	Mean, Min, Max time.Duration
 	Median         time.Duration
+	P50, P99       time.Duration
 	StdDev         time.Duration
 }
 
@@ -44,8 +45,26 @@ func Summarize(ds []time.Duration) Stat {
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],
 		Median: sorted[len(sorted)/2],
+		P50:    percentile(sorted, 50),
+		P99:    percentile(sorted, 99),
 		StdDev: std,
 	}
+}
+
+// percentile returns the nearest-rank q-th percentile of an ascending
+// sorted sample.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 func sqrt(x float64) float64 {

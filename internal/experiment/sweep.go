@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"fmt"
+
+	"wackamole/internal/experiment/runner"
+)
+
+// sweep.go is the experiment layer's thin veneer over the shared trial
+// runner: option plumbing shared by every sweep's signature, and the common
+// policy for turning one grid point's raw results into a Stat row (tolerate
+// and count per-trial errors; a point where every trial failed is fatal).
+
+// Option adjusts how a sweep executes its trials (parallelism, progress
+// reporting). Measurement semantics never depend on options: for the same
+// seeds, any worker count produces identical rows.
+type Option func(*runner.Options)
+
+// Parallel bounds the number of concurrently executing trials; values < 1
+// mean GOMAXPROCS.
+func Parallel(workers int) Option {
+	return func(o *runner.Options) { o.Workers = workers }
+}
+
+// WithSink installs a per-trial progress observer.
+func WithSink(s runner.Sink) Option {
+	return func(o *runner.Options) { o.Sink = s }
+}
+
+// runSweep executes the grid under the collected options.
+func runSweep(points []runner.Point, opts []Option) []runner.Result {
+	var ro runner.Options
+	for _, opt := range opts {
+		opt(&ro)
+	}
+	return runner.Run(points, ro)
+}
+
+// collectPoint summarizes one point's results. Per-trial errors are
+// tolerated and counted; only a point with no surviving trial aborts the
+// sweep, reporting the first error as the cause.
+func collectPoint(res runner.Result) (Stat, runner.Metrics, int, error) {
+	if len(res.Values) == 0 {
+		n := len(res.Errors)
+		if n == 0 {
+			return Stat{}, runner.Metrics{}, 0, fmt.Errorf("experiment: %s: no trials", res.Label)
+		}
+		return Stat{}, runner.Metrics{}, n, fmt.Errorf("experiment: %s: all %d trials failed: %w", res.Label, n, res.Errors[0])
+	}
+	return Summarize(res.Values), res.Metrics, len(res.Errors), nil
+}

@@ -1,10 +1,13 @@
 package experiment
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
 
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 	"wackamole/internal/rip"
 )
@@ -32,10 +35,16 @@ func TestFigure5SweepAndRender(t *testing.T) {
 				t.Fatalf("tuned n=%d mean %v out of band", r.Size, r.Stat.Mean)
 			}
 		}
+		if r.Metrics.MembershipsInstalled == 0 || r.Metrics.FramesSent == 0 {
+			t.Fatalf("row %s/n=%d missing metrics: %+v", r.Config, r.Size, r.Metrics)
+		}
 	}
 	out := RenderFigure5(rows)
 	if !strings.Contains(out, "cluster size") || strings.Count(out, "\n") < len(rows) {
 		t.Fatalf("render:\n%s", out)
+	}
+	if !strings.Contains(out, "p50") || !strings.Contains(out, "p99") {
+		t.Fatalf("render missing percentiles:\n%s", out)
 	}
 }
 
@@ -55,7 +64,7 @@ func TestTable1SweepAndRender(t *testing.T) {
 		}
 	}
 	out := RenderTable1(rows)
-	for _, want := range []string{"Fault-detection", "heartbeat", "Discovery", "Predicted", "Measured"} {
+	for _, want := range []string{"Fault-detection", "heartbeat", "Discovery", "Predicted", "Measured", "p50", "p99"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
@@ -158,27 +167,100 @@ func TestRouterTrialNaiveSlowerSameSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if naive < all {
-		t.Fatalf("naive %v faster than advertise-all %v", naive, all)
+	if naive.Value < all.Value {
+		t.Fatalf("naive %v faster than advertise-all %v", naive.Value, all.Value)
 	}
 }
 
 func TestLoadSensitivityShape(t *testing.T) {
-	quiet, quietGap, err := LoadTrial(11, 0, 60*time.Second)
+	quiet, err := LoadTrial(11, 0, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if quiet != 0 {
-		t.Fatalf("unloaded cluster had %d false reconfigurations", quiet)
+	if quiet.Metrics.ViewChanges != 0 {
+		t.Fatalf("unloaded cluster had %d false reconfigurations", quiet.Metrics.ViewChanges)
 	}
-	if quietGap > 100*time.Millisecond {
-		t.Fatalf("unloaded max gap %v", quietGap)
+	if quiet.Value > 100*time.Millisecond {
+		t.Fatalf("unloaded max gap %v", quiet.Value)
 	}
-	loaded, _, err := LoadTrial(11, 600*time.Millisecond, 60*time.Second)
+	loaded, err := LoadTrial(11, 600*time.Millisecond, 60*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded == 0 {
+	if loaded.Metrics.ViewChanges == 0 {
 		t.Fatal("heavy jitter produced no false reconfigurations")
+	}
+}
+
+// TestGracefulParallelMatchesSerial pins the acceptance criterion that the
+// worker count never changes a sweep's rows: for the same seeds, a serial
+// and a heavily parallel run are identical.
+func TestGracefulParallelMatchesSerial(t *testing.T) {
+	serial, err := Graceful(77, 2, []int{2, 3}, Parallel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Graceful(77, 2, []int{2, 3}, Parallel(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel sweep diverged from serial:\n%+v\n---\n%+v", serial, parallel)
+	}
+}
+
+// TestSweepToleratesPartialPointFailures is the regression test for the
+// old Graceful behaviour of aborting the whole sweep on a single trial
+// error: with the shared runner, a point keeps its row (with the error
+// counted) as long as one trial survives, and only an all-failed point is
+// fatal.
+func TestSweepToleratesPartialPointFailures(t *testing.T) {
+	flaky := runner.Point{
+		Label: "flaky",
+		Seeds: []int64{1, 2, 3, 4},
+		Run: func(seed int64) (runner.Sample, error) {
+			if seed%2 == 0 {
+				return runner.Sample{}, fmt.Errorf("induced failure")
+			}
+			return runner.Sample{Value: time.Duration(seed) * time.Second}, nil
+		},
+	}
+	res := runSweep([]runner.Point{flaky}, nil)
+	stat, _, errs, err := collectPoint(res[0])
+	if err != nil {
+		t.Fatalf("partial failures aborted the sweep: %v", err)
+	}
+	if stat.N != 2 || errs != 2 {
+		t.Fatalf("stat.N = %d, errors = %d, want 2 and 2", stat.N, errs)
+	}
+
+	dead := flaky
+	dead.Label = "dead"
+	dead.Run = func(int64) (runner.Sample, error) { return runner.Sample{}, fmt.Errorf("always fails") }
+	res = runSweep([]runner.Point{dead}, nil)
+	if _, _, _, err := collectPoint(res[0]); err == nil {
+		t.Fatal("an all-failed point must abort the sweep")
+	} else if !strings.Contains(err.Error(), "all 4 trials failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestProgressSinkObservesSweep verifies the pluggable sink sees every
+// trial of a real sweep.
+func TestProgressSinkObservesSweep(t *testing.T) {
+	var events int
+	var last runner.Progress
+	sink := runner.SinkFunc(func(p runner.Progress) {
+		events++
+		last = p
+	})
+	if _, err := Graceful(91, 2, []int{2}, WithSink(sink), Parallel(2)); err != nil {
+		t.Fatal(err)
+	}
+	if events != 2 {
+		t.Fatalf("sink saw %d events, want 2", events)
+	}
+	if last.Done != 2 || last.Total != 2 || !strings.HasPrefix(last.Point, "graceful/") {
+		t.Fatalf("last progress event = %+v", last)
 	}
 }

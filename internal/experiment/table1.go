@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wackamole"
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
 )
 
@@ -23,12 +24,15 @@ type Table1Row struct {
 	PredictedMax time.Duration
 	// Measured notification delay over the trials.
 	Measured Stat
+	// Metrics sums the protocol activity of the successful trials.
+	Metrics runner.Metrics
+	Errors  int
 }
 
 // Table1Trial measures one membership-notification delay: disconnect a
 // member at a seed-derived phase of the heartbeat cycle and time a
 // survivor's installation of the shrunken membership.
-func Table1Trial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
+func Table1Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 	c, err := wackamole.NewCluster(wackamole.ClusterOptions{
 		Seed:    seed,
 		Servers: n,
@@ -36,7 +40,7 @@ func Table1Trial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
 		GCS:     cfg,
 	})
 	if err != nil {
-		return 0, err
+		return runner.Sample{}, err
 	}
 	c.Settle()
 	// Uniformly distribute the fault phase within the heartbeat interval.
@@ -56,25 +60,34 @@ func Table1Trial(seed int64, n int, cfg gcs.Config) (time.Duration, error) {
 		c.RunFor(100 * time.Millisecond)
 	}
 	if installedAt == 0 {
-		return 0, fmt.Errorf("experiment: no membership installed within %v", maxWait)
+		return runner.Sample{}, fmt.Errorf("experiment: no membership installed within %v", maxWait)
 	}
-	return installedAt - faultAt, nil
+	return runner.Sample{Value: installedAt - faultAt, Metrics: clusterMetrics(c)}, nil
 }
 
 // Table1 reproduces the paper's Table 1, augmenting the configured timeout
 // values with the measured notification-time distribution each induces.
-func Table1(baseSeed int64, trials int) ([]Table1Row, error) {
+func Table1(baseSeed int64, trials int, opts ...Option) ([]Table1Row, error) {
 	const n = 5
+	configs := NamedConfigs()
+	var points []runner.Point
+	for _, nc := range configs {
+		nc := nc
+		points = append(points, runner.Point{
+			Label: fmt.Sprintf("table1/%s", nc.Name),
+			Seeds: Seeds(baseSeed, trials),
+			Run: func(seed int64) (runner.Sample, error) {
+				return Table1Trial(seed, n, nc.Cfg)
+			},
+		})
+	}
 	var rows []Table1Row
-	for _, nc := range NamedConfigs() {
-		var samples []time.Duration
-		for _, seed := range Seeds(baseSeed, trials) {
-			d, err := Table1Trial(seed, n, nc.Cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", nc.Name, err)
-			}
-			samples = append(samples, d)
+	for i, res := range runSweep(points, opts) {
+		stat, metrics, errs, err := collectPoint(res)
+		if err != nil {
+			return nil, err
 		}
+		nc := configs[i]
 		rows = append(rows, Table1Row{
 			Config:       nc.Name,
 			FaultDetect:  nc.Cfg.FaultDetectTimeout,
@@ -82,7 +95,9 @@ func Table1(baseSeed int64, trials int) ([]Table1Row, error) {
 			Discovery:    nc.Cfg.DiscoveryTimeout,
 			PredictedMin: nc.Cfg.FaultDetectTimeout - nc.Cfg.HeartbeatInterval + nc.Cfg.DiscoveryTimeout,
 			PredictedMax: nc.Cfg.FaultDetectTimeout + nc.Cfg.DiscoveryTimeout,
-			Measured:     Summarize(samples),
+			Measured:     stat,
+			Metrics:      metrics,
+			Errors:       errs,
 		})
 	}
 	return rows, nil
@@ -108,6 +123,8 @@ func RenderTable1(rows []Table1Row) string {
 	})
 	row("Measured notification mean", func(r Table1Row) string { return Seconds(r.Measured.Mean) })
 	row("Measured notification min", func(r Table1Row) string { return Seconds(r.Measured.Min) })
+	row("Measured notification p50", func(r Table1Row) string { return Seconds(r.Measured.P50) })
+	row("Measured notification p99", func(r Table1Row) string { return Seconds(r.Measured.P99) })
 	row("Measured notification max", func(r Table1Row) string { return Seconds(r.Measured.Max) })
 	row("Trials", func(r Table1Row) string { return fmt.Sprintf("%d", r.Measured.N) })
 	return Table(header, cells)

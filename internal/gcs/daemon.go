@@ -116,6 +116,19 @@ type Stats struct {
 	RecoveryFlushes uint64
 }
 
+// Merge adds other's counters into s, aggregating the activity of a whole
+// cluster's daemons into one view (the experiment harness attaches the sum
+// to every measured data point).
+func (s *Stats) Merge(other Stats) {
+	s.MembershipsInstalled += other.MembershipsInstalled
+	s.Reconfigurations += other.Reconfigurations
+	s.TokensForwarded += other.TokensForwarded
+	s.DataSent += other.DataSent
+	s.DataRetransmitted += other.DataRetransmitted
+	s.DataDelivered += other.DataDelivered
+	s.RecoveryFlushes += other.RecoveryFlushes
+}
+
 // maxEarlyRec bounds the early-recovery buffer; anything beyond this is
 // protocol noise and the periodic resends recover it.
 const maxEarlyRec = 256

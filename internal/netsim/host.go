@@ -542,6 +542,7 @@ func (h *Host) SendSpoofedARP(nic *NIC, ip netip.Addr, dst MAC) error {
 	if err != nil {
 		return fmt.Errorf("netsim: encode spoofed ARP: %w", err)
 	}
+	h.net.counters.ARPSpoofs++
 	nic.seg.transmit(nic, frame{src: nic.mac, dst: dst, kind: frameARP, arp: payload})
 	return nil
 }

@@ -90,12 +90,31 @@ func DefaultSegmentConfig() SegmentConfig {
 
 // Network is a collection of segments and hosts driven by one simulator.
 type Network struct {
-	sim     *sim.Sim
-	nextMAC MAC
-	hosts   []*Host
-	log     env.Logger
-	trace   func(TraceEvent)
+	sim      *sim.Sim
+	nextMAC  MAC
+	hosts    []*Host
+	log      env.Logger
+	trace    func(TraceEvent)
+	counters Counters
 }
+
+// Counters aggregates network-wide traffic totals since construction. The
+// simulation loop is single-threaded, so plain integers suffice; callers
+// snapshot them between RunFor calls.
+type Counters struct {
+	// FramesSent counts frames entering a segment (one per transmit, not
+	// per receiver).
+	FramesSent uint64
+	// FramesDropped counts explicit per-receiver loss draws.
+	FramesDropped uint64
+	// ARPSpoofs counts unsolicited ARP replies injected by hosts —
+	// gratuitous broadcasts after a take-over and the §5.2 targeted
+	// variants alike.
+	ARPSpoofs uint64
+}
+
+// Counters returns a snapshot of the network's traffic totals.
+func (n *Network) Counters() Counters { return n.counters }
 
 // New returns an empty network on s.
 func New(s *sim.Sim) *Network {
@@ -190,6 +209,7 @@ func (s *Segment) latency() time.Duration {
 
 // transmit schedules delivery of fr from src to all matching reachable NICs.
 func (s *Segment) transmit(src *NIC, fr frame) {
+	s.net.counters.FramesSent++
 	s.net.emitTrace(traceOf(s, fr, TraceSend, src.host.name))
 	for _, nic := range s.nics {
 		if nic == src || !nic.up || !nic.host.alive {
@@ -202,6 +222,7 @@ func (s *Segment) transmit(src *NIC, fr frame) {
 			continue
 		}
 		if s.cfg.LossRate > 0 && s.net.sim.Rand().Float64() < s.cfg.LossRate {
+			s.net.counters.FramesDropped++
 			s.net.log.Logf("netsim: %s dropped frame %s -> %s", s.name, fr.src, fr.dst)
 			s.net.emitTrace(traceOf(s, fr, TraceDrop, nic.host.name))
 			continue
