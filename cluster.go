@@ -10,6 +10,7 @@ import (
 	"wackamole/internal/gcs"
 	"wackamole/internal/ipmgr"
 	"wackamole/internal/netsim"
+	"wackamole/internal/obs"
 	"wackamole/internal/sim"
 )
 
@@ -55,6 +56,9 @@ type ClusterOptions struct {
 	Segment netsim.SegmentConfig
 	// Logger receives protocol diagnostics from every node (nil: discard).
 	Logger env.Logger
+	// Tracer records structured protocol events from the network and every
+	// node, stamped with virtual time (nil: tracing disabled).
+	Tracer *obs.Tracer
 	// ConfigureNode, if set, may adjust each server's configuration before
 	// the node is built (per-server preferences, differing timeouts...).
 	ConfigureNode func(i int, cfg *Config)
@@ -126,6 +130,10 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.Logger != nil {
 		nw.SetLogger(opts.Logger)
 	}
+	if opts.Tracer != nil {
+		opts.Tracer.SetNow(s.Now)
+		nw.SetEventTracer(opts.Tracer)
+	}
 	c := &Cluster{
 		Sim:     s,
 		Net:     nw,
@@ -179,6 +187,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		node, err := NewNode(ep.Env(opts.Logger), cfg, &ipmgr.NICBackend{NIC: nic}, notifier)
 		if err != nil {
 			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
+		}
+		if opts.Tracer != nil {
+			node.SetTracer(opts.Tracer)
 		}
 		if opts.StartStagger > 0 && i > 0 {
 			node := node

@@ -31,6 +31,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/env/realtime"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/obs"
 )
 
 func main() {
@@ -96,6 +97,13 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 		loop.Close()
 		return 1
 	}
+	var tracer *obs.Tracer
+	if cfg.Metrics != "" {
+		// Wall-clock tracing feeds /debug/events; installed before Start so
+		// the bootstrap discovery is captured too.
+		tracer = obs.New(4096, nil)
+		node.SetTracer(tracer)
+	}
 
 	startErr := make(chan error, 1)
 	loop.Post(func() { startErr <- node.Start() })
@@ -106,6 +114,36 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 	}
 	fmt.Fprintf(notices, "wackamole: daemon %s up (%d peers, %d vip groups, dry_run=%v)\n",
 		cfg.Bind, len(cfg.Peers), len(cfg.Groups), cfg.DryRun)
+
+	var obsSrv *obs.Server
+	if cfg.Metrics != "" {
+		// Stats() snapshots are atomic, so the handler reads them directly
+		// without posting to the loop.
+		obsSrv, err = obs.Serve(cfg.Metrics, func() map[string]uint64 {
+			ds, es := node.Daemon().Stats(), node.Engine().Stats()
+			return map[string]uint64{
+				"gcs_memberships_installed": ds.MembershipsInstalled,
+				"gcs_reconfigurations":      ds.Reconfigurations,
+				"gcs_tokens_forwarded":      ds.TokensForwarded,
+				"gcs_data_sent":             ds.DataSent,
+				"gcs_data_retransmitted":    ds.DataRetransmitted,
+				"gcs_data_delivered":        ds.DataDelivered,
+				"gcs_recovery_flushes":      ds.RecoveryFlushes,
+				"core_acquires":             es.Acquires,
+				"core_releases":             es.Releases,
+				"core_announces":            es.Announces,
+				"obs_events_emitted":        tracer.Emitted(),
+				"obs_events_dropped":        tracer.Dropped(),
+			}
+		}, tracer)
+		if err != nil {
+			fmt.Fprintf(notices, "wackamole: %v\n", err)
+			loop.Post(node.Stop)
+			loop.Close()
+			return 1
+		}
+		fmt.Fprintf(notices, "wackamole: metrics endpoint on http://%s/metrics\n", obsSrv.Addr())
+	}
 
 	var ctlSrv *ctl.Server
 	if cfg.Control != "" {
@@ -121,6 +159,11 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 
 	<-stop
 	fmt.Fprintln(notices, "wackamole: shutting down")
+	if obsSrv != nil {
+		if err := obsSrv.Close(); err != nil {
+			fmt.Fprintf(notices, "wackamole: metrics close: %v\n", err)
+		}
+	}
 	if ctlSrv != nil {
 		if err := ctlSrv.Close(); err != nil {
 			fmt.Fprintf(notices, "wackamole: control close: %v\n", err)

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
@@ -38,7 +39,12 @@ import (
 func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	os.Exit(run(os.Args[1:], sig, os.Stdout))
+	// Buffer stdout so per-poll output is cheap when piped; run flushes on
+	// every exit path, so a SIGINT cannot lose the final table.
+	out := bufio.NewWriter(os.Stdout)
+	code := run(os.Args[1:], sig, out)
+	_ = out.Flush()
+	os.Exit(code)
 }
 
 func run(args []string, stop <-chan os.Signal, out io.Writer) int {
@@ -106,8 +112,11 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) int {
 			case <-time.After(2 * time.Second):
 				fmt.Fprintln(out, "wackmon: node loop unresponsive")
 			}
+			flush(out)
 		case <-stop:
 			fmt.Fprintln(out, "wackmon: leaving")
+			printFinal(out, last)
+			flush(out)
 			stopped := make(chan struct{})
 			loop.Post(func() {
 				node.Stop()
@@ -115,8 +124,39 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) int {
 			})
 			<-stopped
 			loop.Close()
+			flush(out)
 			return 0
 		}
+	}
+}
+
+// flush pushes buffered output through, so a piped terminal sees every poll
+// promptly and nothing is lost when a signal ends the run. Production hands
+// run a *bufio.Writer; test writers without Flush are left alone.
+func flush(out io.Writer) {
+	if f, ok := out.(interface{ Flush() error }); ok {
+		_ = f.Flush()
+	}
+}
+
+// printFinal renders the complete last-observed allocation table (printDiff
+// only reports changes), so the terminal ends with the full cluster state.
+func printFinal(out io.Writer, st core.Status) {
+	if st.ViewID == "" && len(st.Table) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "wackmon: final view %s (%d members)\n", st.ViewID, len(st.Members))
+	var names []string
+	for g := range st.Table {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		owner := string(st.Table[g])
+		if owner == "" {
+			owner = "(uncovered)"
+		}
+		fmt.Fprintf(out, "wackmon:   %-12s -> %s\n", g, owner)
 	}
 }
 

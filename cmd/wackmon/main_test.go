@@ -83,6 +83,100 @@ func TestMonitorObservesSingletonWithoutServing(t *testing.T) {
 	}
 }
 
+// TestRunFlushesFinalTableOnStop drives the monitor through a writer whose
+// output is invisible until Flush — the piped-stdout situation — and checks
+// that a stop signal still lands the full final allocation table, fully
+// flushed, before run returns.
+func TestRunFlushesFinalTableOnStop(t *testing.T) {
+	dir := t.TempDir()
+	conf := filepath.Join(dir, "mon.conf")
+	cfg := strings.Join([]string{
+		"bind 127.0.0.1:24920",
+		"peers 127.0.0.1:24920",
+		"fault_detect 500ms",
+		"heartbeat 100ms",
+		"discovery 300ms",
+		"vip web1 10.0.0.100",
+		"dry_run true",
+	}, "\n") + "\n"
+	if err := os.WriteFile(conf, []byte(cfg), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan os.Signal)
+	var buf flushBuilder
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-config", conf, "-interval", "50ms"}, stop, &buf)
+	}()
+
+	// The lone monitor forms a singleton view and reports web1 uncovered
+	// (it never matures); wait for that first poll to be flushed through.
+	deadline := time.Now().Add(15 * time.Second)
+	for !strings.Contains(buf.Flushed(), "(uncovered)") {
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never flushed its first poll:\nflushed: %q\npending: %q",
+				buf.Flushed(), buf.Pending())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d", code)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("monitor did not exit")
+	}
+	out := buf.Flushed()
+	if !strings.Contains(out, "wackmon: final view") {
+		t.Fatalf("no final table in flushed output:\n%s", out)
+	}
+	if !strings.Contains(out, "web1") {
+		t.Fatalf("final table misses web1:\n%s", out)
+	}
+	if pending := buf.Pending(); pending != "" {
+		t.Fatalf("output still buffered after exit: %q", pending)
+	}
+}
+
+// flushBuilder models a fully buffered pipe: writes stay invisible until
+// Flush moves them to the readable side.
+type flushBuilder struct {
+	mu      sync.Mutex
+	pending []byte
+	flushed strings.Builder
+}
+
+func (f *flushBuilder) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pending = append(f.pending, p...)
+	return len(p), nil
+}
+
+func (f *flushBuilder) Flush() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.flushed.Write(f.pending)
+	f.pending = f.pending[:0]
+	return nil
+}
+
+func (f *flushBuilder) Flushed() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.flushed.String()
+}
+
+func (f *flushBuilder) Pending() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return string(f.pending)
+}
+
 type syncBuilder struct {
 	mu sync.Mutex
 	b  strings.Builder

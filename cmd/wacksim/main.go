@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"wackamole/internal/experiment"
@@ -35,6 +36,8 @@ func run(args []string, out io.Writer) int {
 	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit NDJSON result rows instead of tables")
 	progress := fs.Bool("progress", false, "report per-trial progress on stderr")
+	tracePath := fs.String("trace", "", "capture per-trial structured event streams into this NDJSON file (figure5)")
+	sizesFlag := fs.String("sizes", "", "comma-separated cluster sizes for figure5 (default: the paper's 2,4,6,8,10,12)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -46,8 +49,23 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(os.Stderr, "wacksim: -format must be markdown or csv")
 		return 2
 	}
+	sizes := experiment.Figure5Sizes
+	if *sizesFlag != "" {
+		sizes = nil
+		for _, s := range strings.Split(*sizesFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "wacksim: -sizes: bad cluster size %q\n", s)
+				return 2
+			}
+			sizes = append(sizes, n)
+		}
+	}
 
 	opts := []experiment.Option{experiment.Parallel(*parallel)}
+	if *tracePath != "" {
+		opts = append(opts, experiment.WithTrace())
+	}
 	if *progress {
 		opts = append(opts, experiment.WithSink(runner.SinkFunc(func(p runner.Progress) {
 			status := "ok"
@@ -78,9 +96,22 @@ func run(args []string, out io.Writer) int {
 				experiment.RenderTable1(rows), experiment.Table1JSON(rows))
 		},
 		"figure5": func() error {
-			rows, err := experiment.Figure5(*seed, *trials, opts...)
+			rows, err := experiment.Figure5Over(*seed, *trials, sizes, opts...)
 			if err != nil {
 				return err
+			}
+			if *tracePath != "" {
+				f, err := os.Create(*tracePath)
+				if err != nil {
+					return err
+				}
+				if err := experiment.WriteFigure5Trace(f, rows); err != nil {
+					f.Close()
+					return err
+				}
+				if err := f.Close(); err != nil {
+					return err
+				}
 			}
 			if *jsonOut {
 				return experiment.WriteNDJSON(out, experiment.Figure5JSON(rows))

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -110,6 +112,80 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 	if serial, parallel := render("1"), render("8"); serial != parallel {
 		t.Fatalf("-parallel changed the table:\n%s\n---\n%s", serial, parallel)
+	}
+}
+
+// TestTraceFlagWritesStreamAndPerTrialRows runs a single-point figure5 sweep
+// with -trace and checks both outputs: the trace file interleaves trial and
+// event records, and every -json row carries per-trial phase breakdowns that
+// sum to the trial's interruption.
+func TestTraceFlagWritesStreamAndPerTrialRows(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.ndjson")
+	var out strings.Builder
+	code := run([]string{"-experiment", "figure5", "-sizes", "4", "-trials", "1",
+		"-seed", "7", "-parallel", "8", "-json", "-trace", tracePath}, &out)
+	if code != 0 {
+		t.Fatalf("exit code = %d", code)
+	}
+
+	rows := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(rows) != 2 { // default/n=4 and tuned/n=4
+		t.Fatalf("JSON rows = %d, want 2:\n%s", len(rows), out.String())
+	}
+	for _, line := range rows {
+		var row struct {
+			MeanSec  float64 `json:"mean_s"`
+			PerTrial []struct {
+				Seed     int64   `json:"seed"`
+				ValueSec float64 `json:"value_s"`
+				Events   int     `json:"events"`
+				Phases   struct {
+					Detection   float64 `json:"detection_s"`
+					Membership  float64 `json:"membership_s"`
+					StateSync   float64 `json:"state_sync_s"`
+					ARPTakeover float64 `json:"arp_takeover_s"`
+				} `json:"phases"`
+			} `json:"per_trial"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("invalid JSON row %q: %v", line, err)
+		}
+		if len(row.PerTrial) != 1 {
+			t.Fatalf("per_trial entries = %d, want 1: %s", len(row.PerTrial), line)
+		}
+		tr := row.PerTrial[0]
+		sum := tr.Phases.Detection + tr.Phases.Membership + tr.Phases.StateSync + tr.Phases.ARPTakeover
+		if diff := sum - tr.ValueSec; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("phases sum %v != value %v: %s", sum, tr.ValueSec, line)
+		}
+		if tr.Events == 0 {
+			t.Fatalf("trial carried no events: %s", line)
+		}
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trials, events := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec struct {
+			Record string `json:"record"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("invalid trace line %q: %v", line, err)
+		}
+		switch rec.Record {
+		case "trial":
+			trials++
+		case "event":
+			events++
+		default:
+			t.Fatalf("unknown record: %s", line)
+		}
+	}
+	if trials != 2 || events == 0 {
+		t.Fatalf("trace stream: %d trials, %d events", trials, events)
 	}
 }
 

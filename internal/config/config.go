@@ -12,6 +12,7 @@
 //	peers 192.168.1.10:4803 192.168.1.11:4803 192.168.1.12:4803
 //	group wackamole
 //	control 127.0.0.1:4804
+//	metrics 127.0.0.1:4805
 //	timeouts tuned            # or: default
 //	fault_detect 1s           # individual overrides
 //	heartbeat 400ms
@@ -51,6 +52,9 @@ type File struct {
 	Group string
 	// Control is the administrative channel's TCP listen address.
 	Control string
+	// Metrics is the observability HTTP listen address (/metrics and
+	// /debug/events); empty disables the endpoint.
+	Metrics string
 	// Device is the interface for the exec address backend.
 	Device string
 	// DryRun suppresses actual `ip addr` execution.
@@ -112,6 +116,10 @@ func Parse(r io.Reader) (*File, error) {
 		case "control":
 			if err = need(1); err == nil {
 				f.Control = args[0]
+			}
+		case "metrics":
+			if err = need(1); err == nil {
+				f.Metrics = args[0]
 			}
 		case "device":
 			if err = need(1); err == nil {

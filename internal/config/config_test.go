@@ -12,6 +12,7 @@ bind 192.168.1.10:4803
 peers 192.168.1.10:4803 192.168.1.11:4803 192.168.1.12:4803
 group wack
 control 127.0.0.1:4804
+metrics 127.0.0.1:4805
 timeouts tuned
 balance 20s
 mature 8s
@@ -33,6 +34,9 @@ func TestParseSample(t *testing.T) {
 	}
 	if f.Control != "127.0.0.1:4804" || f.Device != "eth1" || f.DryRun {
 		t.Fatalf("parsed %+v", f)
+	}
+	if f.Metrics != "127.0.0.1:4805" {
+		t.Fatalf("metrics directive not parsed: %+v", f)
 	}
 	if f.GCS.FaultDetectTimeout != time.Second {
 		t.Fatalf("timeouts tuned not applied: %+v", f.GCS)

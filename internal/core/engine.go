@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 
 	"wackamole/internal/arp"
 	"wackamole/internal/env"
+	"wackamole/internal/obs"
 )
 
 // AddressOwner acquires and releases virtual addresses on the local machine
@@ -74,8 +76,9 @@ type Engine struct {
 	balanceTimer env.Timer
 	matureTimer  env.Timer
 
-	hook  func(Event)
-	stats Stats
+	hook   func(Event)
+	tracer *obs.Tracer
+	stats  engineCounters
 }
 
 // Stats counts the engine's address-management actions since Start; the
@@ -91,8 +94,34 @@ type Stats struct {
 	Announces uint64
 }
 
-// Stats returns a copy of the engine's activity counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// engineCounters are the live counters behind Stats: atomics, because
+// Stats() is polled from outside the group-event loop (administrative
+// channel, /metrics, wackmon).
+type engineCounters struct {
+	acquires  atomic.Uint64
+	releases  atomic.Uint64
+	announces atomic.Uint64
+}
+
+// Stats returns a snapshot of the engine's activity counters. Unlike the
+// rest of the engine's methods it is safe to call from any goroutine.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Acquires:  e.stats.acquires.Load(),
+		Releases:  e.stats.releases.Load(),
+		Announces: e.stats.announces.Load(),
+	}
+}
+
+// SetTracer installs a structured event tracer (nil disables tracing).
+// Call before Start.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// trace emits a core-layer event tagged with this member's identity.
+func (e *Engine) trace(k obs.Kind, group, addr, detail string) {
+	e.tracer.Emit(obs.Event{Source: obs.SourceCore, Kind: k,
+		Node: string(e.deps.Self), Group: group, Addr: addr, Detail: detail})
+}
 
 // NewEngine validates the configuration and returns an Engine in the
 // detached state. Call Start, then feed it group events.
@@ -200,6 +229,9 @@ func (e *Engine) OnView(v View) {
 		return
 	}
 	e.view = View{ID: v.ID, Members: append([]MemberID(nil), v.Members...)}
+	if e.tracer.Enabled() {
+		e.trace(obs.KindViewChange, v.ID, "", fmt.Sprintf("members=%d", len(v.Members)))
+	}
 	e.setState(StateGather)
 	e.table = map[string]MemberID{}
 	e.stateFrom = map[MemberID]bool{}
@@ -218,6 +250,7 @@ func (e *Engine) castState() {
 		owned = append(owned, g)
 	}
 	sort.Strings(owned)
+	e.trace(obs.KindStateCast, e.view.ID, "", "")
 	msg := stateMsg{ViewID: e.view.ID, Mature: e.mature, Owned: owned, Prefer: e.cfg.Prefer}
 	if err := e.deps.Cast(msg.encode()); err != nil {
 		e.deps.Log.Logf("wackamole %s: cast state: %v", e.deps.Self, err)
@@ -252,6 +285,7 @@ func (e *Engine) onState(from MemberID, m stateMsg) {
 	e.stateFrom[from] = true
 	e.matureOf[from] = m.Mature
 	e.prefsOf[from] = m.Prefer
+	e.trace(obs.KindStateRecv, m.ViewID, "", string(from))
 	if m.Mature && !e.mature {
 		// Contact with a mature server matures this one (§3.4).
 		e.becomeMature("state message from " + string(from))
@@ -348,6 +382,9 @@ func (e *Engine) onAlloc(from MemberID, m balanceMsg) {
 			e.releaseGroup(p.Group, "alloc")
 		}
 	}
+	if e.tracer.Enabled() {
+		e.trace(obs.KindBalanceApply, e.view.ID, "", "alloc:"+string(from))
+	}
 	e.setState(StateRun)
 	e.armBalance()
 	if e.mature && len(e.eligibleMembers()) == 0 {
@@ -439,6 +476,7 @@ func (e *Engine) onBalance(from MemberID, m balanceMsg) {
 			e.releaseGroup(p.Group, "balance")
 		}
 	}
+	e.trace(obs.KindBalanceApply, e.view.ID, "", string(from))
 	e.emit(EventBalanceApplied, "", string(from))
 	e.armBalance()
 }
@@ -547,6 +585,9 @@ func (e *Engine) setState(s State) {
 		return
 	}
 	e.state = s
+	if s == StateRun {
+		e.trace(obs.KindRunEnter, e.view.ID, "", "")
+	}
 	e.emit(EventStateChange, "", s.String())
 }
 
@@ -558,8 +599,12 @@ func (e *Engine) acquireGroup(g, why string) {
 			e.emit(EventError, g, fmt.Sprintf("acquire %v: %v", a, err))
 			continue
 		}
-		e.stats.Acquires++
-		e.stats.Announces++
+		e.stats.acquires.Add(1)
+		e.stats.announces.Add(1)
+		if e.tracer.Enabled() {
+			e.trace(obs.KindAcquire, g, a.String(), why)
+			e.trace(obs.KindAnnounce, g, a.String(), "")
+		}
 		e.deps.Notify.Announce(a)
 	}
 	e.owned[g] = true
@@ -574,7 +619,10 @@ func (e *Engine) releaseGroup(g, why string) {
 			e.emit(EventError, g, fmt.Sprintf("release %v: %v", a, err))
 			continue
 		}
-		e.stats.Releases++
+		e.stats.releases.Add(1)
+		if e.tracer.Enabled() {
+			e.trace(obs.KindRelease, g, a.String(), why)
+		}
 		e.deps.Notify.Withdraw(a)
 	}
 	delete(e.owned, g)
@@ -624,6 +672,9 @@ func (e *Engine) runBalance() {
 	if !changed {
 		e.armBalance()
 		return
+	}
+	if e.tracer.Enabled() {
+		e.trace(obs.KindBalanceCast, e.view.ID, "", fmt.Sprintf("moves=%d", len(alloc)))
 	}
 	msg := balanceMsg{ViewID: e.view.ID, Alloc: alloc}
 	if err := e.deps.Cast(msg.encode()); err != nil {

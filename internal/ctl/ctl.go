@@ -125,6 +125,13 @@ func FormatStatus(node *wackamole.Node) string {
 	fmt.Fprintf(&b, "daemon:  installs=%d reconfigs=%d sent=%d delivered=%d retrans=%d flushed=%d\n",
 		ds.MembershipsInstalled, ds.Reconfigurations, ds.DataSent, ds.DataDelivered,
 		ds.DataRetransmitted, ds.RecoveryFlushes)
+	es := node.Engine().Stats()
+	fmt.Fprintf(&b, "engine:  acquires=%d releases=%d announces=%d\n",
+		es.Acquires, es.Releases, es.Announces)
+	if tr := node.Tracer(); tr.Enabled() {
+		fmt.Fprintf(&b, "events:  buffered=%d emitted=%d dropped=%d\n",
+			tr.Len(), tr.Emitted(), tr.Dropped())
+	}
 	names := make([]string, 0, len(st.Table))
 	for g := range st.Table {
 		names = append(names, g)

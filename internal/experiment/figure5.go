@@ -5,8 +5,10 @@ import (
 	"strings"
 	"time"
 
+	"wackamole"
 	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
+	"wackamole/internal/obs"
 )
 
 // ConfigName labels the two Spread configurations of Table 1.
@@ -41,7 +43,23 @@ var Figure5Sizes = []int{2, 4, 6, 8, 10, 12}
 // every 10ms, and a fault disconnecting the interface of the server
 // covering it.
 func Figure5Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
-	wc, err := NewWebCluster(seed, n, cfg)
+	return figure5Trial(seed, n, cfg, false)
+}
+
+// figure5Trial is Figure5Trial with optional event tracing: when trace is
+// set the whole cluster (network, daemons, engines) records structured
+// events under virtual time, and the sample carries the stream plus its
+// fail-over phase breakdown. The tracer only observes — it draws no
+// randomness and schedules no simulator events — so the measured value is
+// bit-identical with tracing on or off.
+func figure5Trial(seed int64, n int, cfg gcs.Config, trace bool) (runner.Sample, error) {
+	var tr *obs.Tracer
+	var mods []func(*wackamole.ClusterOptions)
+	if trace {
+		tr = obs.New(0, nil)
+		mods = append(mods, func(o *wackamole.ClusterOptions) { o.Tracer = tr })
+	}
+	wc, err := NewWebCluster(seed, n, cfg, mods...)
 	if err != nil {
 		return runner.Sample{}, err
 	}
@@ -59,7 +77,15 @@ func Figure5Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 	if gap.To == gap.From {
 		return runner.Sample{}, fmt.Errorf("experiment: service resumed on the failed server %q", gap.To)
 	}
-	return runner.Sample{Value: gap.Duration(), Metrics: clusterMetrics(wc.Cluster)}, nil
+	sample := runner.Sample{Value: gap.Duration(), Metrics: clusterMetrics(wc.Cluster)}
+	if trace {
+		events := tr.Snapshot()
+		sample.Trace = &obs.TrialTrace{
+			Events: events,
+			Phases: obs.FailoverBreakdown(events, gap.Start, gap.End, wc.Target.String()),
+		}
+	}
+	return sample, nil
 }
 
 // Figure5Row is one point of Figure 5.
@@ -69,12 +95,23 @@ type Figure5Row struct {
 	Stat    Stat
 	Metrics runner.Metrics
 	Errors  int
+	// Samples holds the point's successful trials in seed order; when the
+	// sweep ran with WithTrace each carries its event stream and phase
+	// breakdown.
+	Samples []runner.Sample
 }
 
 // Figure5 sweeps cluster size × configuration with `trials` seeded runs per
 // point, reproducing the paper's Figure 5 ("Average Availability
 // Interruption with Varying Cluster Size").
 func Figure5(baseSeed int64, trials int, opts ...Option) ([]Figure5Row, error) {
+	return Figure5Over(baseSeed, trials, Figure5Sizes, opts...)
+}
+
+// Figure5Over is Figure5 restricted to the given cluster sizes (CI uses a
+// single-point run to produce a small sample trace artifact).
+func Figure5Over(baseSeed int64, trials int, sizes []int, opts ...Option) ([]Figure5Row, error) {
+	cfg := resolveOptions(opts)
 	type key struct {
 		cfg  ConfigName
 		size int
@@ -82,25 +119,26 @@ func Figure5(baseSeed int64, trials int, opts ...Option) ([]Figure5Row, error) {
 	var keys []key
 	var points []runner.Point
 	for _, nc := range NamedConfigs() {
-		for _, n := range Figure5Sizes {
+		for _, n := range sizes {
 			nc, n := nc, n
 			keys = append(keys, key{nc.Name, n})
 			points = append(points, runner.Point{
 				Label: fmt.Sprintf("figure5/%s/n=%d", nc.Name, n),
 				Seeds: Seeds(baseSeed+int64(n), trials),
 				Run: func(seed int64) (runner.Sample, error) {
-					return Figure5Trial(seed, n, nc.Cfg)
+					return figure5Trial(seed, n, nc.Cfg, cfg.trace)
 				},
 			})
 		}
 	}
 	var rows []Figure5Row
-	for i, res := range runSweep(points, opts) {
+	for i, res := range runner.Run(points, cfg.Options) {
 		stat, metrics, errs, err := collectPoint(res)
 		if err != nil {
 			return nil, err
 		}
-		rows = append(rows, Figure5Row{Config: keys[i].cfg, Size: keys[i].size, Stat: stat, Metrics: metrics, Errors: errs})
+		rows = append(rows, Figure5Row{Config: keys[i].cfg, Size: keys[i].size,
+			Stat: stat, Metrics: metrics, Errors: errs, Samples: res.Samples})
 	}
 	return rows, nil
 }

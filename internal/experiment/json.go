@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"wackamole/internal/experiment/runner"
+	"wackamole/internal/obs"
 )
 
 // json.go renders every sweep's rows as machine-readable records (one JSON
@@ -34,6 +35,36 @@ type JSONRow struct {
 	// Metrics sums the per-trial protocol-activity counters of the
 	// point's successful trials.
 	Metrics runner.Metrics `json:"metrics"`
+	// PerTrial holds per-trial rows — present only when the sweep ran with
+	// tracing, which is what makes per-trial phase breakdowns available.
+	PerTrial []TrialJSON `json:"per_trial,omitempty"`
+}
+
+// TrialJSON is one traced trial within a point: its seed, measured value
+// and fail-over phase breakdown. The phases partition the measured
+// interruption, so they sum to value_s.
+type TrialJSON struct {
+	Seed     int64         `json:"seed"`
+	ValueSec float64       `json:"value_s"`
+	Phases   obs.Breakdown `json:"phases"`
+	Events   int           `json:"events"`
+}
+
+// trialRows extracts the per-trial rows of a point's traced samples.
+func trialRows(samples []runner.Sample) []TrialJSON {
+	var out []TrialJSON
+	for _, s := range samples {
+		if s.Trace == nil {
+			continue
+		}
+		out = append(out, TrialJSON{
+			Seed:     s.Seed,
+			ValueSec: s.Value.Seconds(),
+			Phases:   s.Trace.Phases,
+			Events:   len(s.Trace.Events),
+		})
+	}
+	return out
 }
 
 // jsonRow fills the common fields from a Stat.
@@ -54,12 +85,15 @@ func jsonRow(experiment, point, unit string, st Stat, errs int, m runner.Metrics
 	}
 }
 
-// Figure5JSON converts Figure 5 rows.
+// Figure5JSON converts Figure 5 rows. Rows from a traced sweep additionally
+// carry one entry per trial with its phase breakdown.
 func Figure5JSON(rows []Figure5Row) []JSONRow {
 	var out []JSONRow
 	for _, r := range rows {
-		out = append(out, jsonRow("figure5", fmt.Sprintf("%s/n=%d", r.Config, r.Size),
-			"interruption", r.Stat, r.Errors, r.Metrics))
+		row := jsonRow("figure5", fmt.Sprintf("%s/n=%d", r.Config, r.Size),
+			"interruption", r.Stat, r.Errors, r.Metrics)
+		row.PerTrial = trialRows(r.Samples)
+		out = append(out, row)
 	}
 	return out
 }

@@ -15,6 +15,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"wackamole/internal/obs"
 )
 
 // Metrics counts protocol activity observed during one trial, aggregated
@@ -63,6 +65,12 @@ func (m *Metrics) Add(other Metrics) {
 type Sample struct {
 	Value   time.Duration
 	Metrics Metrics
+	// Seed is the seed the trial ran under; the runner fills it in, so
+	// trial functions may leave it zero.
+	Seed int64
+	// Trace carries the trial's structured event stream and fail-over
+	// phase breakdown when the sweep requested tracing; nil otherwise.
+	Trace *obs.TrialTrace
 }
 
 // Trial runs one isolated, seeded simulation and returns its measurement.
@@ -106,6 +114,10 @@ type Result struct {
 	// Errors holds the failed trials (including recovered panics), ordered
 	// by seed position.
 	Errors []TrialError
+	// Samples holds the successful trials' full samples in the same order
+	// as Values (seed order), for callers that need per-trial metrics or
+	// traces rather than the point aggregate.
+	Samples []Sample
 }
 
 // Progress describes one completed trial, for progress sinks.
@@ -198,6 +210,7 @@ func Run(points []Point, opts Options) []Result {
 			for j := range queue {
 				p := points[j.point]
 				s, err := runTrial(p.Run, p.Seeds[j.seed])
+				s.Seed = p.Seeds[j.seed]
 				grid[j.point][j.seed] = outcome{sample: s, err: err}
 				report(j, err)
 			}
@@ -218,6 +231,7 @@ func Run(points []Point, opts Options) []Result {
 				continue
 			}
 			res.Values = append(res.Values, o.sample.Value)
+			res.Samples = append(res.Samples, o.sample)
 			res.Metrics.Add(o.sample.Metrics)
 		}
 		results[pi] = res

@@ -11,29 +11,51 @@ import (
 // policy for turning one grid point's raw results into a Stat row (tolerate
 // and count per-trial errors; a point where every trial failed is fatal).
 
+// sweepConfig collects the resolved options of one sweep invocation: the
+// runner's execution options plus experiment-layer behaviour (tracing).
+type sweepConfig struct {
+	runner.Options
+	trace bool
+}
+
 // Option adjusts how a sweep executes its trials (parallelism, progress
-// reporting). Measurement semantics never depend on options: for the same
-// seeds, any worker count produces identical rows.
-type Option func(*runner.Options)
+// reporting, tracing). Measurement semantics never depend on options: for
+// the same seeds, any worker count — traced or not — produces identical
+// rows.
+type Option func(*sweepConfig)
 
 // Parallel bounds the number of concurrently executing trials; values < 1
 // mean GOMAXPROCS.
 func Parallel(workers int) Option {
-	return func(o *runner.Options) { o.Workers = workers }
+	return func(c *sweepConfig) { c.Workers = workers }
 }
 
 // WithSink installs a per-trial progress observer.
 func WithSink(s runner.Sink) Option {
-	return func(o *runner.Options) { o.Sink = s }
+	return func(c *sweepConfig) { c.Sink = s }
+}
+
+// WithTrace makes every trial capture a structured event stream and attach
+// it — with its fail-over phase breakdown — to the trial's Sample. Sweeps
+// that do not support tracing ignore it. Tracing is observation-only: it
+// consumes no randomness and schedules nothing, so traced statistics are
+// identical to untraced ones.
+func WithTrace() Option {
+	return func(c *sweepConfig) { c.trace = true }
+}
+
+// resolveOptions folds the option list into a sweepConfig.
+func resolveOptions(opts []Option) sweepConfig {
+	var c sweepConfig
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
 }
 
 // runSweep executes the grid under the collected options.
 func runSweep(points []runner.Point, opts []Option) []runner.Result {
-	var ro runner.Options
-	for _, opt := range opts {
-		opt(&ro)
-	}
-	return runner.Run(points, ro)
+	return runner.Run(points, resolveOptions(opts).Options)
 }
 
 // collectPoint summarizes one point's results. Per-trial errors are

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"wackamole/internal/obs"
+)
+
+// trace.go writes the -trace output of cmd/wacksim: an NDJSON stream
+// interleaving one "trial" summary record per traced trial with the trial's
+// "event" records, in deterministic (point, seed, event-sequence) order.
+// The stream is self-describing — every line names its record type, point
+// and seed — so it can be split, grepped and joined without side tables.
+
+// traceTrialRecord summarizes one traced trial.
+type traceTrialRecord struct {
+	Record     string        `json:"record"` // "trial"
+	Experiment string        `json:"experiment"`
+	Point      string        `json:"point"`
+	Seed       int64         `json:"seed"`
+	ValueSec   float64       `json:"value_s"`
+	Phases     obs.Breakdown `json:"phases"`
+	Events     int           `json:"events"`
+}
+
+// traceEventRecord is one event line, tagged with its trial.
+type traceEventRecord struct {
+	Record string `json:"record"` // "event"
+	Point  string `json:"point"`
+	Seed   int64  `json:"seed"`
+	Seq    uint64 `json:"seq"`
+	At     string `json:"at"`
+	Source string `json:"source"`
+	Kind   string `json:"kind"`
+	Node   string `json:"node,omitempty"`
+	Group  string `json:"group,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// WriteFigure5Trace writes the traced trials of a Figure 5 sweep as NDJSON.
+// Rows from an untraced sweep produce no output.
+func WriteFigure5Trace(w io.Writer, rows []Figure5Row) error {
+	enc := json.NewEncoder(w)
+	for _, r := range rows {
+		point := fmt.Sprintf("%s/n=%d", r.Config, r.Size)
+		for _, s := range r.Samples {
+			if s.Trace == nil {
+				continue
+			}
+			if err := enc.Encode(traceTrialRecord{
+				Record:     "trial",
+				Experiment: "figure5",
+				Point:      point,
+				Seed:       s.Seed,
+				ValueSec:   s.Value.Seconds(),
+				Phases:     s.Trace.Phases,
+				Events:     len(s.Trace.Events),
+			}); err != nil {
+				return err
+			}
+			for _, e := range s.Trace.Events {
+				if err := enc.Encode(traceEventRecord{
+					Record: "event",
+					Point:  point,
+					Seed:   s.Seed,
+					Seq:    e.Seq,
+					At:     e.At.Format(time.RFC3339Nano),
+					Source: e.Source.String(),
+					Kind:   e.Kind.String(),
+					Node:   e.Node,
+					Group:  e.Group,
+					Addr:   e.Addr,
+					Detail: e.Detail,
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

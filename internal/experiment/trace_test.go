@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/obs"
+)
+
+// tracedFigure5 runs a small traced sweep: one cluster size, both
+// configurations, `trials` seeds each.
+func tracedFigure5(t *testing.T, trials, workers int) []Figure5Row {
+	t.Helper()
+	rows, err := Figure5Over(300, trials, []int{4}, Parallel(workers), WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (default and tuned)", len(rows))
+	}
+	return rows
+}
+
+func TestTracedTrialPhasesPartitionTheInterruption(t *testing.T) {
+	rows := tracedFigure5(t, 2, 1)
+	for _, r := range rows {
+		if len(r.Samples) != 2 {
+			t.Fatalf("%s/n=%d: samples = %d, want 2", r.Config, r.Size, len(r.Samples))
+		}
+		for _, s := range r.Samples {
+			if s.Trace == nil {
+				t.Fatalf("%s/n=%d seed %d: traced sweep lost its trace", r.Config, r.Size, s.Seed)
+			}
+			if len(s.Trace.Events) == 0 {
+				t.Fatalf("%s/n=%d seed %d: no events captured", r.Config, r.Size, s.Seed)
+			}
+			// The phase boundaries are clamped into the measured gap, so the
+			// four phases partition the interruption exactly.
+			if got := s.Trace.Phases.Total(); got != s.Value {
+				t.Fatalf("%s/n=%d seed %d: phases sum to %v, interruption is %v",
+					r.Config, r.Size, s.Seed, got, s.Value)
+			}
+			// A real fail-over spends measurable time in detection and
+			// membership (the Table-1 timeouts dominate the interruption).
+			if s.Trace.Phases.Detection <= 0 || s.Trace.Phases.Membership <= 0 {
+				t.Fatalf("%s/n=%d seed %d: degenerate breakdown %+v",
+					r.Config, r.Size, s.Seed, s.Trace.Phases)
+			}
+		}
+	}
+}
+
+func TestTracingDoesNotPerturbTheMeasurement(t *testing.T) {
+	plain, err := Figure5Over(300, 2, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := tracedFigure5(t, 2, 1)
+	for i := range plain {
+		if plain[i].Stat != traced[i].Stat {
+			t.Fatalf("row %d: tracing changed the statistics:\nplain  %+v\ntraced %+v",
+				i, plain[i].Stat, traced[i].Stat)
+		}
+	}
+}
+
+func TestTracedSweepParallelMatchesSerial(t *testing.T) {
+	serial := tracedFigure5(t, 3, 1)
+	parallel := tracedFigure5(t, 3, 8)
+
+	var serialJSON, parallelJSON bytes.Buffer
+	if err := WriteNDJSON(&serialJSON, Figure5JSON(serial)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteNDJSON(&parallelJSON, Figure5JSON(parallel)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialJSON.Bytes(), parallelJSON.Bytes()) {
+		t.Fatalf("parallel JSON rows differ from serial:\nserial:\n%s\nparallel:\n%s",
+			serialJSON.String(), parallelJSON.String())
+	}
+
+	var serialTrace, parallelTrace bytes.Buffer
+	if err := WriteFigure5Trace(&serialTrace, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFigure5Trace(&parallelTrace, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialTrace.Bytes(), parallelTrace.Bytes()) {
+		t.Fatal("parallel trace stream differs from serial")
+	}
+}
+
+func TestWriteFigure5TraceShape(t *testing.T) {
+	rows := tracedFigure5(t, 1, 1)
+	var buf bytes.Buffer
+	if err := WriteFigure5Trace(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	trials, events := 0, 0
+	var lastTrialPoint string
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line: %v\n%s", err, line)
+		}
+		switch rec["record"] {
+		case "trial":
+			trials++
+			lastTrialPoint, _ = rec["point"].(string)
+			if rec["experiment"] != "figure5" {
+				t.Fatalf("trial record: %s", line)
+			}
+			phases, ok := rec["phases"].(map[string]any)
+			if !ok {
+				t.Fatalf("trial record has no phases: %s", line)
+			}
+			sum := phases["detection_s"].(float64) + phases["membership_s"].(float64) +
+				phases["state_sync_s"].(float64) + phases["arp_takeover_s"].(float64)
+			if diff := sum - rec["value_s"].(float64); diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("trial phases sum %v != value %v", sum, rec["value_s"])
+			}
+		case "event":
+			events++
+			// Every event is joined to its trial by (point, seed).
+			if rec["point"] != lastTrialPoint {
+				t.Fatalf("event before its trial record: %s", line)
+			}
+			if _, err := time.Parse(time.RFC3339Nano, rec["at"].(string)); err != nil {
+				t.Fatalf("event timestamp: %v\n%s", err, line)
+			}
+		default:
+			t.Fatalf("unknown record type: %s", line)
+		}
+	}
+	if trials != 2 {
+		t.Fatalf("trial records = %d, want 2", trials)
+	}
+	if events == 0 {
+		t.Fatal("no event records")
+	}
+	// Untraced rows write nothing.
+	plain, err := Figure5Over(300, 1, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteFigure5Trace(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("untraced sweep produced trace output: %q", buf.String())
+	}
+}
+
+func TestTraceCapturesTheFailoverNarrative(t *testing.T) {
+	rows := tracedFigure5(t, 1, 1)
+	for _, r := range rows {
+		tr := r.Samples[0].Trace
+		kinds := map[obs.Kind]int{}
+		for _, e := range tr.Events {
+			kinds[e.Kind]++
+		}
+		for _, want := range []obs.Kind{
+			obs.KindFault, obs.KindGatherEnter, obs.KindInstall,
+			obs.KindAcquire, obs.KindAnnounce, obs.KindARPSpoof, obs.KindTokenPass,
+		} {
+			if kinds[want] == 0 {
+				t.Errorf("%s/n=%d: no %v event in the trace (kinds: %v)", r.Config, r.Size, want, kinds)
+			}
+		}
+		// The ownership timeline must show the probed address changing hands.
+		timeline := obs.OwnershipTimeline(tr.Events)
+		var target string
+		for addr, spans := range timeline {
+			if len(spans) >= 2 {
+				target = addr
+			}
+		}
+		if target == "" {
+			t.Errorf("%s/n=%d: no address changed hands in the timeline", r.Config, r.Size)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package gcs
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/obs"
 	"wackamole/internal/wire"
 )
 
@@ -92,7 +94,22 @@ type Daemon struct {
 
 	groups       *groupLayer
 	onMembership MembershipHandler
-	stats        Stats
+	tracer       *obs.Tracer
+	stats        daemonCounters
+}
+
+// daemonCounters are the live activity counters. They are atomics — not
+// plain fields guarded by the callback loop — because Stats() is read from
+// outside the loop (the administrative channel, the /metrics endpoint and
+// wackmon all poll it from their own goroutines).
+type daemonCounters struct {
+	membershipsInstalled atomic.Uint64
+	reconfigurations     atomic.Uint64
+	tokensForwarded      atomic.Uint64
+	dataSent             atomic.Uint64
+	dataRetransmitted    atomic.Uint64
+	dataDelivered        atomic.Uint64
+	recoveryFlushes      atomic.Uint64
 }
 
 // Stats counts protocol activity since the daemon started; useful for the
@@ -255,8 +272,23 @@ func (d *Daemon) SetMembershipHandler(cb MembershipHandler) { d.onMembership = c
 // State returns the daemon's protocol state name (for tests and tooling).
 func (d *Daemon) State() string { return d.state.String() }
 
-// Stats returns a copy of the daemon's activity counters.
-func (d *Daemon) Stats() Stats { return d.stats }
+// Stats returns a snapshot of the daemon's activity counters. Unlike the
+// rest of the daemon's methods it is safe to call from any goroutine.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		MembershipsInstalled: d.stats.membershipsInstalled.Load(),
+		Reconfigurations:     d.stats.reconfigurations.Load(),
+		TokensForwarded:      d.stats.tokensForwarded.Load(),
+		DataSent:             d.stats.dataSent.Load(),
+		DataRetransmitted:    d.stats.dataRetransmitted.Load(),
+		DataDelivered:        d.stats.dataDelivered.Load(),
+		RecoveryFlushes:      d.stats.recoveryFlushes.Load(),
+	}
+}
+
+// SetTracer installs a structured event tracer (nil disables tracing).
+// Call before Start.
+func (d *Daemon) SetTracer(t *obs.Tracer) { d.tracer = t }
 
 // Ring returns the installed ring id and ordered members; ok is false before
 // the first installation.
@@ -403,6 +435,7 @@ func (d *Daemon) armFaultTimer(m DaemonID) {
 			return
 		}
 		d.env.Log.Logf("gcs %s: member %s silent beyond fault-detection timeout", d.id, m)
+		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindHeartbeatMiss, Node: string(d.id), Detail: string(m)})
 		d.enterGather("fault:"+string(m), 0)
 	})
 }
@@ -440,7 +473,8 @@ func (d *Daemon) enterGather(reason string, minRound uint64) {
 	}
 	d.cancelProtocolTimers()
 	d.earlyRec = nil
-	d.stats.Reconfigurations++
+	d.stats.reconfigurations.Add(1)
+	d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindGatherEnter, Node: string(d.id), Detail: reason})
 	d.state = stGather
 	if minRound > d.round {
 		d.round = minRound
@@ -549,6 +583,10 @@ func (d *Daemon) closeGather() {
 			Members: members,
 		}
 		d.env.Log.Logf("gcs %s: forming ring %s with %d members", d.id, form.Ring, len(members))
+		if d.tracer.Enabled() {
+			d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindFormRing, Node: string(d.id),
+				Group: form.Ring.String(), Detail: fmt.Sprintf("members=%d", len(members))})
+		}
 		d.broadcast(form.encode())
 		d.onForm(form)
 		return
@@ -619,6 +657,9 @@ func (d *Daemon) enterRecovery(form formMsg) {
 		stopTimer(d.rec.retry)
 	}
 	d.state = stRecover
+	if d.tracer.Enabled() {
+		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindRecoverEnter, Node: string(d.id), Group: form.Ring.String()})
+	}
 	rec := &recovery{
 		form:   form,
 		states: map[DaemonID]recoverStateMsg{},
@@ -827,7 +868,7 @@ func (d *Daemon) flushOldRing() bool {
 	for s := d.old.deliveredSeq + 1; s <= target; s++ {
 		if msg, ok := d.old.store[s]; ok {
 			d.old.deliveredSeq = s
-			d.stats.RecoveryFlushes++
+			d.stats.recoveryFlushes.Add(1)
 			d.groups.deliverData(msg)
 		}
 	}
@@ -855,8 +896,12 @@ func (d *Daemon) install(form formMsg) {
 	d.old = oldRing{}
 	d.state = stOperational
 	d.lastRingActivity = d.env.Clock.Now()
-	d.stats.MembershipsInstalled++
+	d.stats.membershipsInstalled.Add(1)
 	d.env.Log.Logf("gcs %s: installed ring %s members=%v", d.id, form.Ring, form.Members)
+	if d.tracer.Enabled() {
+		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindInstall, Node: string(d.id),
+			Group: form.Ring.String(), Detail: fmt.Sprintf("members=%d", len(form.Members))})
+	}
 
 	d.startHeartbeats()
 	d.startTokenWatchdog()
@@ -920,7 +965,7 @@ func (d *Daemon) onToken(tok tokenMsg) {
 	var rtr []uint64
 	for _, s := range tok.Rtr {
 		if msg, ok := d.store[s]; ok {
-			d.stats.DataRetransmitted++
+			d.stats.dataRetransmitted.Add(1)
 			d.broadcast(msg.encode())
 		} else {
 			rtr = append(rtr, s)
@@ -944,7 +989,7 @@ func (d *Daemon) onToken(tok tokenMsg) {
 		if msg.Seq > d.highSeq {
 			d.highSeq = msg.Seq
 		}
-		d.stats.DataSent++
+		d.stats.dataSent.Add(1)
 		d.broadcast(msg.encode())
 	}
 	d.tryDeliver()
@@ -959,7 +1004,8 @@ func (d *Daemon) onToken(tok tokenMsg) {
 		if d.closed || d.state != stOperational || d.ring.id != ringID {
 			return
 		}
-		d.stats.TokensForwarded++
+		d.stats.tokensForwarded.Add(1)
+		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindTokenPass, Node: string(d.id), Detail: string(succ)})
 		d.sendTo(succ, fwd.encode())
 	})
 }
@@ -995,7 +1041,7 @@ func (d *Daemon) tryDeliver() {
 			return
 		}
 		d.deliveredSeq++
-		d.stats.DataDelivered++
+		d.stats.dataDelivered.Add(1)
 		d.groups.deliverData(msg)
 	}
 }

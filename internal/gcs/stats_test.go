@@ -1,0 +1,61 @@
+package gcs
+
+import "testing"
+
+func TestStatsMergeAddsEveryCounter(t *testing.T) {
+	a := Stats{
+		MembershipsInstalled: 1,
+		Reconfigurations:     2,
+		TokensForwarded:      3,
+		DataSent:             4,
+		DataRetransmitted:    5,
+		DataDelivered:        6,
+		RecoveryFlushes:      7,
+	}
+	b := Stats{
+		MembershipsInstalled: 10,
+		Reconfigurations:     20,
+		TokensForwarded:      30,
+		DataSent:             40,
+		DataRetransmitted:    50,
+		DataDelivered:        60,
+		RecoveryFlushes:      70,
+	}
+	a.Merge(b)
+	want := Stats{
+		MembershipsInstalled: 11,
+		Reconfigurations:     22,
+		TokensForwarded:      33,
+		DataSent:             44,
+		DataRetransmitted:    55,
+		DataDelivered:        66,
+		RecoveryFlushes:      77,
+	}
+	if a != want {
+		t.Fatalf("merged = %+v, want %+v", a, want)
+	}
+	// Merging the zero value is the identity.
+	a.Merge(Stats{})
+	if a != want {
+		t.Fatalf("zero merge changed the sum: %+v", a)
+	}
+	// The argument is unchanged (Merge takes it by value).
+	if b.MembershipsInstalled != 10 {
+		t.Fatalf("Merge mutated its argument: %+v", b)
+	}
+}
+
+func TestDaemonStatsSnapshotIsDetached(t *testing.T) {
+	d := &Daemon{}
+	d.stats.membershipsInstalled.Add(2)
+	d.stats.dataDelivered.Add(5)
+	snap := d.Stats()
+	if snap.MembershipsInstalled != 2 || snap.DataDelivered != 5 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	// Mutating the snapshot must not touch the live counters.
+	snap.MembershipsInstalled = 99
+	if d.stats.membershipsInstalled.Load() != 2 {
+		t.Fatal("snapshot aliases the live counters")
+	}
+}

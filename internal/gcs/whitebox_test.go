@@ -161,7 +161,7 @@ func TestTokenLossWatchdogRegathers(t *testing.T) {
 	s.RunFor(5 * time.Second)
 	_ = hosts
 	d := daemons[0]
-	installsBefore := d.stats.MembershipsInstalled
+	installsBefore := d.stats.membershipsInstalled.Load()
 	// Simulate a lost token: make every daemon treat arriving tokens as
 	// stale duplicates (and cancel pending forwards), so circulation dies
 	// while heartbeats keep flowing — only the token-loss watchdog can
@@ -171,7 +171,7 @@ func TestTokenLossWatchdogRegathers(t *testing.T) {
 		stopTimer(dd.pendingToken)
 	}
 	s.RunFor(10 * time.Second)
-	if d.stats.MembershipsInstalled <= installsBefore {
+	if d.stats.membershipsInstalled.Load() <= installsBefore {
 		t.Fatal("token loss never led to a reinstall")
 	}
 	if d.state != stOperational {
@@ -281,13 +281,13 @@ func TestLeaveFromStrangerIgnored(t *testing.T) {
 	s, daemons, _ := wbCluster(t, 13, 2, TunedConfig())
 	s.RunFor(5 * time.Second)
 	d := daemons[0]
-	installs := d.stats.MembershipsInstalled
+	installs := d.stats.membershipsInstalled.Load()
 	// A LEAVE from a daemon outside the ring, and one for a stale ring,
 	// must both be ignored.
 	d.onLeave(leaveMsg{Ring: d.ring.id, Sender: "stranger:1"})
 	d.onLeave(leaveMsg{Ring: RingID{Coord: d.id, Epoch: 99}, Sender: daemons[1].id})
 	d.onLeave(leaveMsg{Ring: d.ring.id, Sender: d.id}) // own echo
-	if d.state != stOperational || d.stats.MembershipsInstalled != installs {
+	if d.state != stOperational || d.stats.membershipsInstalled.Load() != installs {
 		t.Fatalf("bogus LEAVE disturbed the daemon (state %v)", d.state)
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"wackamole/internal/arp"
 	"wackamole/internal/env"
+	"wackamole/internal/obs"
 	"wackamole/internal/sim"
 )
 
@@ -127,12 +128,18 @@ func (h *Host) EnableForwarding() { h.forwarding = true }
 
 // Crash stops the host: interfaces go silent, timers stop firing, sockets
 // deliver nothing. State is retained for a later Restart.
-func (h *Host) Crash() { h.alive = false }
+func (h *Host) Crash() {
+	h.alive = false
+	h.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: obs.KindFault, Node: h.name, Detail: "crash"})
+}
 
 // Restart brings a crashed host back with its configuration intact.
 // Protocol state machines running on the host are responsible for their own
 // recovery.
-func (h *Host) Restart() { h.alive = true }
+func (h *Host) Restart() {
+	h.alive = true
+	h.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: obs.KindRestore, Node: h.name, Detail: "restart"})
+}
 
 // Now returns the current virtual time.
 func (h *Host) Now() time.Time { return h.net.sim.Now() }
@@ -228,7 +235,18 @@ func (nic *NIC) Up() bool { return nic.up }
 // SetUp enables or disables the interface. Disabling models the paper's
 // fault-injection method: "disconnecting the interface through which Spread,
 // Wackamole, and the experimental server access the network".
-func (nic *NIC) SetUp(up bool) { nic.up = up }
+func (nic *NIC) SetUp(up bool) {
+	if nic.up == up {
+		return
+	}
+	nic.up = up
+	kind := obs.KindFault
+	if up {
+		kind = obs.KindRestore
+	}
+	nic.host.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: kind,
+		Node: nic.host.name, Detail: nic.name})
+}
 
 // AddAddr configures an additional (virtual) address on the interface.
 func (nic *NIC) AddAddr(a netip.Addr) error {
@@ -543,6 +561,14 @@ func (h *Host) SendSpoofedARP(nic *NIC, ip netip.Addr, dst MAC) error {
 		return fmt.Errorf("netsim: encode spoofed ARP: %w", err)
 	}
 	h.net.counters.ARPSpoofs++
+	if h.net.tracer.Enabled() {
+		detail := "unicast"
+		if dst == BroadcastMAC {
+			detail = "broadcast"
+		}
+		h.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: obs.KindARPSpoof,
+			Node: h.name, Addr: ip.String(), Detail: detail})
+	}
 	nic.seg.transmit(nic, frame{src: nic.mac, dst: dst, kind: frameARP, arp: payload})
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/obs"
 	"wackamole/internal/sim"
 )
 
@@ -95,8 +96,15 @@ type Network struct {
 	hosts    []*Host
 	log      env.Logger
 	trace    func(TraceEvent)
+	tracer   *obs.Tracer
 	counters Counters
 }
+
+// SetEventTracer installs a structured event tracer recording ARP spoofs,
+// frame drops and injected faults (nil disables). This is distinct from
+// SetPacketTrace, which observes every frame; the event tracer captures
+// only protocol-relevant occurrences.
+func (n *Network) SetEventTracer(t *obs.Tracer) { n.tracer = t }
 
 // Counters aggregates network-wide traffic totals since construction. The
 // simulation loop is single-threaded, so plain integers suffice; callers
@@ -224,6 +232,8 @@ func (s *Segment) transmit(src *NIC, fr frame) {
 		if s.cfg.LossRate > 0 && s.net.sim.Rand().Float64() < s.cfg.LossRate {
 			s.net.counters.FramesDropped++
 			s.net.log.Logf("netsim: %s dropped frame %s -> %s", s.name, fr.src, fr.dst)
+			s.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: obs.KindFrameDrop,
+				Node: nic.host.name, Group: s.name})
 			s.net.emitTrace(traceOf(s, fr, TraceDrop, nic.host.name))
 			continue
 		}

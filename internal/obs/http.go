@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sort"
+)
+
+// http.go is the live observability surface of the real daemon: an
+// expvar-style /metrics endpoint (flat JSON map of monotonic counters) and
+// /debug/events (the tracer's ring snapshot as NDJSON). Both are read-only
+// snapshots assembled per request; the stats they read are atomic
+// snapshots, so serving them never blocks the protocol.
+
+// MetricsFunc assembles the current counter values; keys should be
+// snake_case and stable across releases.
+type MetricsFunc func() map[string]uint64
+
+// Handler serves /metrics and /debug/events.
+type Handler struct {
+	metrics MetricsFunc
+	tracer  *Tracer
+}
+
+// NewHandler builds the observability handler; metrics may be nil (serves
+// an empty object) and tracer may be nil (serves an empty event stream).
+func NewHandler(metrics MetricsFunc, tracer *Tracer) *Handler {
+	return &Handler{metrics: metrics, tracer: tracer}
+}
+
+// ServeHTTP routes the two endpoints.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.URL.Path {
+	case "/metrics":
+		h.serveMetrics(w)
+	case "/debug/events":
+		h.serveEvents(w)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// serveMetrics writes the counters as one sorted, indented JSON object,
+// expvar-style.
+func (h *Handler) serveMetrics(w http.ResponseWriter) {
+	vals := map[string]uint64{}
+	if h.metrics != nil {
+		vals = h.metrics()
+	}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	// Hand-rolled so the keys stay sorted (json.Marshal of a map sorts too,
+	// but an ordered write keeps the value formatting integral).
+	w.Write([]byte("{\n"))
+	for i, k := range keys {
+		b, _ := json.Marshal(k)
+		w.Write(b)
+		w.Write([]byte(": "))
+		v, _ := json.Marshal(vals[k])
+		w.Write(v)
+		if i < len(keys)-1 {
+			w.Write([]byte(","))
+		}
+		w.Write([]byte("\n"))
+	}
+	w.Write([]byte("}\n"))
+}
+
+// serveEvents streams the ring snapshot as NDJSON, oldest first.
+func (h *Handler) serveEvents(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	WriteNDJSON(w, h.tracer.Snapshot())
+}
+
+// Server is a minimal HTTP listener around Handler for the real daemon.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving the observability endpoints on addr (e.g.
+// "127.0.0.1:4804"); it returns once the listener is bound.
+func Serve(addr string, metrics MetricsFunc, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewHandler(metrics, tracer)}
+	go srv.Serve(ln)
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHandlerServesMetricsSorted(t *testing.T) {
+	h := NewHandler(func() map[string]uint64 {
+		return map[string]uint64{"zeta": 3, "alpha": 1, "mid": 2}
+	}, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+	var got map[string]uint64
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("metrics is not valid JSON: %v\n%s", err, body)
+	}
+	if got["alpha"] != 1 || got["mid"] != 2 || got["zeta"] != 3 {
+		t.Fatalf("metrics = %v", got)
+	}
+	if strings.Index(body, "alpha") > strings.Index(body, "zeta") {
+		t.Fatalf("keys not sorted:\n%s", body)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type = %q", ct)
+	}
+}
+
+func TestHandlerNilCollaborators(t *testing.T) {
+	h := NewHandler(nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if strings.TrimSpace(rec.Body.String()) != "{\n}" && strings.TrimSpace(rec.Body.String()) != "{}" {
+		t.Fatalf("empty metrics = %q", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/events", nil))
+	if rec.Body.Len() != 0 {
+		t.Fatalf("nil tracer produced events: %q", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown path code = %d", rec.Code)
+	}
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	tr := New(16, fixedNow())
+	tr.Emit(Event{Source: SourceGCS, Kind: KindInstall, Node: "d1"})
+	tr.Emit(Event{Source: SourceCore, Kind: KindAcquire, Node: "d1/wackd", Addr: "10.0.0.100"})
+	srv, err := Serve("127.0.0.1:0", func() map[string]uint64 {
+		return map[string]uint64{"obs_events_emitted": tr.Emitted()}
+	}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var metrics map[string]uint64
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, body)
+	}
+	if metrics["obs_events_emitted"] != 2 {
+		t.Fatalf("metrics = %v", metrics)
+	}
+
+	resp, err = client.Get("http://" + srv.Addr() + "/debug/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("event lines = %d, want 2:\n%s", len(lines), body)
+	}
+	var ev Event
+	if err := json.Unmarshal([]byte(lines[1]), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != KindAcquire || ev.Addr != "10.0.0.100" {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// eventJSON is the wire shape of one event: flat, string-typed enums,
+// RFC 3339 timestamps, empty fields elided. One object per line makes the
+// stream greppable and ingestible by any NDJSON tooling.
+type eventJSON struct {
+	Seq    uint64 `json:"seq"`
+	At     string `json:"at"`
+	Source string `json:"source"`
+	Kind   string `json:"kind"`
+	Node   string `json:"node,omitempty"`
+	Group  string `json:"group,omitempty"`
+	Addr   string `json:"addr,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// MarshalJSON renders the event in its NDJSON wire shape.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Seq:    e.Seq,
+		At:     e.At.Format(time.RFC3339Nano),
+		Source: e.Source.String(),
+		Kind:   e.Kind.String(),
+		Node:   e.Node,
+		Group:  e.Group,
+		Addr:   e.Addr,
+		Detail: e.Detail,
+	})
+}
+
+// UnmarshalJSON parses the wire shape back; enum strings it does not
+// recognize decode to zero values rather than failing, so newer traces stay
+// readable by older analyzers.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var w eventJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	at, err := time.Parse(time.RFC3339Nano, w.At)
+	if err != nil {
+		return err
+	}
+	*e = Event{Seq: w.Seq, At: at, Node: w.Node, Group: w.Group, Addr: w.Addr, Detail: w.Detail}
+	for s := SourceGCS; s <= SourceWatchdog; s++ {
+		if s.String() == w.Source {
+			e.Source = s
+		}
+	}
+	for k := KindHeartbeatMiss; k <= KindWatchdogFire; k++ {
+		if k.String() == w.Kind {
+			e.Kind = k
+		}
+	}
+	return nil
+}
+
+// WriteNDJSON writes the events as newline-delimited JSON, one event per
+// line.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

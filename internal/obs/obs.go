@@ -1,0 +1,309 @@
+// Package obs is the structured event-tracing layer shared by every
+// subsystem in this repository. The paper's headline metric — the
+// availability interruption during fail-over (§5, Figure 5, Table 1) — is
+// the sum of distinct protocol phases (fault detection, membership settle,
+// state exchange, ARP take-over); package obs captures the typed events that
+// mark those phase boundaries so a measured interruption can be decomposed
+// into an explainable timeline rather than one opaque number.
+//
+// The Tracer is a bounded ring buffer of typed events. It is deliberately
+// cheap: a nil *Tracer is a valid, disabled tracer whose Emit is a
+// zero-allocation no-op, so protocol code can call it unconditionally on hot
+// paths (token passes, frame drops) without a feature flag. Events carry the
+// emitting node's source tag and a timestamp from a pluggable now-function,
+// which is virtual time under the simulator and wall time in the real
+// daemon.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Source identifies the subsystem that emitted an event.
+type Source uint8
+
+// Event sources.
+const (
+	// SourceGCS: the group-communication daemon (internal/gcs).
+	SourceGCS Source = iota + 1
+	// SourceCore: the state-synchronization engine (internal/core).
+	SourceCore
+	// SourceNet: the simulated network (internal/netsim).
+	SourceNet
+	// SourceWatchdog: the application health watchdog (internal/watchdog).
+	SourceWatchdog
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceGCS:
+		return "gcs"
+	case SourceCore:
+		return "core"
+	case SourceNet:
+		return "net"
+	case SourceWatchdog:
+		return "watchdog"
+	default:
+		return fmt.Sprintf("source(%d)", uint8(s))
+	}
+}
+
+// Kind classifies an event within its source.
+type Kind uint8
+
+// Event kinds. The failover-phase analyzer keys on KindFault,
+// KindGatherEnter, KindInstall, KindAcquire and KindARPSpoof; the rest give
+// the timeline its explanatory detail.
+const (
+	// KindHeartbeatMiss: a ring member stayed silent beyond the
+	// fault-detection timeout (gcs).
+	KindHeartbeatMiss Kind = iota + 1
+	// KindTokenPass: the daemon forwarded the ring token to its successor.
+	KindTokenPass
+	// KindGatherEnter: the daemon entered discovery; Detail is the reason
+	// ("fault:<id>", "token-loss", "join:<id>", ...).
+	KindGatherEnter
+	// KindFormRing: the coordinator formed a new ring.
+	KindFormRing
+	// KindRecoverEnter: the daemon began the Virtual Synchrony flush.
+	KindRecoverEnter
+	// KindInstall: the daemon installed a new membership.
+	KindInstall
+
+	// KindViewChange: the engine received a VIEW_CHANGE.
+	KindViewChange
+	// KindStateCast: the engine multicast its STATE_MSG.
+	KindStateCast
+	// KindStateRecv: the engine consumed a peer's STATE_MSG.
+	KindStateRecv
+	// KindRunEnter: GATHER completed; the engine entered RUN.
+	KindRunEnter
+	// KindAcquire: one virtual address was acquired (Addr, Group set).
+	KindAcquire
+	// KindRelease: one virtual address was released (Addr, Group set).
+	KindRelease
+	// KindAnnounce: an ownership-change notification was requested (§5.1).
+	KindAnnounce
+	// KindBalanceCast: the representative multicast a BALANCE/ALLOC message.
+	KindBalanceCast
+	// KindBalanceApply: a delivered BALANCE/ALLOC message was applied.
+	KindBalanceApply
+
+	// KindARPSpoof: an unsolicited ARP reply was injected into the network.
+	KindARPSpoof
+	// KindFrameDrop: a frame was lost to an explicit loss draw.
+	KindFrameDrop
+	// KindFault: an injected fault (interface down, host crash).
+	KindFault
+	// KindRestore: an injected repair (interface up, host restart).
+	KindRestore
+
+	// KindWatchdogMiss: a health check failed.
+	KindWatchdogMiss
+	// KindWatchdogFire: the watchdog threshold was reached and its action ran.
+	KindWatchdogFire
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindHeartbeatMiss:
+		return "heartbeat-miss"
+	case KindTokenPass:
+		return "token-pass"
+	case KindGatherEnter:
+		return "gather-enter"
+	case KindFormRing:
+		return "form-ring"
+	case KindRecoverEnter:
+		return "recover-enter"
+	case KindInstall:
+		return "install"
+	case KindViewChange:
+		return "view-change"
+	case KindStateCast:
+		return "state-cast"
+	case KindStateRecv:
+		return "state-recv"
+	case KindRunEnter:
+		return "run-enter"
+	case KindAcquire:
+		return "acquire"
+	case KindRelease:
+		return "release"
+	case KindAnnounce:
+		return "announce"
+	case KindBalanceCast:
+		return "balance-cast"
+	case KindBalanceApply:
+		return "balance-apply"
+	case KindARPSpoof:
+		return "arp-spoof"
+	case KindFrameDrop:
+		return "frame-drop"
+	case KindFault:
+		return "fault"
+	case KindRestore:
+		return "restore"
+	case KindWatchdogMiss:
+		return "watchdog-miss"
+	case KindWatchdogFire:
+		return "watchdog-fire"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Event is one structured trace event.
+type Event struct {
+	// Seq is the tracer-assigned emission sequence number (1-based,
+	// monotone, counting dropped events too).
+	Seq uint64
+	// At is the emission instant: virtual time under the simulator, wall
+	// time in the real daemon.
+	At time.Time
+	// Source and Kind type the event.
+	Source Source
+	Kind   Kind
+	// Node tags the emitting protocol instance (daemon id, member id or
+	// host name).
+	Node string
+	// Group is the virtual-address group or ring involved, if any.
+	Group string
+	// Addr is the IP address involved, if any.
+	Addr string
+	// Detail carries event-specific context (reasons, peers, counts).
+	Detail string
+}
+
+// String renders the event on one line.
+func (e Event) String() string {
+	return fmt.Sprintf("%d %s %s/%s node=%s group=%q addr=%q %s",
+		e.Seq, e.At.Format("15:04:05.000000"), e.Source, e.Kind, e.Node, e.Group, e.Addr, e.Detail)
+}
+
+// DefaultCapacity holds several seconds of a busy cluster's events (token
+// passes dominate at roughly one per TokenInterval).
+const DefaultCapacity = 1 << 15
+
+// Tracer is a bounded ring buffer of events, safe for concurrent emission
+// and snapshotting. A nil *Tracer is a valid, permanently disabled tracer:
+// every method is nil-safe and Emit on nil allocates nothing, so call sites
+// need no enabled-check for plain literals (only guard work that itself
+// allocates, like fmt.Sprintf details, with Enabled).
+type Tracer struct {
+	mu      sync.Mutex
+	now     func() time.Time
+	buf     []Event
+	start   int // index of the oldest live event
+	n       int // live events in buf
+	emitted uint64
+}
+
+// New returns a tracer holding the last capacity events (<=0 means
+// DefaultCapacity), stamping them with now (nil means time.Now).
+func New(capacity int, now func() time.Time) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{now: now, buf: make([]Event, capacity)}
+}
+
+// SetNow replaces the timestamp source; the simulator harness points it at
+// virtual time after the simulation is constructed.
+func (t *Tracer) SetNow(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+// Enabled reports whether events are being recorded. Call sites use it to
+// skip building event details that would allocate.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records ev, stamping its Seq and (when unset) its At. On a nil
+// tracer it is a zero-allocation no-op.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.emitted++
+	ev.Seq = t.emitted
+	if ev.At.IsZero() {
+		ev.At = t.now()
+	}
+	if t.n < len(t.buf) {
+		t.buf[(t.start+t.n)%len(t.buf)] = ev
+		t.n++
+	} else {
+		t.buf[t.start] = ev
+		t.start = (t.start + 1) % len(t.buf)
+	}
+	t.mu.Unlock()
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (t *Tracer) Snapshot() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.buf[(t.start+i)%len(t.buf)]
+	}
+	return out
+}
+
+// Len reports how many events are currently buffered.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Emitted reports the total number of events ever emitted, including those
+// the ring has since overwritten.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted
+}
+
+// Dropped reports how many emitted events the ring has overwritten.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.emitted - uint64(t.n)
+}
+
+// Reset discards all buffered events and counters.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.start, t.n, t.emitted = 0, 0, 0
+	t.mu.Unlock()
+}

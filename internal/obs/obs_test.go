@@ -1,0 +1,208 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedNow returns a deterministic, strictly increasing clock for tests.
+func fixedNow() func() time.Time {
+	t := time.Date(2003, 6, 22, 0, 0, 0, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(time.Millisecond)
+		return t
+	}
+}
+
+func TestEmitAssignsSequenceAndTimestamp(t *testing.T) {
+	tr := New(8, fixedNow())
+	tr.Emit(Event{Source: SourceGCS, Kind: KindInstall, Node: "d1"})
+	tr.Emit(Event{Source: SourceCore, Kind: KindAcquire, Node: "d2", Addr: "10.0.0.1"})
+	got := tr.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("snapshot length = %d, want 2", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("seqs = %d,%d, want 1,2", got[0].Seq, got[1].Seq)
+	}
+	if got[0].At.IsZero() || !got[1].At.After(got[0].At) {
+		t.Fatalf("timestamps not stamped monotonically: %v, %v", got[0].At, got[1].At)
+	}
+	// A pre-stamped timestamp is preserved.
+	at := time.Date(2003, 6, 22, 1, 0, 0, 0, time.UTC)
+	tr.Emit(Event{Kind: KindFault, At: at})
+	if got := tr.Snapshot(); !got[2].At.Equal(at) {
+		t.Fatalf("explicit At overwritten: %v", got[2].At)
+	}
+}
+
+func TestRingWraparoundKeepsNewestInOrder(t *testing.T) {
+	const capacity, emitted = 4, 10
+	tr := New(capacity, fixedNow())
+	for i := 0; i < emitted; i++ {
+		tr.Emit(Event{Kind: KindTokenPass, Detail: fmt.Sprintf("e%d", i)})
+	}
+	if tr.Len() != capacity {
+		t.Fatalf("Len = %d, want %d", tr.Len(), capacity)
+	}
+	if tr.Emitted() != emitted {
+		t.Fatalf("Emitted = %d, want %d", tr.Emitted(), emitted)
+	}
+	if tr.Dropped() != emitted-capacity {
+		t.Fatalf("Dropped = %d, want %d", tr.Dropped(), emitted-capacity)
+	}
+	got := tr.Snapshot()
+	for i, e := range got {
+		wantSeq := uint64(emitted - capacity + i + 1)
+		if e.Seq != wantSeq {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest-first after wrap)", i, e.Seq, wantSeq)
+		}
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Emitted() != 0 || len(tr.Snapshot()) != 0 {
+		t.Fatalf("Reset left state: len=%d emitted=%d", tr.Len(), tr.Emitted())
+	}
+}
+
+func TestNilTracerIsDisabledNoop(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	tr.SetNow(time.Now) // must not panic
+	tr.Reset()
+	tr.Emit(Event{Kind: KindFault})
+	if tr.Snapshot() != nil || tr.Len() != 0 || tr.Emitted() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	// The disabled hot path must not allocate: protocol code calls Emit
+	// unconditionally on token passes and frame transmissions.
+	ev := Event{Source: SourceGCS, Kind: KindTokenPass, Node: "d1"}
+	if allocs := testing.AllocsPerRun(100, func() { tr.Emit(ev) }); allocs != 0 {
+		t.Fatalf("disabled Emit allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestConcurrentEmitAndSnapshot(t *testing.T) {
+	const goroutines, perG = 8, 500
+	tr := New(goroutines*perG, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr.Emit(Event{Kind: KindTokenPass, Node: fmt.Sprintf("d%d", g)})
+			}
+		}(g)
+	}
+	// Snapshot and counter reads race with the emitters; -race checks them.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = tr.Snapshot()
+			_ = tr.Len()
+			_ = tr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := tr.Emitted(); got != goroutines*perG {
+		t.Fatalf("Emitted = %d, want %d", got, goroutines*perG)
+	}
+	seen := map[uint64]bool{}
+	for _, e := range tr.Snapshot() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("snapshot holds %d distinct seqs, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestDefaultCapacityAndClock(t *testing.T) {
+	tr := New(0, nil)
+	tr.Emit(Event{Kind: KindFault})
+	got := tr.Snapshot()
+	if len(got) != 1 || got[0].At.IsZero() {
+		t.Fatalf("defaulted tracer did not stamp wall time: %+v", got)
+	}
+	for i := 0; i < DefaultCapacity; i++ {
+		tr.Emit(Event{Kind: KindTokenPass})
+	}
+	if tr.Len() != DefaultCapacity || tr.Dropped() != 1 {
+		t.Fatalf("default capacity ring: len=%d dropped=%d", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestNDJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Seq: 1, At: time.Date(2003, 6, 22, 0, 0, 1, 500, time.UTC),
+			Source: SourceNet, Kind: KindFault, Node: "server2", Detail: "nic0"},
+		{Seq: 2, At: time.Date(2003, 6, 22, 0, 0, 2, 0, time.UTC),
+			Source: SourceCore, Kind: KindAcquire, Node: "d3/wackd", Group: "web1", Addr: "10.0.0.100"},
+	}
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2:\n%s", len(lines), buf.String())
+	}
+	for i, line := range lines {
+		var got Event
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if got != events[i] {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, events[i])
+		}
+	}
+	// Empty optional fields are elided from the wire shape.
+	if strings.Contains(lines[0], "addr") || strings.Contains(lines[0], "group") {
+		t.Fatalf("empty fields not elided: %s", lines[0])
+	}
+}
+
+func TestUnmarshalUnknownEnumsDecodeToZero(t *testing.T) {
+	var e Event
+	line := `{"seq":9,"at":"2003-06-22T00:00:00Z","source":"quantum","kind":"teleport","node":"d1"}`
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Source != 0 || e.Kind != 0 {
+		t.Fatalf("unknown enums decoded to %v/%v, want zero values", e.Source, e.Kind)
+	}
+	if e.Seq != 9 || e.Node != "d1" {
+		t.Fatalf("known fields lost: %+v", e)
+	}
+	if err := json.Unmarshal([]byte(`{"seq":1,"at":"not-a-time"}`), &e); err == nil {
+		t.Fatal("bad timestamp accepted")
+	}
+}
+
+func TestEnumStringsAreDistinct(t *testing.T) {
+	seen := map[string]Kind{}
+	for k := KindHeartbeatMiss; k <= KindWatchdogFire; k++ {
+		s := k.String()
+		if strings.HasPrefix(s, "kind(") {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if Source(99).String() == SourceGCS.String() {
+		t.Fatal("out-of-range source collides with a named one")
+	}
+}

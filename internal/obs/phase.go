@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"time"
+)
+
+// phase.go reconstructs the paper's §5 decomposition of an availability
+// interruption from a trial's event stream. The client observes one opaque
+// gap [gapStart, gapEnd]; the trace marks the protocol instants inside it:
+//
+//	fault ──▶ gather-enter ──▶ install ──▶ acquire ──▶ first answered probe
+//	         (detection)   (membership)  (state sync)   (ARP take-over)
+//
+// The four phases partition the gap exactly, so they always sum to the
+// reported interruption.
+
+// Breakdown is the per-phase decomposition of one availability
+// interruption.
+type Breakdown struct {
+	// Detection: probe gap start until the surviving ring suspects the
+	// fault (first gather-enter at or after the fault injection).
+	Detection time.Duration
+	// Membership: suspicion until the acquiring daemon installs the new
+	// membership.
+	Membership time.Duration
+	// StateSync: membership install until the acquiring engine finishes
+	// the STATE_MSG exchange and acquires the orphaned address.
+	StateSync time.Duration
+	// ARPTakeover: address acquisition until clients observe service again
+	// (gratuitous ARP propagation and cache correction, §5.1).
+	ARPTakeover time.Duration
+}
+
+// Total sums the phases; by construction it equals the measured gap.
+func (b Breakdown) Total() time.Duration {
+	return b.Detection + b.Membership + b.StateSync + b.ARPTakeover
+}
+
+// MarshalJSON emits the phases in seconds, matching the *_s convention of
+// the experiment layer's JSON rows.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Detection   float64 `json:"detection_s"`
+		Membership  float64 `json:"membership_s"`
+		StateSync   float64 `json:"state_sync_s"`
+		ARPTakeover float64 `json:"arp_takeover_s"`
+	}{b.Detection.Seconds(), b.Membership.Seconds(), b.StateSync.Seconds(), b.ARPTakeover.Seconds()})
+}
+
+// daemonOf extracts the daemon id from a core-layer node tag. Core engines
+// are tagged with their group-member id "daemon/client" (gcs.GroupMember),
+// while gcs events are tagged with the bare daemon id.
+func daemonOf(node string) string {
+	if i := strings.IndexByte(node, '/'); i >= 0 {
+		return node[:i]
+	}
+	return node
+}
+
+// FailoverBreakdown partitions the measured probe gap [gapStart, gapEnd]
+// over target into the four fail-over phases. Phase boundaries are taken
+// from the event stream and clamped monotonically into the gap, so the
+// phases always partition it exactly; a boundary whose marker event is
+// missing (e.g. the ring overwrote it) collapses that phase to zero rather
+// than failing.
+func FailoverBreakdown(events []Event, gapStart, gapEnd time.Time, target string) Breakdown {
+	// The injected fault anchors the search: markers before it belong to
+	// warm-up noise, not this fail-over.
+	var faultAt time.Time
+	for _, e := range events {
+		if e.Kind == KindFault && !e.At.After(gapEnd) {
+			faultAt = e.At
+		}
+	}
+	if faultAt.IsZero() {
+		faultAt = gapStart
+	}
+
+	// Suspicion: the first daemon to abandon the old ring after the fault.
+	var suspectAt time.Time
+	for _, e := range events {
+		if e.Kind == KindGatherEnter && !e.At.Before(faultAt) {
+			suspectAt = e.At
+			break
+		}
+	}
+
+	// Recovery: the first acquisition of the orphaned address after the
+	// fault, and the membership install (by the acquiring daemon) that
+	// enabled it.
+	var acquireAt time.Time
+	var acquirer string
+	for _, e := range events {
+		if e.Kind == KindAcquire && e.Addr == target && !e.At.Before(faultAt) {
+			acquireAt = e.At
+			acquirer = daemonOf(e.Node)
+			break
+		}
+	}
+	var installAt time.Time
+	for _, e := range events {
+		if e.Kind == KindInstall && daemonOf(e.Node) == acquirer &&
+			!e.At.Before(faultAt) && (acquireAt.IsZero() || !e.At.After(acquireAt)) {
+			installAt = e.At
+		}
+	}
+
+	// Clamp the three interior boundaries into [gapStart, gapEnd] and force
+	// them monotone; a missing marker inherits the previous boundary,
+	// zeroing its phase.
+	clamp := func(t, lo time.Time) time.Time {
+		if t.Before(lo) {
+			return lo
+		}
+		if t.After(gapEnd) {
+			return gapEnd
+		}
+		return t
+	}
+	t1 := clamp(suspectAt, gapStart)
+	t2 := clamp(installAt, t1)
+	t3 := clamp(acquireAt, t2)
+	return Breakdown{
+		Detection:   t1.Sub(gapStart),
+		Membership:  t2.Sub(t1),
+		StateSync:   t3.Sub(t2),
+		ARPTakeover: gapEnd.Sub(t3),
+	}
+}
+
+// OwnershipSpan is one interval during which Owner covered an address. A
+// zero To means the span was still open at the end of the trace.
+type OwnershipSpan struct {
+	Owner    string
+	From, To time.Time
+}
+
+// OwnershipTimeline folds acquire/release events into per-address ownership
+// histories, keyed by IP address, spans in chronological order. Overlapping
+// spans reproduce the transient multiple-ownership window the protocol
+// permits during partition merges (§3.3).
+func OwnershipTimeline(events []Event) map[string][]OwnershipSpan {
+	type openKey struct{ addr, owner string }
+	open := map[openKey]int{} // index into out[addr]
+	out := map[string][]OwnershipSpan{}
+	for _, e := range events {
+		switch e.Kind {
+		case KindAcquire:
+			k := openKey{e.Addr, e.Node}
+			if _, dup := open[k]; dup {
+				continue // re-announce of an address already held
+			}
+			open[k] = len(out[e.Addr])
+			out[e.Addr] = append(out[e.Addr], OwnershipSpan{Owner: e.Node, From: e.At})
+		case KindRelease:
+			k := openKey{e.Addr, e.Node}
+			if i, ok := open[k]; ok {
+				out[e.Addr][i].To = e.At
+				delete(open, k)
+			}
+		}
+	}
+	for addr := range out {
+		spans := out[addr]
+		sort.SliceStable(spans, func(i, j int) bool { return spans[i].From.Before(spans[j].From) })
+	}
+	return out
+}
+
+// TrialTrace bundles one simulated trial's captured events with its
+// fail-over phase breakdown; the experiment runner attaches it to the
+// trial's Sample when tracing is requested.
+type TrialTrace struct {
+	Events []Event
+	Phases Breakdown
+}

@@ -20,6 +20,7 @@ import (
 
 	"wackamole/internal/env"
 	"wackamole/internal/netsim"
+	"wackamole/internal/obs"
 )
 
 // Defaults.
@@ -39,6 +40,10 @@ type Config struct {
 	Interval time.Duration
 	// Threshold of consecutive failures; zero means 3.
 	Threshold int
+	// Tracer records check misses and firings (nil disables tracing).
+	Tracer *obs.Tracer
+	// Node tags traced events with the watched node's identity.
+	Node string
 }
 
 func (c Config) interval() time.Duration {
@@ -89,8 +94,13 @@ func (w *Watchdog) Start() {
 			w.misses = 0
 		} else {
 			w.misses++
+			if w.cfg.Tracer.Enabled() {
+				w.cfg.Tracer.Emit(obs.Event{Source: obs.SourceWatchdog, Kind: obs.KindWatchdogMiss,
+					Node: w.cfg.Node, Detail: fmt.Sprintf("miss %d/%d", w.misses, w.cfg.threshold())})
+			}
 			if w.misses >= w.cfg.threshold() {
 				w.fired = true
+				w.cfg.Tracer.Emit(obs.Event{Source: obs.SourceWatchdog, Kind: obs.KindWatchdogFire, Node: w.cfg.Node})
 				w.cfg.Action()
 				return
 			}

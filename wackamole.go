@@ -24,6 +24,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/gcs"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/obs"
 )
 
 // DefaultGroup is the process group Wackamole daemons join.
@@ -80,9 +81,22 @@ type Node struct {
 	sess    *gcs.Session
 	engine  *core.Engine
 	ips     *ipmgr.Manager
+	tracer  *obs.Tracer
 	started bool
 	stopped bool
 }
+
+// SetTracer installs a structured event tracer on the node's daemon and
+// engine (nil disables tracing). Call before Start.
+func (n *Node) SetTracer(t *obs.Tracer) {
+	n.tracer = t
+	n.daemon.SetTracer(t)
+	n.engine.SetTracer(t)
+}
+
+// Tracer returns the node's installed tracer; nil (a valid, disabled
+// tracer) when none was set.
+func (n *Node) Tracer() *obs.Tracer { return n.tracer }
 
 // NewNode builds a Node on e. backend performs the platform-specific
 // address manipulation; notify announces ownership changes (nil disables
