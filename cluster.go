@@ -9,6 +9,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/gcs"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/metrics"
 	"wackamole/internal/netsim"
 	"wackamole/internal/obs"
 	"wackamole/internal/sim"
@@ -59,6 +60,9 @@ type ClusterOptions struct {
 	// Tracer records structured protocol events from the network and every
 	// node, stamped with virtual time (nil: tracing disabled).
 	Tracer *obs.Tracer
+	// Metrics records latency histograms and counters from the network and
+	// every node (nil: measurement disabled).
+	Metrics *metrics.Registry
 	// ConfigureNode, if set, may adjust each server's configuration before
 	// the node is built (per-server preferences, differing timeouts...).
 	ConfigureNode func(i int, cfg *Config)
@@ -134,6 +138,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		opts.Tracer.SetNow(s.Now)
 		nw.SetEventTracer(opts.Tracer)
 	}
+	if opts.Metrics != nil {
+		nw.SetMetrics(opts.Metrics)
+	}
 	c := &Cluster{
 		Sim:     s,
 		Net:     nw,
@@ -190,6 +197,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		if opts.Tracer != nil {
 			node.SetTracer(opts.Tracer)
+		}
+		if opts.Metrics != nil {
+			node.SetMetrics(opts.Metrics)
 		}
 		if opts.StartStagger > 0 && i > 0 {
 			node := node

@@ -31,6 +31,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/env/realtime"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
 
@@ -98,11 +99,15 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 		return 1
 	}
 	var tracer *obs.Tracer
+	var registry *metrics.Registry
 	if cfg.Metrics != "" {
 		// Wall-clock tracing feeds /debug/events; installed before Start so
-		// the bootstrap discovery is captured too.
+		// the bootstrap discovery is captured too. The registry upgrades
+		// /metrics to Prometheus text format with latency histograms.
 		tracer = obs.New(4096, nil)
 		node.SetTracer(tracer)
+		registry = metrics.New()
+		node.SetMetrics(registry)
 	}
 
 	startErr := make(chan error, 1)
@@ -135,7 +140,7 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 				"obs_events_emitted":        tracer.Emitted(),
 				"obs_events_dropped":        tracer.Dropped(),
 			}
-		}, tracer)
+		}, tracer, registry)
 		if err != nil {
 			fmt.Fprintf(notices, "wackamole: %v\n", err)
 			loop.Post(node.Stop)

@@ -34,6 +34,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/env/realtime"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/metrics"
 )
 
 func main() {
@@ -88,6 +89,10 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) int {
 		loop.Close()
 		return 1
 	}
+	// The observer keeps its own latency registry: token rotation and
+	// delivery as seen from the monitor's seat on the ring.
+	registry := metrics.New()
+	node.SetMetrics(registry)
 	startErr := make(chan error, 1)
 	loop.Post(func() { startErr <- node.Start() })
 	if err := <-startErr; err != nil {
@@ -116,6 +121,7 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) int {
 		case <-stop:
 			fmt.Fprintln(out, "wackmon: leaving")
 			printFinal(out, last)
+			printLatency(out, registry)
 			flush(out)
 			stopped := make(chan struct{})
 			loop.Post(func() {
@@ -158,6 +164,23 @@ func printFinal(out io.Writer, st core.Status) {
 		}
 		fmt.Fprintf(out, "wackmon:   %-12s -> %s\n", g, owner)
 	}
+}
+
+// printLatency summarizes the monitor's latency histograms: token rotation
+// and agreed-delivery time as observed from its seat on the ring.
+func printLatency(out io.Writer, reg *metrics.Registry) {
+	if !reg.Enabled() {
+		return
+	}
+	snap := reg.Snapshot()
+	rot := snap.MergedHistogram("gcs_token_rotation_seconds")
+	del := snap.MergedHistogram("gcs_delivery_seconds")
+	if rot.Count() == 0 && del.Count() == 0 {
+		return
+	}
+	fmt.Fprintf(out, "wackmon: latency rotation p50=%s p99=%s (%d obs) delivery p99=%s (%d obs)\n",
+		rot.QuantileDuration(0.50), rot.QuantileDuration(0.99), rot.Count(),
+		del.QuantileDuration(0.99), del.Count())
 }
 
 // printDiff reports view and allocation changes since the previous poll.

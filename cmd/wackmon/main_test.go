@@ -81,6 +81,11 @@ func TestMonitorObservesSingletonWithoutServing(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("monitor did not exit")
 	}
+	// The shutdown summary includes the monitor's own latency view of the
+	// ring: by now the token has rotated many times through its seat.
+	if out := buf.String(); !strings.Contains(out, "wackmon: latency rotation p50=") {
+		t.Fatalf("no latency summary in final output:\n%s", out)
+	}
 }
 
 // TestRunFlushesFinalTableOnStop drives the monitor through a writer whose

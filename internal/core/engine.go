@@ -5,9 +5,11 @@ import (
 	"net/netip"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"wackamole/internal/arp"
 	"wackamole/internal/env"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
 
@@ -79,6 +81,13 @@ type Engine struct {
 	hook   func(Event)
 	tracer *obs.Tracer
 	stats  engineCounters
+
+	// Latency instruments (nil when no registry is installed; a nil
+	// histogram's Observe is a zero-allocation no-op). gatherStart is
+	// observation state for the current GATHER episode.
+	mStateSync   *metrics.Histogram
+	mAnnounceLag *metrics.Histogram
+	gatherStart  time.Time
 }
 
 // Stats counts the engine's address-management actions since Start; the
@@ -116,6 +125,16 @@ func (e *Engine) Stats() Stats {
 // SetTracer installs a structured event tracer (nil disables tracing).
 // Call before Start.
 func (e *Engine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// SetMetrics installs a latency-metrics registry (nil disables measurement).
+// Call before Start.
+func (e *Engine) SetMetrics(r *metrics.Registry) {
+	node := metrics.L("node", string(e.deps.Self))
+	e.mStateSync = r.Histogram("core_state_sync_seconds",
+		"duration of the GATHER state-synchronization round, from view delivery to entering RUN", node)
+	e.mAnnounceLag = r.Histogram("core_announce_lag_seconds",
+		"lag from view delivery to the ownership announcement of each address acquired in that round", node)
+}
 
 // trace emits a core-layer event tagged with this member's identity.
 func (e *Engine) trace(k obs.Kind, group, addr, detail string) {
@@ -229,6 +248,7 @@ func (e *Engine) OnView(v View) {
 		return
 	}
 	e.view = View{ID: v.ID, Members: append([]MemberID(nil), v.Members...)}
+	e.gatherStart = e.deps.Clock.Now()
 	if e.tracer.Enabled() {
 		e.trace(obs.KindViewChange, v.ID, "", fmt.Sprintf("members=%d", len(v.Members)))
 	}
@@ -586,6 +606,10 @@ func (e *Engine) setState(s State) {
 	}
 	e.state = s
 	if s == StateRun {
+		if !e.gatherStart.IsZero() {
+			e.mStateSync.ObserveDuration(e.deps.Clock.Now().Sub(e.gatherStart))
+			e.gatherStart = time.Time{}
+		}
 		e.trace(obs.KindRunEnter, e.view.ID, "", "")
 	}
 	e.emit(EventStateChange, "", s.String())
@@ -601,6 +625,11 @@ func (e *Engine) acquireGroup(g, why string) {
 		}
 		e.stats.acquires.Add(1)
 		e.stats.announces.Add(1)
+		if !e.gatherStart.IsZero() {
+			// Acquisitions triggered by the post-gather reallocation carry
+			// the client-visible takeover lag since the view change.
+			e.mAnnounceLag.ObserveDuration(e.deps.Clock.Now().Sub(e.gatherStart))
+		}
 		if e.tracer.Enabled() {
 			e.trace(obs.KindAcquire, g, a.String(), why)
 			e.trace(obs.KindAnnounce, g, a.String(), "")

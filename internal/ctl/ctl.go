@@ -132,6 +132,14 @@ func FormatStatus(node *wackamole.Node) string {
 		fmt.Fprintf(&b, "events:  buffered=%d emitted=%d dropped=%d\n",
 			tr.Len(), tr.Emitted(), tr.Dropped())
 	}
+	if reg := node.Metrics(); reg.Enabled() {
+		snap := reg.Snapshot()
+		rot := snap.MergedHistogram("gcs_token_rotation_seconds")
+		del := snap.MergedHistogram("gcs_delivery_seconds")
+		fmt.Fprintf(&b, "latency: rotation p50=%s p99=%s (%d obs) delivery p99=%s (%d obs)\n",
+			rot.QuantileDuration(0.50), rot.QuantileDuration(0.99), rot.Count(),
+			del.QuantileDuration(0.99), del.Count())
+	}
 	names := make([]string, 0, len(st.Table))
 	for g := range st.Table {
 		names = append(names, g)

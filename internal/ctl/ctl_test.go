@@ -11,6 +11,7 @@ import (
 	"wackamole/internal/env/realtime"
 	"wackamole/internal/gcs"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/metrics"
 )
 
 // liveNode spins up a real single-daemon node over loopback UDP. A
@@ -134,5 +135,34 @@ func TestFormatStatusListsUncovered(t *testing.T) {
 	out := FormatStatus(node)
 	if !strings.Contains(out, "member:") || !strings.Contains(out, "state:") {
 		t.Fatalf("status output:\n%s", out)
+	}
+	if strings.Contains(out, "latency:") {
+		t.Fatalf("latency line without a registry:\n%s", out)
+	}
+}
+
+func TestFormatStatusLatencySummary(t *testing.T) {
+	node, loop := liveNode(t)
+	wired := make(chan struct{})
+	loop.Post(func() { node.SetMetrics(metrics.New()); close(wired) })
+	<-wired
+
+	// Wait for the singleton's token to rotate a few times so the rotation
+	// histogram has observations.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap := node.Metrics().Snapshot()
+		if snap.MergedHistogram("gcs_token_rotation_seconds").Count() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("token rotation histogram never observed")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	out := FormatStatus(node)
+	if !strings.Contains(out, "latency: rotation p50=") || !strings.Contains(out, "delivery p99=") {
+		t.Fatalf("status output missing latency summary:\n%s", out)
 	}
 }

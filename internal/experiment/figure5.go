@@ -8,6 +8,7 @@ import (
 	"wackamole"
 	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
 
@@ -54,10 +55,15 @@ func Figure5Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 // bit-identical with tracing on or off.
 func figure5Trial(seed int64, n int, cfg gcs.Config, trace bool) (runner.Sample, error) {
 	var tr *obs.Tracer
+	var reg *metrics.Registry
 	var mods []func(*wackamole.ClusterOptions)
 	if trace {
 		tr = obs.New(0, nil)
-		mods = append(mods, func(o *wackamole.ClusterOptions) { o.Tracer = tr })
+		reg = metrics.New()
+		mods = append(mods, func(o *wackamole.ClusterOptions) {
+			o.Tracer = tr
+			o.Metrics = reg
+		})
 	}
 	wc, err := NewWebCluster(seed, n, cfg, mods...)
 	if err != nil {
@@ -81,9 +87,13 @@ func figure5Trial(seed int64, n int, cfg gcs.Config, trace bool) (runner.Sample,
 	if trace {
 		events := tr.Snapshot()
 		sample.Trace = &obs.TrialTrace{
-			Events: events,
-			Phases: obs.FailoverBreakdown(events, gap.Start, gap.End, wc.Target.String()),
+			Events:   events,
+			Phases:   obs.FailoverBreakdown(events, gap.Start, gap.End, wc.Target.String()),
+			GapStart: gap.Start,
+			GapEnd:   gap.End,
+			Target:   wc.Target.String(),
 		}
+		sample.Latency = reg.Snapshot()
 	}
 	return sample, nil
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"wackamole/internal/experiment/runner"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
 
@@ -48,6 +49,42 @@ type TrialJSON struct {
 	ValueSec float64       `json:"value_s"`
 	Phases   obs.Breakdown `json:"phases"`
 	Events   int           `json:"events"`
+	// Latency summarizes the trial's protocol latency histograms (present
+	// only when the trial carried a metrics registry).
+	Latency *LatencyJSON `json:"latency,omitempty"`
+}
+
+// LatencyJSON is the per-trial protocol latency summary, quantiles estimated
+// from the trial's cluster-wide (all nodes merged) latency histograms.
+type LatencyJSON struct {
+	TokenRotationP50Sec float64 `json:"token_rotation_p50_s"`
+	TokenRotationP99Sec float64 `json:"token_rotation_p99_s"`
+	TokenRotationObs    uint64  `json:"token_rotation_obs"`
+	DeliveryP99Sec      float64 `json:"delivery_p99_s"`
+	DeliveryObs         uint64  `json:"delivery_obs"`
+	InstallP50Sec       float64 `json:"membership_install_p50_s"`
+	StateSyncP50Sec     float64 `json:"state_sync_p50_s"`
+}
+
+// latencyRow summarizes a trial's registry snapshot; nil when the snapshot
+// is empty (untraced trial).
+func latencyRow(snap metrics.Snapshot) *LatencyJSON {
+	if len(snap.Families) == 0 {
+		return nil
+	}
+	rot := snap.MergedHistogram("gcs_token_rotation_seconds")
+	del := snap.MergedHistogram("gcs_delivery_seconds")
+	inst := snap.MergedHistogram("gcs_membership_install_seconds")
+	sync := snap.MergedHistogram("core_state_sync_seconds")
+	return &LatencyJSON{
+		TokenRotationP50Sec: rot.Quantile(0.50),
+		TokenRotationP99Sec: rot.Quantile(0.99),
+		TokenRotationObs:    rot.Count(),
+		DeliveryP99Sec:      del.Quantile(0.99),
+		DeliveryObs:         del.Count(),
+		InstallP50Sec:       inst.Quantile(0.50),
+		StateSyncP50Sec:     sync.Quantile(0.50),
+	}
 }
 
 // trialRows extracts the per-trial rows of a point's traced samples.
@@ -62,6 +99,7 @@ func trialRows(samples []runner.Sample) []TrialJSON {
 			ValueSec: s.Value.Seconds(),
 			Phases:   s.Trace.Phases,
 			Events:   len(s.Trace.Events),
+			Latency:  latencyRow(s.Latency),
 		})
 	}
 	return out

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
 
@@ -71,6 +72,10 @@ type Sample struct {
 	// Trace carries the trial's structured event stream and fail-over
 	// phase breakdown when the sweep requested tracing; nil otherwise.
 	Trace *obs.TrialTrace
+	// Latency carries the trial's latency-histogram registry snapshot when
+	// the sweep requested tracing; zero otherwise. Snapshots of disjoint
+	// trials merge associatively, so aggregation order never matters.
+	Latency metrics.Snapshot
 }
 
 // Trial runs one isolated, seeded simulation and returns its measurement.

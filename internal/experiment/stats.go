@@ -6,6 +6,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"wackamole/internal/metrics"
 )
 
 // Stat summarizes a sample of durations.
@@ -45,26 +47,10 @@ func Summarize(ds []time.Duration) Stat {
 		Min:    sorted[0],
 		Max:    sorted[len(sorted)-1],
 		Median: sorted[len(sorted)/2],
-		P50:    percentile(sorted, 50),
-		P99:    percentile(sorted, 99),
+		P50:    metrics.Percentile(sorted, 50),
+		P99:    metrics.Percentile(sorted, 99),
 		StdDev: std,
 	}
-}
-
-// percentile returns the nearest-rank q-th percentile of an ascending
-// sorted sample.
-func percentile(sorted []time.Duration, q float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(math.Ceil(q / 100 * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }
 
 func sqrt(x float64) float64 {

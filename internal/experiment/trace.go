@@ -15,7 +15,9 @@ import (
 // The stream is self-describing — every line names its record type, point
 // and seed — so it can be split, grepped and joined without side tables.
 
-// traceTrialRecord summarizes one traced trial.
+// traceTrialRecord summarizes one traced trial. GapStart/GapEnd/Target let
+// offline analyzers re-run obs.FailoverBreakdown on the event lines and
+// cross-check the result against Phases and ValueSec.
 type traceTrialRecord struct {
 	Record     string        `json:"record"` // "trial"
 	Experiment string        `json:"experiment"`
@@ -24,6 +26,9 @@ type traceTrialRecord struct {
 	ValueSec   float64       `json:"value_s"`
 	Phases     obs.Breakdown `json:"phases"`
 	Events     int           `json:"events"`
+	GapStart   string        `json:"gap_start,omitempty"`
+	GapEnd     string        `json:"gap_end,omitempty"`
+	Target     string        `json:"target,omitempty"`
 }
 
 // traceEventRecord is one event line, tagged with its trial.
@@ -59,6 +64,9 @@ func WriteFigure5Trace(w io.Writer, rows []Figure5Row) error {
 				ValueSec:   s.Value.Seconds(),
 				Phases:     s.Trace.Phases,
 				Events:     len(s.Trace.Events),
+				GapStart:   s.Trace.GapStart.Format(time.RFC3339Nano),
+				GapEnd:     s.Trace.GapEnd.Format(time.RFC3339Nano),
+				Target:     s.Trace.Target,
 			}); err != nil {
 				return err
 			}

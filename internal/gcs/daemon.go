@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 	"wackamole/internal/wire"
 )
@@ -96,6 +97,18 @@ type Daemon struct {
 	onMembership MembershipHandler
 	tracer       *obs.Tracer
 	stats        daemonCounters
+
+	// Latency instruments (nil when no registry is installed; observing on a
+	// nil histogram is a zero-allocation no-op, so the uninstrumented run is
+	// unchanged). The time.Time fields below are observation state only —
+	// they never schedule events or draw randomness.
+	mTokenRotation *metrics.Histogram
+	mDelivery      *metrics.Histogram
+	mInstall       *metrics.Histogram
+	mRetransmits   *metrics.Histogram
+	lastTokenAt    time.Time
+	reconfigStart  time.Time
+	retransEpisode uint64
 }
 
 // daemonCounters are the live activity counters. They are atomics — not
@@ -290,6 +303,20 @@ func (d *Daemon) Stats() Stats {
 // Call before Start.
 func (d *Daemon) SetTracer(t *obs.Tracer) { d.tracer = t }
 
+// SetMetrics installs a latency-metrics registry (nil disables measurement;
+// every instrument then degrades to a no-op). Call before Start.
+func (d *Daemon) SetMetrics(r *metrics.Registry) {
+	node := metrics.L("node", string(d.id))
+	d.mTokenRotation = r.Histogram("gcs_token_rotation_seconds",
+		"time between successive token arrivals at this daemon", node)
+	d.mDelivery = r.Histogram("gcs_delivery_seconds",
+		"agreed-delivery latency from multicast send to in-order delivery, measured at the origin", node)
+	d.mInstall = r.Histogram("gcs_membership_install_seconds",
+		"duration of one reconfiguration, from entering discovery to installing the new membership", node)
+	d.mRetransmits = r.Histogram("gcs_retransmits_per_reconfig",
+		"retransmissions this daemon served between consecutive membership installations", node)
+}
+
 // Ring returns the installed ring id and ordered members; ok is false before
 // the first installation.
 func (d *Daemon) Ring() (RingID, []DaemonID, bool) {
@@ -474,6 +501,11 @@ func (d *Daemon) enterGather(reason string, minRound uint64) {
 	d.cancelProtocolTimers()
 	d.earlyRec = nil
 	d.stats.reconfigurations.Add(1)
+	if d.reconfigStart.IsZero() {
+		// First discovery entry of this episode; repeated gather rounds
+		// before the next install extend the same measurement.
+		d.reconfigStart = d.env.Clock.Now()
+	}
 	d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindGatherEnter, Node: string(d.id), Detail: reason})
 	d.state = stGather
 	if minRound > d.round {
@@ -897,6 +929,15 @@ func (d *Daemon) install(form formMsg) {
 	d.state = stOperational
 	d.lastRingActivity = d.env.Clock.Now()
 	d.stats.membershipsInstalled.Add(1)
+	if !d.reconfigStart.IsZero() {
+		d.mInstall.ObserveDuration(d.lastRingActivity.Sub(d.reconfigStart))
+		d.reconfigStart = time.Time{}
+	}
+	d.mRetransmits.Observe(float64(d.retransEpisode))
+	d.retransEpisode = 0
+	// Token rotation restarts with the new ring; the first arrival on it
+	// must not be measured against the previous ring's last token.
+	d.lastTokenAt = time.Time{}
 	d.env.Log.Logf("gcs %s: installed ring %s members=%v", d.id, form.Ring, form.Members)
 	if d.tracer.Enabled() {
 		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindInstall, Node: string(d.id),
@@ -941,7 +982,7 @@ func (d *Daemon) startTokenWatchdog() {
 // messages survive membership changes and are sent in whatever ring is
 // operational when the token arrives.
 func (d *Daemon) sendData(kind dataKind, payload []byte) {
-	d.sendQueue = append(d.sendQueue, &dataMsg{Origin: d.id, Kind: kind, Payload: payload})
+	d.sendQueue = append(d.sendQueue, &dataMsg{Origin: d.id, Kind: kind, Payload: payload, sentAt: d.env.Clock.Now()})
 }
 
 const maxRtrPerToken = 128
@@ -960,12 +1001,17 @@ func (d *Daemon) onToken(tok tokenMsg) {
 	}
 	d.lastTokenSeq = tok.TokenSeq
 	d.lastRingActivity = d.env.Clock.Now()
+	if !d.lastTokenAt.IsZero() {
+		d.mTokenRotation.ObserveDuration(d.lastRingActivity.Sub(d.lastTokenAt))
+	}
+	d.lastTokenAt = d.lastRingActivity
 
 	// Serve retransmission requests we can satisfy; keep the rest.
 	var rtr []uint64
 	for _, s := range tok.Rtr {
 		if msg, ok := d.store[s]; ok {
 			d.stats.dataRetransmitted.Add(1)
+			d.retransEpisode++
 			d.broadcast(msg.encode())
 		} else {
 			rtr = append(rtr, s)
@@ -1042,6 +1088,10 @@ func (d *Daemon) tryDeliver() {
 		}
 		d.deliveredSeq++
 		d.stats.dataDelivered.Add(1)
+		if !msg.sentAt.IsZero() {
+			// Only the origin's own copy carries a send timestamp.
+			d.mDelivery.ObserveDuration(d.env.Clock.Now().Sub(msg.sentAt))
+		}
 		d.groups.deliverData(msg)
 	}
 }

@@ -3,6 +3,7 @@ package gcs
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"wackamole/internal/env"
 	"wackamole/internal/wire"
@@ -108,6 +109,10 @@ type dataMsg struct {
 	Origin  DaemonID
 	Kind    dataKind
 	Payload []byte
+	// sentAt is local observation state, never encoded: the origin stamps
+	// its own copy at Multicast time so delivery latency can be measured at
+	// the sender; decoded copies carry the zero value.
+	sentAt time.Time
 }
 
 type recoverStateMsg struct {

@@ -1,0 +1,291 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("requests_total", "requests served")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same (name, labels) returns the same instrument.
+	if r.Counter("requests_total", "requests served") != c {
+		t.Fatal("counter lookup is not idempotent")
+	}
+	g := r.Gauge("queue_depth", "frames in flight", L("segment", "lan"))
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 {
+		t.Fatalf("gauge = %d, want 1", g.Value())
+	}
+	g.Set(42)
+	if g.Value() != 42 {
+		t.Fatalf("gauge = %d, want 42", g.Value())
+	}
+	// Distinct labels make distinct series.
+	if r.Gauge("queue_depth", "", L("segment", "ext")).Value() != 0 {
+		t.Fatal("label separation failed")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestBucketIndexMatchesLinearScan(t *testing.T) {
+	probes := []float64{0, 1e-9, 1e-6, 1.5e-6, 2e-6, 3.7e-4, 0.01, 1, 60, 134, 135, 1e6}
+	for _, v := range probes {
+		want := NumBuckets
+		for i, b := range bucketBoundaries {
+			if v <= b {
+				want = i
+				break
+			}
+		}
+		if got := bucketIndex(v); got != want {
+			t.Errorf("bucketIndex(%g) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := New()
+	h := r.Histogram("latency_seconds", "")
+	// 100 observations at ~1ms, 10 at ~1s.
+	for i := 0; i < 100; i++ {
+		h.ObserveDuration(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.ObserveDuration(time.Second)
+	}
+	s := h.Snapshot()
+	if s.Count() != 110 {
+		t.Fatalf("count = %d, want 110", s.Count())
+	}
+	wantSum := 100*0.001 + 10*1.0
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", s.Sum, wantSum)
+	}
+	// P50 must fall in the bucket containing 1ms; P99 in the one containing 1s.
+	p50 := s.Quantile(0.50)
+	if p50 < 0.0005 || p50 > 0.002 {
+		t.Fatalf("p50 = %g, want within the 1ms bucket", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 0.5 || p99 > 2.0 {
+		t.Fatalf("p99 = %g, want within the 1s bucket", p99)
+	}
+	if s.QuantileDuration(0.99) != time.Duration(p99*float64(time.Second)) {
+		t.Fatal("QuantileDuration disagrees with Quantile")
+	}
+	if mb := s.MaxBound(); mb < 1 || mb > 2.0 {
+		t.Fatalf("max bound = %g, want the 1s bucket boundary", mb)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty quantile != 0")
+	}
+	if empty.MaxBound() != 0 {
+		t.Fatal("empty max bound != 0")
+	}
+	var h Histogram
+	h.Observe(1e9) // beyond the last finite boundary
+	s := h.Snapshot()
+	if s.Counts[NumBuckets] != 1 {
+		t.Fatal("overflow observation not in +Inf bucket")
+	}
+	if got := s.Quantile(1.0); got != bucketBoundaries[NumBuckets-1] {
+		t.Fatalf("overflow quantile = %g, want last finite boundary", got)
+	}
+	if !math.IsInf(s.MaxBound(), 1) {
+		t.Fatal("overflow max bound should be +Inf")
+	}
+}
+
+// TestHistogramMergeAssociativeDeterministic exercises concurrent
+// observation under -race and verifies that merging per-writer snapshots in
+// any order and grouping yields identical buckets and sums.
+func TestHistogramMergeAssociativeDeterministic(t *testing.T) {
+	const writers = 8
+	const perWriter = 1000
+	r := New()
+	hists := make([]*Histogram, writers)
+	for i := range hists {
+		hists[i] = r.Histogram("m_seconds", "", L("node", string(rune('a'+i))))
+	}
+	var wg sync.WaitGroup
+	for i, h := range hists {
+		wg.Add(1)
+		go func(i int, h *Histogram) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				h.Observe(float64(i+1) * 1e-4)
+			}
+		}(i, h)
+	}
+	wg.Wait()
+
+	snaps := make([]HistSnapshot, writers)
+	for i, h := range hists {
+		snaps[i] = h.Snapshot()
+	}
+	// Left fold.
+	var left HistSnapshot
+	for _, s := range snaps {
+		left.Merge(s)
+	}
+	// Right fold, reversed order.
+	var right HistSnapshot
+	for i := writers - 1; i >= 0; i-- {
+		right.Merge(snaps[i])
+	}
+	// Pairwise tree.
+	var tree HistSnapshot
+	for i := 0; i < writers; i += 2 {
+		pair := snaps[i]
+		pair.Merge(snaps[i+1])
+		tree.Merge(pair)
+	}
+	// Bucket counts are integers, so their merge is exactly associative and
+	// commutative; the float sum is associative only up to rounding.
+	if left.Counts != right.Counts || left.Counts != tree.Counts {
+		t.Fatalf("merge buckets not associative/commutative:\nleft  %+v\nright %+v\ntree  %+v", left, right, tree)
+	}
+	if math.Abs(left.Sum-right.Sum) > 1e-9 || math.Abs(left.Sum-tree.Sum) > 1e-9 {
+		t.Fatalf("merge sums diverge: %g %g %g", left.Sum, right.Sum, tree.Sum)
+	}
+	if left.Count() != writers*perWriter {
+		t.Fatalf("merged count = %d, want %d", left.Count(), writers*perWriter)
+	}
+	// The registry-level merged view agrees with the hand merge.
+	if merged := r.Snapshot().MergedHistogram("m_seconds"); merged != left {
+		t.Fatalf("MergedHistogram = %+v, want %+v", merged, left)
+	}
+}
+
+func TestSnapshotMerge(t *testing.T) {
+	a := New()
+	a.Counter("c_total", "help").Add(2)
+	a.Histogram("h_seconds", "").Observe(0.001)
+	b := New()
+	b.Counter("c_total", "help").Add(3)
+	b.Counter("only_b_total", "").Add(7)
+	b.Histogram("h_seconds", "").Observe(0.002)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	cf := m.Family("c_total")
+	if cf == nil || cf.Series[0].Value != 5 {
+		t.Fatalf("merged counter = %+v", cf)
+	}
+	if m.Family("only_b_total") == nil {
+		t.Fatal("family unique to b missing after merge")
+	}
+	if got := m.MergedHistogram("h_seconds").Count(); got != 2 {
+		t.Fatalf("merged histogram count = %d, want 2", got)
+	}
+	// Merge is symmetric.
+	m2 := b.Snapshot().Merge(a.Snapshot())
+	if m.MergedHistogram("h_seconds") != m2.MergedHistogram("h_seconds") {
+		t.Fatal("snapshot merge not symmetric")
+	}
+}
+
+// TestNilRegistryZeroAlloc pins the disabled path: a nil registry and nil
+// instruments must allocate nothing, exactly like the nil obs.Tracer, so
+// instrumented and uninstrumented runs stay byte-identical.
+func TestNilRegistryZeroAlloc(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry claims enabled")
+	}
+	c := r.Counter("x_total", "")
+	g := r.Gauge("x", "")
+	h := r.Histogram("x_seconds", "")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry returned live instruments")
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(0.5)
+		h.ObserveDuration(time.Millisecond)
+		_ = r.Counter("x_total", "")
+		_ = r.Gauge("x", "")
+		_ = r.Histogram("x_seconds", "")
+	}); avg != 0 {
+		t.Fatalf("nil-registry path allocates %.1f per run, want 0", avg)
+	}
+	if r.Snapshot().Families != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+}
+
+// TestLiveObservationZeroAlloc pins the hot observation path on live
+// instruments, which protocol code runs per token pass and per frame.
+func TestLiveObservationZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("x_total", "")
+	h := r.Histogram("x_seconds", "")
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		h.Observe(0.001)
+	}); avg != 0 {
+		t.Fatalf("live observation allocates %.1f per run, want 0", avg)
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ds := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want time.Duration
+	}{{0, 1}, {10, 1}, {50, 5}, {99, 10}, {100, 10}}
+	for _, c := range cases {
+		if got := Percentile(ds, c.q); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+}
+
+func TestBucketBoundariesFixed(t *testing.T) {
+	b := BucketBoundaries()
+	if len(b) != NumBuckets {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0] != 1e-6 {
+		t.Fatalf("first boundary = %g, want 1e-6", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if math.Abs(b[i]/b[i-1]-2) > 1e-12 {
+			t.Fatalf("boundary %d not doubling: %g -> %g", i, b[i-1], b[i])
+		}
+	}
+	// Mutating the copy must not affect the shared table.
+	b[0] = 99
+	if BucketBoundaries()[0] != 1e-6 {
+		t.Fatal("BucketBoundaries returned a live reference")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 	"wackamole/internal/sim"
 )
@@ -97,8 +98,13 @@ type Network struct {
 	log      env.Logger
 	trace    func(TraceEvent)
 	tracer   *obs.Tracer
+	metrics  *metrics.Registry
 	counters Counters
 }
+
+// SetMetrics installs a latency-metrics registry; segments then record
+// per-segment queue depth and frame latency (nil disables measurement).
+func (n *Network) SetMetrics(r *metrics.Registry) { n.metrics = r }
 
 // SetEventTracer installs a structured event tracer recording ARP spoofs,
 // frame drops and injected faults (nil disables). This is distinct from
@@ -164,6 +170,13 @@ type Segment struct {
 	cfg       SegmentConfig
 	nics      []*NIC
 	partition map[*NIC]int
+
+	// Instruments are created lazily on the first transmit because the
+	// registry may be installed after segment construction; nil instruments
+	// are no-ops.
+	mQueueDepth   *metrics.Gauge
+	mFrameLatency *metrics.Histogram
+	instrumented  bool
 }
 
 // Name returns the segment's label.
@@ -218,6 +231,14 @@ func (s *Segment) latency() time.Duration {
 // transmit schedules delivery of fr from src to all matching reachable NICs.
 func (s *Segment) transmit(src *NIC, fr frame) {
 	s.net.counters.FramesSent++
+	if !s.instrumented && s.net.metrics.Enabled() {
+		s.instrumented = true
+		seg := metrics.L("segment", s.name)
+		s.mQueueDepth = s.net.metrics.Gauge("netsim_segment_queue_depth",
+			"frames currently in flight on the segment (scheduled, not yet delivered)", seg)
+		s.mFrameLatency = s.net.metrics.Histogram("netsim_frame_latency_seconds",
+			"one-way frame latency drawn for each scheduled delivery, including receiver jitter", seg)
+	}
 	s.net.emitTrace(traceOf(s, fr, TraceSend, src.host.name))
 	for _, nic := range s.nics {
 		if nic == src || !nic.up || !nic.host.alive {
@@ -239,7 +260,14 @@ func (s *Segment) transmit(src *NIC, fr frame) {
 		}
 		nic := nic
 		frCopy := fr
-		s.net.sim.After(s.latency()+nic.host.jitter(), func() {
+		// Draw the latency exactly as before instrumentation existed (one
+		// latency draw plus one jitter draw, in that order) so seeded runs
+		// stay byte-identical whether or not metrics are enabled.
+		delay := s.latency() + nic.host.jitter()
+		s.mFrameLatency.ObserveDuration(delay)
+		s.mQueueDepth.Inc()
+		s.net.sim.After(delay, func() {
+			s.mQueueDepth.Dec()
 			if nic.up && nic.host.alive {
 				s.net.emitTrace(traceOf(s, frCopy, TraceDeliver, nic.host.name))
 				nic.host.receiveFrame(nic, frCopy)

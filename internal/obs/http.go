@@ -2,16 +2,24 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"sort"
+
+	"wackamole/internal/metrics"
 )
 
-// http.go is the live observability surface of the real daemon: an
-// expvar-style /metrics endpoint (flat JSON map of monotonic counters) and
-// /debug/events (the tracer's ring snapshot as NDJSON). Both are read-only
-// snapshots assembled per request; the stats they read are atomic
-// snapshots, so serving them never blocks the protocol.
+// http.go is the live observability surface of the real daemon: a /metrics
+// endpoint and /debug/events (the tracer's ring snapshot as NDJSON). Both
+// are read-only snapshots assembled per request; the stats they read are
+// atomic snapshots, so serving them never blocks the protocol.
+//
+// /metrics speaks two dialects. Without a registry it keeps the original
+// expvar-style flat JSON object of counters. With a registry installed it
+// serves Prometheus text exposition format 0.0.4, rendering the legacy
+// counters as counter families followed by the registry's typed families —
+// one scrape returns both generations of instrumentation.
 
 // MetricsFunc assembles the current counter values; keys should be
 // snake_case and stable across releases.
@@ -19,14 +27,16 @@ type MetricsFunc func() map[string]uint64
 
 // Handler serves /metrics and /debug/events.
 type Handler struct {
-	metrics MetricsFunc
-	tracer  *Tracer
+	metrics  MetricsFunc
+	tracer   *Tracer
+	registry *metrics.Registry
 }
 
 // NewHandler builds the observability handler; metrics may be nil (serves
-// an empty object) and tracer may be nil (serves an empty event stream).
-func NewHandler(metrics MetricsFunc, tracer *Tracer) *Handler {
-	return &Handler{metrics: metrics, tracer: tracer}
+// an empty object), tracer may be nil (serves an empty event stream) and
+// registry may be nil (/metrics stays in the legacy JSON dialect).
+func NewHandler(metricsFn MetricsFunc, tracer *Tracer, registry *metrics.Registry) *Handler {
+	return &Handler{metrics: metricsFn, tracer: tracer, registry: registry}
 }
 
 // ServeHTTP routes the two endpoints.
@@ -41,9 +51,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// serveMetrics writes the counters as one sorted, indented JSON object,
-// expvar-style.
-func (h *Handler) serveMetrics(w http.ResponseWriter) {
+// sortedCounters snapshots the legacy counter map with stable key order.
+func (h *Handler) sortedCounters() (map[string]uint64, []string) {
 	vals := map[string]uint64{}
 	if h.metrics != nil {
 		vals = h.metrics()
@@ -53,6 +62,35 @@ func (h *Handler) serveMetrics(w http.ResponseWriter) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	return vals, keys
+}
+
+func (h *Handler) serveMetrics(w http.ResponseWriter) {
+	if h.registry.Enabled() {
+		h.servePrometheus(w)
+		return
+	}
+	h.serveLegacyJSON(w)
+}
+
+// servePrometheus writes the legacy counters as counter families followed by
+// the registry's families, all in text exposition format 0.0.4.
+func (h *Handler) servePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", metrics.ContentType)
+	vals, keys := h.sortedCounters()
+	for _, k := range keys {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, vals[k])
+	}
+	if err := metrics.WritePrometheus(w, h.registry.Snapshot()); err != nil {
+		// The connection died mid-write; nothing recoverable.
+		return
+	}
+}
+
+// serveLegacyJSON writes the counters as one sorted, indented JSON object,
+// expvar-style.
+func (h *Handler) serveLegacyJSON(w http.ResponseWriter) {
+	vals, keys := h.sortedCounters()
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	// Hand-rolled so the keys stay sorted (json.Marshal of a map sorts too,
 	// but an ordered write keeps the value formatting integral).
@@ -84,13 +122,14 @@ type Server struct {
 }
 
 // Serve starts serving the observability endpoints on addr (e.g.
-// "127.0.0.1:4804"); it returns once the listener is bound.
-func Serve(addr string, metrics MetricsFunc, tracer *Tracer) (*Server, error) {
+// "127.0.0.1:4804"); it returns once the listener is bound. registry may be
+// nil, keeping /metrics in the legacy JSON dialect.
+func Serve(addr string, metricsFn MetricsFunc, tracer *Tracer, registry *metrics.Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(metrics, tracer)}
+	srv := &http.Server{Handler: NewHandler(metricsFn, tracer, registry)}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

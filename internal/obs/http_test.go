@@ -8,12 +8,14 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"wackamole/internal/metrics"
 )
 
 func TestHandlerServesMetricsSorted(t *testing.T) {
 	h := NewHandler(func() map[string]uint64 {
 		return map[string]uint64{"zeta": 3, "alpha": 1, "mid": 2}
-	}, nil)
+	}, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
 	body := rec.Body.String()
@@ -33,7 +35,7 @@ func TestHandlerServesMetricsSorted(t *testing.T) {
 }
 
 func TestHandlerNilCollaborators(t *testing.T) {
-	h := NewHandler(nil, nil)
+	h := NewHandler(nil, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
 	if strings.TrimSpace(rec.Body.String()) != "{\n}" && strings.TrimSpace(rec.Body.String()) != "{}" {
@@ -51,13 +53,41 @@ func TestHandlerNilCollaborators(t *testing.T) {
 	}
 }
 
+// TestHandlerPrometheusDialect pins the upgraded /metrics: with a registry
+// installed the endpoint serves text exposition format 0.0.4 carrying both
+// the legacy counters (as counter families) and the registry's histograms.
+func TestHandlerPrometheusDialect(t *testing.T) {
+	r := metrics.New()
+	r.Histogram("gcs_token_rotation_seconds", "", metrics.L("node", "d1")).Observe(0.002)
+	h := NewHandler(func() map[string]uint64 {
+		return map[string]uint64{"gcs_tokens_forwarded": 41}
+	}, nil, r)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != metrics.ContentType {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE gcs_tokens_forwarded counter",
+		"gcs_tokens_forwarded 41",
+		"# TYPE gcs_token_rotation_seconds histogram",
+		`gcs_token_rotation_seconds_count{node="d1"} 1`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
 func TestServerEndToEnd(t *testing.T) {
 	tr := New(16, fixedNow())
 	tr.Emit(Event{Source: SourceGCS, Kind: KindInstall, Node: "d1"})
 	tr.Emit(Event{Source: SourceCore, Kind: KindAcquire, Node: "d1/wackd", Addr: "10.0.0.100"})
 	srv, err := Serve("127.0.0.1:0", func() map[string]uint64 {
 		return map[string]uint64{"obs_events_emitted": tr.Emitted()}
-	}, tr)
+	}, tr, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -39,15 +39,31 @@ func (b Breakdown) Total() time.Duration {
 	return b.Detection + b.Membership + b.StateSync + b.ARPTakeover
 }
 
-// MarshalJSON emits the phases in seconds, matching the *_s convention of
-// the experiment layer's JSON rows.
+// breakdownJSON is the wire shape of a Breakdown: phases in seconds,
+// matching the *_s convention of the experiment layer's JSON rows.
+type breakdownJSON struct {
+	Detection   float64 `json:"detection_s"`
+	Membership  float64 `json:"membership_s"`
+	StateSync   float64 `json:"state_sync_s"`
+	ARPTakeover float64 `json:"arp_takeover_s"`
+}
+
+// MarshalJSON emits the phases in seconds.
 func (b Breakdown) MarshalJSON() ([]byte, error) {
-	return json.Marshal(struct {
-		Detection   float64 `json:"detection_s"`
-		Membership  float64 `json:"membership_s"`
-		StateSync   float64 `json:"state_sync_s"`
-		ARPTakeover float64 `json:"arp_takeover_s"`
-	}{b.Detection.Seconds(), b.Membership.Seconds(), b.StateSync.Seconds(), b.ARPTakeover.Seconds()})
+	return json.Marshal(breakdownJSON{
+		b.Detection.Seconds(), b.Membership.Seconds(), b.StateSync.Seconds(), b.ARPTakeover.Seconds()})
+}
+
+// UnmarshalJSON parses the wire shape back (used by offline analyzers
+// reading trace streams).
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var w breakdownJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	*b = Breakdown{sec(w.Detection), sec(w.Membership), sec(w.StateSync), sec(w.ARPTakeover)}
+	return nil
 }
 
 // daemonOf extracts the daemon id from a core-layer node tag. Core engines
@@ -176,4 +192,9 @@ func OwnershipTimeline(events []Event) map[string][]OwnershipSpan {
 type TrialTrace struct {
 	Events []Event
 	Phases Breakdown
+	// GapStart and GapEnd bound the measured interruption and Target names
+	// the probed address; offline analyzers (cmd/wacktrace) re-derive Phases
+	// from these and cross-check against the reported value.
+	GapStart, GapEnd time.Time
+	Target           string
 }

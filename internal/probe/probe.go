@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/metrics"
 	"wackamole/internal/netsim"
 )
 
@@ -80,6 +81,12 @@ type Client struct {
 	lastFrom  string
 	maxGap    time.Duration
 	gaps      []Gap
+
+	// RTT observation state: each response is measured against the most
+	// recent request; a nil histogram makes this a no-op.
+	mRTT       *metrics.Histogram
+	lastSentAt time.Time
+	awaiting   bool
 }
 
 // ClientConfig parameterizes a Client.
@@ -93,6 +100,9 @@ type ClientConfig struct {
 	// GapThreshold above which an inter-response gap counts as an
 	// interruption; zero means 5×Interval.
 	GapThreshold time.Duration
+	// Metrics, when set, records request→response round-trip times in the
+	// probe_rtt_seconds histogram labeled with the client host's name.
+	Metrics *metrics.Registry
 }
 
 // NewClient builds a probing client on h. Call Start to begin probing.
@@ -109,6 +119,8 @@ func NewClient(h *netsim.Host, cfg ClientConfig) (*Client, error) {
 		interval:     cfg.Interval,
 		gapThreshold: cfg.GapThreshold,
 		byServer:     map[string]int{},
+		mRTT: cfg.Metrics.Histogram("probe_rtt_seconds",
+			"round-trip time from probe request to response", metrics.L("node", h.Name())),
 	}
 	sock, err := h.BindUDP(netip.Addr{}, cfg.LocalPort, func(_, _ netip.AddrPort, payload []byte) {
 		c.onResponse(string(payload))
@@ -123,6 +135,10 @@ func NewClient(h *netsim.Host, cfg ClientConfig) (*Client, error) {
 
 func (c *Client) onResponse(from string) {
 	now := c.host.Now()
+	if c.awaiting {
+		c.awaiting = false
+		c.mRTT.ObserveDuration(now.Sub(c.lastSentAt))
+	}
 	if c.havePrev {
 		gap := now.Sub(c.lastAt)
 		if gap > c.maxGap {
@@ -151,6 +167,8 @@ func (c *Client) Start() {
 			return
 		}
 		src := netip.AddrPortFrom(netip.Addr{}, c.localPort)
+		c.lastSentAt = c.host.Now()
+		c.awaiting = true
 		if err := c.host.SendUDP(src, c.target, []byte("q")); err != nil {
 			// Host-side failures (no route, interface down) surface during
 			// fault experiments; keep probing.

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/metrics"
 	"wackamole/internal/netsim"
 	"wackamole/internal/obs"
 )
@@ -42,7 +43,10 @@ type Config struct {
 	Threshold int
 	// Tracer records check misses and firings (nil disables tracing).
 	Tracer *obs.Tracer
-	// Node tags traced events with the watched node's identity.
+	// Metrics, when set, records each health check's duration in the
+	// watchdog_check_seconds histogram.
+	Metrics *metrics.Registry
+	// Node tags traced events and metrics with the watched node's identity.
 	Node string
 }
 
@@ -65,6 +69,7 @@ func (c Config) threshold() int {
 type Watchdog struct {
 	clock  env.Clock
 	cfg    Config
+	mCheck *metrics.Histogram
 	misses int
 	fired  bool
 	timer  env.Timer
@@ -76,7 +81,10 @@ func New(clock env.Clock, cfg Config) (*Watchdog, error) {
 	if cfg.Check == nil || cfg.Action == nil {
 		return nil, fmt.Errorf("watchdog: Check and Action are required")
 	}
-	return &Watchdog{clock: clock, cfg: cfg}, nil
+	w := &Watchdog{clock: clock, cfg: cfg}
+	w.mCheck = cfg.Metrics.Histogram("watchdog_check_seconds",
+		"wall time spent in one health check invocation", metrics.L("node", cfg.Node))
+	return w, nil
 }
 
 // Start begins the check loop.
@@ -90,7 +98,10 @@ func (w *Watchdog) Start() {
 		if !w.armed || w.fired {
 			return
 		}
-		if w.cfg.Check() {
+		checkStart := w.clock.Now()
+		healthy := w.cfg.Check()
+		w.mCheck.ObserveDuration(w.clock.Now().Sub(checkStart))
+		if healthy {
 			w.misses = 0
 		} else {
 			w.misses++

@@ -24,6 +24,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/gcs"
 	"wackamole/internal/ipmgr"
+	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
 
@@ -82,6 +83,7 @@ type Node struct {
 	engine  *core.Engine
 	ips     *ipmgr.Manager
 	tracer  *obs.Tracer
+	metrics *metrics.Registry
 	started bool
 	stopped bool
 }
@@ -97,6 +99,19 @@ func (n *Node) SetTracer(t *obs.Tracer) {
 // Tracer returns the node's installed tracer; nil (a valid, disabled
 // tracer) when none was set.
 func (n *Node) Tracer() *obs.Tracer { return n.tracer }
+
+// SetMetrics installs a latency-metrics registry on the node's daemon and
+// engine (nil disables measurement, exactly like a nil tracer). Call before
+// Start.
+func (n *Node) SetMetrics(r *metrics.Registry) {
+	n.metrics = r
+	n.daemon.SetMetrics(r)
+	n.engine.SetMetrics(r)
+}
+
+// Metrics returns the node's installed registry; nil (a valid, disabled
+// registry) when none was set.
+func (n *Node) Metrics() *metrics.Registry { return n.metrics }
 
 // NewNode builds a Node on e. backend performs the platform-specific
 // address manipulation; notify announces ownership changes (nil disables
