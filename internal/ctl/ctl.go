@@ -139,6 +139,11 @@ func FormatStatus(node *wackamole.Node) string {
 		fmt.Fprintf(&b, "latency: rotation p50=%s p99=%s (%d obs) delivery p99=%s (%d obs)\n",
 			rot.QuantileDuration(0.50), rot.QuantileDuration(0.99), rot.Count(),
 			del.QuantileDuration(0.99), del.Count())
+		// Count-valued histogram: quantiles are ceiled to whole retransmits.
+		if ret := snap.MergedHistogram("gcs_retransmits_per_reconfig"); ret.Count() > 0 {
+			fmt.Fprintf(&b, "repair:  retransmits/reconfig p50=%d p99=%d (%d reconfigs)\n",
+				ret.QuantileCount(0.50), ret.QuantileCount(0.99), ret.Count())
+		}
 	}
 	names := make([]string, 0, len(st.Table))
 	for g := range st.Table {

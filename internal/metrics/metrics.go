@@ -292,6 +292,20 @@ func (s HistSnapshot) QuantileDuration(q float64) time.Duration {
 	return time.Duration(s.Quantile(q) * float64(time.Second))
 }
 
+// QuantileCount is Quantile for count-valued histograms (retransmits per
+// reconfiguration, queue depths). The shared log2 boundaries are fractional
+// (1.05, 2.10, 4.19, ...), so raw interpolation reports non-integer counts;
+// rounding up restores an integer that still bounds the estimated quantile.
+// A quantile inside the first bucket (≤ 1e-6) can only come from integer
+// observations of 0, so it reports 0 rather than ceiling to 1.
+func (s HistSnapshot) QuantileCount(q float64) uint64 {
+	v := s.Quantile(q)
+	if v <= bucketBoundaries[0] {
+		return 0
+	}
+	return uint64(math.Ceil(v))
+}
+
 // MaxBound returns the upper boundary of the highest non-empty bucket — a
 // deterministic upper bound on the largest observation (0 when empty).
 func (s HistSnapshot) MaxBound() float64 {
@@ -523,7 +537,10 @@ func (s Snapshot) MergedHistogram(name string) HistSnapshot {
 // yields identical results, which is what lets the parallel trial runner
 // aggregate without coordination.
 func (s Snapshot) Merge(other Snapshot) Snapshot {
-	byName := map[string]*FamilySnapshot{}
+	// byName maps family name to index in out.Families — indexes, not
+	// pointers, because copyFam keeps appending and a reallocation would
+	// leave pointers aimed at the stale backing array.
+	byName := map[string]int{}
 	var out Snapshot
 	copyFam := func(f FamilySnapshot) {
 		nf := FamilySnapshot{Name: f.Name, Help: f.Help, Kind: f.Kind}
@@ -536,17 +553,18 @@ func (s Snapshot) Merge(other Snapshot) Snapshot {
 			nf.Series = append(nf.Series, ns)
 		}
 		out.Families = append(out.Families, nf)
-		byName[nf.Name] = &out.Families[len(out.Families)-1]
+		byName[nf.Name] = len(out.Families) - 1
 	}
 	for _, f := range s.Families {
 		copyFam(f)
 	}
 	for _, f := range other.Families {
-		dst, ok := byName[f.Name]
+		idx, ok := byName[f.Name]
 		if !ok {
 			copyFam(f)
 			continue
 		}
+		dst := &out.Families[idx]
 		for _, ser := range f.Series {
 			key := seriesKey(ser.Labels)
 			merged := false

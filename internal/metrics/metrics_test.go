@@ -208,6 +208,82 @@ func TestSnapshotMerge(t *testing.T) {
 	}
 }
 
+// TestSnapshotMergeNewSeriesIntoEarlyFamily is the regression for a
+// stale-pointer bug: Merge kept *FamilySnapshot pointers into out.Families
+// while still appending to it, so once the slice reallocated (any merge
+// involving 2+ families) a new labelled series merged into an
+// already-copied family landed in the dead backing array and vanished.
+// This is exactly the per-node aggregation case: the cluster snapshot has
+// several families, and a node's snapshot contributes a new node label to
+// the first one.
+func TestSnapshotMergeNewSeriesIntoEarlyFamily(t *testing.T) {
+	cluster := New()
+	cluster.Counter("a_total", "", L("node", "d1")).Add(2)
+	cluster.Counter("b_total", "").Add(1) // second family forces reallocation
+	node := New()
+	node.Counter("a_total", "", L("node", "d2")).Add(5)
+
+	m := cluster.Snapshot().Merge(node.Snapshot())
+	af := m.Family("a_total")
+	if af == nil || len(af.Series) != 2 {
+		t.Fatalf("a_total series = %+v, want both node series", af)
+	}
+	var total float64
+	for _, s := range af.Series {
+		total += s.Value
+	}
+	if total != 7 {
+		t.Fatalf("a_total total = %g, want 7", total)
+	}
+
+	// Same shape for merging INTO an existing series of an early family.
+	node2 := New()
+	node2.Counter("a_total", "", L("node", "d1")).Add(10)
+	m2 := m.Merge(node2.Snapshot())
+	for _, s := range m2.Family("a_total").Series {
+		if len(s.Labels) == 1 && s.Labels[0].Value == "d1" && s.Value != 12 {
+			t.Fatalf("d1 series = %g, want 12", s.Value)
+		}
+	}
+}
+
+// TestQuantileCount pins the count-valued presentation: the shared log2
+// boundaries are fractional, so quantiles of integer observations must be
+// ceiled back to whole counts.
+func TestQuantileCount(t *testing.T) {
+	var empty HistSnapshot
+	if empty.QuantileCount(0.99) != 0 {
+		t.Fatal("empty QuantileCount != 0")
+	}
+	// Integer observations of 0 land in the first bucket; their quantile
+	// must read back as 0, not ceil up to 1.
+	var zeros Histogram
+	zeros.Observe(0)
+	zeros.Observe(0)
+	if got := zeros.Snapshot().QuantileCount(0.99); got != 0 {
+		t.Fatalf("all-zero p99 = %d, want 0", got)
+	}
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(3)
+	}
+	s := h.Snapshot()
+	if got := s.QuantileCount(0.50); got != 1 {
+		t.Fatalf("p50 = %d, want 1", got)
+	}
+	p99 := s.QuantileCount(0.99)
+	if p99 < 3 || p99 > 5 {
+		t.Fatalf("p99 = %d, want a whole count bounding 3", p99)
+	}
+	// The raw interpolated quantile is fractional; the count form never is.
+	if raw := s.Quantile(0.50); raw == math.Trunc(raw) {
+		t.Logf("raw p50 happens to be integral: %g", raw)
+	}
+}
+
 // TestNilRegistryZeroAlloc pins the disabled path: a nil registry and nil
 // instruments must allocate nothing, exactly like the nil obs.Tracer, so
 // instrumented and uninstrumented runs stay byte-identical.

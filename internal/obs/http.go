@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 
 	"wackamole/internal/metrics"
 )
@@ -73,15 +74,45 @@ func (h *Handler) serveMetrics(w http.ResponseWriter) {
 	h.serveLegacyJSON(w)
 }
 
+// levelSuffixes mark legacy keys that report a level rather than a monotone
+// count; they are typed gauge so scrapers don't compute rates over them.
+var levelSuffixes = []string{"_buffered", "_depth", "_inflight", "_pending", "_queued"}
+
+func legacyType(key string) string {
+	for _, suf := range levelSuffixes {
+		if strings.HasSuffix(key, suf) {
+			return "gauge"
+		}
+	}
+	return "counter"
+}
+
 // servePrometheus writes the legacy counters as counter families followed by
-// the registry's families, all in text exposition format 0.0.4.
+// the registry's families, all in text exposition format 0.0.4. A legacy key
+// that collides with a registry family name (or a histogram's derived
+// _bucket/_sum/_count sample names) is skipped — emitting both would yield
+// duplicate TYPE/sample lines, which strict parsers reject; the registry's
+// typed family is the better-specified of the two.
 func (h *Handler) servePrometheus(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", metrics.ContentType)
+	snap := h.registry.Snapshot()
+	reserved := map[string]bool{}
+	for _, f := range snap.Families {
+		reserved[f.Name] = true
+		if f.Kind == metrics.KindHistogram {
+			reserved[f.Name+"_bucket"] = true
+			reserved[f.Name+"_sum"] = true
+			reserved[f.Name+"_count"] = true
+		}
+	}
 	vals, keys := h.sortedCounters()
 	for _, k := range keys {
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, vals[k])
+		if reserved[k] {
+			continue
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", k, legacyType(k), k, vals[k])
 	}
-	if err := metrics.WritePrometheus(w, h.registry.Snapshot()); err != nil {
+	if err := metrics.WritePrometheus(w, snap); err != nil {
 		// The connection died mid-write; nothing recoverable.
 		return
 	}

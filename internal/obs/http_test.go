@@ -81,6 +81,44 @@ func TestHandlerPrometheusDialect(t *testing.T) {
 	}
 }
 
+// TestPrometheusLegacyCollisionsAndGauges pins two exposition rules: a
+// legacy key that collides with a registry family name (or a histogram's
+// derived _bucket/_sum/_count names) is dropped so no duplicate TYPE or
+// sample lines reach a strict parser, and level-like legacy keys are typed
+// gauge rather than counter.
+func TestPrometheusLegacyCollisionsAndGauges(t *testing.T) {
+	r := metrics.New()
+	r.Counter("gcs_tokens_forwarded", "").Add(9)
+	r.Histogram("gcs_token_rotation_seconds", "").Observe(0.002)
+	h := NewHandler(func() map[string]uint64 {
+		return map[string]uint64{
+			"gcs_tokens_forwarded":             41, // collides with registry counter
+			"gcs_token_rotation_seconds_count": 7,  // collides with histogram sample
+			"obs_events_buffered":              3,  // a level, not a count
+			"gcs_data_sent":                    5,  // plain counter survives
+		}
+	}, nil, r)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	body := rec.Body.String()
+
+	if n := strings.Count(body, "# TYPE gcs_tokens_forwarded "); n != 1 {
+		t.Fatalf("gcs_tokens_forwarded TYPE lines = %d, want 1:\n%s", n, body)
+	}
+	if !strings.Contains(body, "gcs_tokens_forwarded 9") || strings.Contains(body, "gcs_tokens_forwarded 41") {
+		t.Fatalf("collision resolved toward legacy value:\n%s", body)
+	}
+	if strings.Contains(body, "# TYPE gcs_token_rotation_seconds_count") {
+		t.Fatalf("legacy key shadowed a histogram sample name:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE obs_events_buffered gauge") {
+		t.Fatalf("level-like legacy key not typed gauge:\n%s", body)
+	}
+	if !strings.Contains(body, "# TYPE gcs_data_sent counter") || !strings.Contains(body, "gcs_data_sent 5") {
+		t.Fatalf("plain legacy counter missing:\n%s", body)
+	}
+}
+
 func TestServerEndToEnd(t *testing.T) {
 	tr := New(16, fixedNow())
 	tr.Emit(Event{Source: SourceGCS, Kind: KindInstall, Node: "d1"})
