@@ -1,107 +1,56 @@
 package wackamole_test
 
-// Chaos tests: randomized schedules of faults, partitions, heals, graceful
-// leaves and session severs, asserting the paper's Property 1 (exactly-once
-// coverage among reachable servers) whenever the system has had time to
-// settle, and Property 2 (it always settles).
+// Chaos tests: randomized fault programs checked by the internal/check
+// model checker — every run is watched by the full oracle set (Property 1
+// exactly-once coverage per network component, Property 2 bounded
+// convergence, virtual-synchrony view order, Agreed-delivery total order,
+// interface/engine ownership agreement), not just by an end-state probe.
+// Running them under `go test ./...` keeps the oracles themselves in
+// tier-1. Unlike the pre-checker version of this file, the final state is
+// checked without healing first: components that stay partitioned must each
+// converge to full coverage on their own, which is the stronger reading of
+// the paper's Property 1.
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
 	"time"
 
 	"wackamole"
+	"wackamole/internal/check"
 )
+
+// runChecked generates the schedule for one seed and fails the test on any
+// oracle violation, shrinking the offending schedule first so the failure
+// message is actionable.
+func runChecked(t *testing.T, seed int64, gen check.GenConfig, opts check.Options) {
+	t.Helper()
+	sched := check.Generate(seed, gen)
+	rep, err := check.Run(sched, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		if rep.StepsExecuted != len(sched.Events) {
+			t.Fatalf("executed %d of %d events without a violation", rep.StepsExecuted, len(sched.Events))
+		}
+		return
+	}
+	minimal, minRep, _, serr := check.Shrink(sched, opts, 0)
+	if serr != nil {
+		t.Fatalf("violation %v (shrink failed: %v)", rep.Violation, serr)
+	}
+	t.Fatalf("violation %v\nminimal schedule (%d events): %v", minRep.Violation,
+		len(minimal.Events), minimal.Events)
+}
 
 func TestChaosMonkeyConvergesToExactlyOnce(t *testing.T) {
 	for seed := int64(1); seed <= 8; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			const n = 5
-			c := newCluster(t, wackamole.ClusterOptions{
-				Seed:           seed,
-				Servers:        n,
-				VIPs:           10,
-				BalanceTimeout: 10 * time.Second,
-			})
-			c.Settle()
-			rng := rand.New(rand.NewSource(seed * 31))
-			down := map[int]bool{}
-			partitioned := false
-
-			for step := 0; step < 12; step++ {
-				switch op := rng.Intn(5); op {
-				case 0: // fail a random live server (keep a majority alive)
-					if len(down) < n-2 {
-						for {
-							i := rng.Intn(n)
-							if !down[i] {
-								c.FailServer(i)
-								down[i] = true
-								break
-							}
-						}
-					}
-				case 1: // restore a failed server
-					for i := range down {
-						c.RestoreServer(i)
-						delete(down, i)
-						break
-					}
-				case 2: // partition into two halves (only when whole)
-					if !partitioned {
-						cut := 1 + rng.Intn(n-1)
-						var a, b []int
-						for i := 0; i < n; i++ {
-							if i < cut {
-								a = append(a, i)
-							} else {
-								b = append(b, i)
-							}
-						}
-						c.Partition(a, b)
-						partitioned = true
-					}
-				case 3: // heal
-					if partitioned {
-						c.Heal()
-						partitioned = false
-					}
-				case 4: // sever a live server's daemon session (§4.2 fault)
-					i := rng.Intn(n)
-					if !down[i] && c.Servers[i].Node.Session() != nil {
-						c.Servers[i].Node.Session().Sever()
-					}
-				}
-				c.RunFor(time.Duration(1+rng.Intn(8)) * time.Second)
-			}
-
-			// Quiesce: heal everything and let all reconfigurations finish
-			// (severed sessions reconnect within a second; detection +
-			// discovery + balance need the rest).
-			if partitioned {
-				c.Heal()
-			}
-			for i := range down {
-				c.RestoreServer(i)
-			}
-			c.RunFor(45 * time.Second)
-			checkExactlyOnce(t, c)
-
-			// Tables agree everywhere (Property 1's engine-level half).
-			ref := c.Servers[0].Node.Status()
-			for i, srv := range c.Servers[1:] {
-				st := srv.Node.Status()
-				if st.ViewID != ref.ViewID {
-					t.Fatalf("server %d view %q != %q", i+1, st.ViewID, ref.ViewID)
-				}
-				for g, owner := range ref.Table {
-					if st.Table[g] != owner {
-						t.Fatalf("tables diverge on %q", g)
-					}
-				}
-			}
+			runChecked(t, seed,
+				check.GenConfig{Servers: 5, VIPs: 10, Steps: 12, Leaves: true},
+				check.Options{BalanceTimeout: 10 * time.Second})
 		})
 	}
 }
@@ -110,23 +59,9 @@ func TestChaosWithRepresentativeDecisions(t *testing.T) {
 	for seed := int64(20); seed <= 23; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			c := newCluster(t, wackamole.ClusterOptions{
-				Seed:                    seed,
-				Servers:                 4,
-				VIPs:                    8,
-				RepresentativeDecisions: true,
-			})
-			c.Settle()
-			rng := rand.New(rand.NewSource(seed))
-			for step := 0; step < 6; step++ {
-				victim := rng.Intn(4)
-				c.FailServer(victim)
-				c.RunFor(time.Duration(1+rng.Intn(6)) * time.Second)
-				c.RestoreServer(victim)
-				c.RunFor(time.Duration(1+rng.Intn(10)) * time.Second)
-			}
-			c.RunFor(30 * time.Second)
-			checkExactlyOnce(t, c)
+			runChecked(t, seed,
+				check.GenConfig{Servers: 4, VIPs: 8, Steps: 8},
+				check.Options{RepresentativeDecisions: true})
 		})
 	}
 }

@@ -66,6 +66,16 @@ type ClusterOptions struct {
 	// ConfigureNode, if set, may adjust each server's configuration before
 	// the node is built (per-server preferences, differing timeouts...).
 	ConfigureNode func(i int, cfg *Config)
+	// OnNode, if set, runs for each server after its node is built but
+	// before it starts. Checkers use it to install typed observation hooks
+	// (view installs, deliveries, ownership changes) without missing boot
+	// events.
+	OnNode func(i int, n *Node)
+	// WrapBackend, if set, may decorate each server's virtual-interface
+	// backend. The model checker's mutation tests use it to inject
+	// deliberately broken address handling behind an otherwise unmodified
+	// engine.
+	WrapBackend func(i int, b ipmgr.Backend) ipmgr.Backend
 }
 
 // Server is one simulated cluster member.
@@ -191,7 +201,11 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
 		}
 		notifier := &netsim.ARPAnnouncer{Host: host, Disabled: opts.DisableARPSpoof}
-		node, err := NewNode(ep.Env(opts.Logger), cfg, &ipmgr.NICBackend{NIC: nic}, notifier)
+		var backend ipmgr.Backend = &ipmgr.NICBackend{NIC: nic}
+		if opts.WrapBackend != nil {
+			backend = opts.WrapBackend(i, backend)
+		}
+		node, err := NewNode(ep.Env(opts.Logger), cfg, backend, notifier)
 		if err != nil {
 			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
 		}
@@ -200,6 +214,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		}
 		if opts.Metrics != nil {
 			node.SetMetrics(opts.Metrics)
+		}
+		if opts.OnNode != nil {
+			opts.OnNode(i, node)
 		}
 		if opts.StartStagger > 0 && i > 0 {
 			node := node
@@ -257,6 +274,35 @@ func (c *Cluster) Heal() { c.Segment.Heal() }
 // reachable reports whether server i can answer traffic at all.
 func (c *Cluster) reachable(i int) bool {
 	return c.Servers[i].Host.Alive() && c.Servers[i].NIC.Up()
+}
+
+// Reachable reports whether server i is alive with its interface up — the
+// precondition for it to count as a holder of any address.
+func (c *Cluster) Reachable(i int) bool { return c.reachable(i) }
+
+// Components returns the connected components of the cluster LAN as sorted
+// server-index groups, considering both segment partitions and per-server
+// reachability. Unreachable servers (crashed host or downed NIC) appear in
+// no component. This is the paper's notion of "connected servers": Property 1
+// promises exactly-once coverage within each component independently.
+func (c *Cluster) Components() [][]int {
+	byGroup := map[int][]int{}
+	order := []int{}
+	for i, srv := range c.Servers {
+		if !c.reachable(i) {
+			continue
+		}
+		g := c.Segment.PartitionGroup(srv.NIC)
+		if _, seen := byGroup[g]; !seen {
+			order = append(order, g)
+		}
+		byGroup[g] = append(byGroup[g], i)
+	}
+	out := make([][]int, 0, len(order))
+	for _, g := range order {
+		out = append(out, byGroup[g])
+	}
+	return out
 }
 
 // Owner returns the index of the reachable server currently holding vip, or

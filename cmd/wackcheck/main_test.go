@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCleanSweepJSON(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-seeds", "2", "-steps", "6", "-servers", "3", "-vips", "6", "-json"}, &buf)
+	if code != 0 {
+		t.Fatalf("clean sweep exited %d: %s", code, buf.String())
+	}
+	var summary struct {
+		Seeds      int                `json:"seeds"`
+		Violations int                `json:"violations"`
+		Clean      bool               `json:"clean"`
+		Counters   map[string]float64 `json:"counters"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, buf.String())
+	}
+	if !summary.Clean || summary.Violations != 0 || summary.Seeds != 2 {
+		t.Fatalf("unexpected summary: %+v", summary)
+	}
+	if summary.Counters["check_schedules_total"] != 2 {
+		t.Fatalf("counters not reported: %+v", summary.Counters)
+	}
+	if summary.Counters["check_steps_total"] != 12 {
+		t.Fatalf("step counter wrong: %+v", summary.Counters)
+	}
+}
+
+func TestMutationSweepShrinksWritesAndReplays(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	code := run([]string{"-seeds", "1", "-seed", "4", "-steps", "12", "-servers", "3", "-vips", "6",
+		"-mutate", "keep-on-release:1", "-shrink", "-out", dir, "-json"}, &buf)
+	if code != 1 {
+		t.Fatalf("mutated sweep exited %d (want 1): %s", code, buf.String())
+	}
+	var summary struct {
+		Violations int      `json:"violations"`
+		Artifacts  []string `json:"artifacts"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("bad JSON summary: %v\n%s", err, buf.String())
+	}
+	if summary.Violations != 1 || len(summary.Artifacts) != 1 {
+		t.Fatalf("unexpected summary: %+v", summary)
+	}
+	path := summary.Artifacts[0]
+	if filepath.Dir(path) != dir {
+		t.Fatalf("artifact %s not in -out dir %s", path, dir)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("artifact missing: %v", err)
+	}
+
+	var replayOut bytes.Buffer
+	code = run([]string{"-replay", path, "-json"}, &replayOut)
+	if code != 0 {
+		t.Fatalf("replay exited %d: %s", code, replayOut.String())
+	}
+	var rep struct {
+		Match bool `json:"match"`
+	}
+	if err := json.Unmarshal(replayOut.Bytes(), &rep); err != nil {
+		t.Fatalf("bad replay JSON: %v\n%s", err, replayOut.String())
+	}
+	if !rep.Match {
+		t.Fatalf("replay did not reproduce the violation: %s", replayOut.String())
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if code := run([]string{"-seeds", "0"}, &buf); code != 2 {
+		t.Fatalf("zero seeds accepted (exit %d)", code)
+	}
+	if code := run([]string{"-mutate", "bogus"}, &buf); code != 2 {
+		t.Fatalf("bogus mutation accepted (exit %d)", code)
+	}
+	if code := run([]string{"-replay", filepath.Join(t.TempDir(), "missing.json")}, &buf); code != 2 {
+		t.Fatalf("missing replay file accepted (exit %d)", code)
+	}
+}
+
+func TestTextOutputListsCounters(t *testing.T) {
+	var buf bytes.Buffer
+	code := run([]string{"-seeds", "1", "-steps", "4", "-servers", "3", "-vips", "4"}, &buf)
+	if code != 0 {
+		t.Fatalf("sweep exited %d: %s", code, buf.String())
+	}
+	for _, want := range []string{"0 violations", "check_schedules_total", "check_steps_total"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("text output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"wackamole/internal/gcs"
+	"wackamole/internal/obs"
+)
+
+// Artifact is the replayable record of a checker finding: the (possibly
+// shrunk) schedule, everything needed to reconstruct the run options, and
+// the violation the run produced. Artifacts marshal to a stable JSON shape;
+// the structured event trace travels separately as NDJSON (see WriteTrace)
+// because it is bulky and line-oriented.
+type Artifact struct {
+	Schedule         Schedule   `json:"schedule"`
+	Options          OptionsDoc `json:"options"`
+	Violation        *Violation `json:"violation,omitempty"`
+	ShrinkIterations int        `json:"shrink_iterations,omitempty"`
+}
+
+// OptionsDoc is the serialized form of the Options fields that affect
+// execution. Durations travel as integer nanoseconds so reconstruction is
+// exact.
+type OptionsDoc struct {
+	FaultDetectNS  int64  `json:"fault_detect_ns"`
+	HeartbeatNS    int64  `json:"heartbeat_ns"`
+	DiscoveryNS    int64  `json:"discovery_ns"`
+	BalanceNS      int64  `json:"balance_ns"`
+	SettleNS       int64  `json:"settle_ns"`
+	StabilityNS    int64  `json:"stability_ns"`
+	JitterWindowNS int64  `json:"jitter_window_ns"`
+	Representative bool   `json:"representative,omitempty"`
+	Mutation       string `json:"mutation,omitempty"`
+}
+
+// violationJSON keeps the artifact's violation shape explicit and stable.
+type violationJSON struct {
+	Oracle string `json:"oracle"`
+	Detail string `json:"detail"`
+	Step   int    `json:"step"`
+	AtNS   int64  `json:"at_ns"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (v *Violation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(violationJSON{
+		Oracle: v.Oracle, Detail: v.Detail, Step: v.Step, AtNS: v.At.Nanoseconds(),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Violation) UnmarshalJSON(b []byte) error {
+	var in violationJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	*v = Violation{Oracle: in.Oracle, Detail: in.Detail, Step: in.Step,
+		At: time.Duration(in.AtNS)}
+	return nil
+}
+
+// NewArtifact packages a report and the options that produced it.
+func NewArtifact(rep *Report, opts Options, shrinkIterations int) Artifact {
+	opts = opts.withDefaults()
+	doc := OptionsDoc{
+		FaultDetectNS:  opts.GCS.FaultDetectTimeout.Nanoseconds(),
+		HeartbeatNS:    opts.GCS.HeartbeatInterval.Nanoseconds(),
+		DiscoveryNS:    opts.GCS.DiscoveryTimeout.Nanoseconds(),
+		BalanceNS:      opts.BalanceTimeout.Nanoseconds(),
+		SettleNS:       opts.SettleBound.Nanoseconds(),
+		StabilityNS:    opts.StabilityWindow.Nanoseconds(),
+		JitterWindowNS: opts.JitterWindow.Nanoseconds(),
+		Representative: opts.RepresentativeDecisions,
+	}
+	if opts.Mutation != nil {
+		doc.Mutation = opts.Mutation.String()
+	}
+	return Artifact{
+		Schedule:         rep.Schedule,
+		Options:          doc,
+		Violation:        rep.Violation,
+		ShrinkIterations: shrinkIterations,
+	}
+}
+
+// RunOptions reconstructs execution options from the artifact.
+func (a Artifact) RunOptions() (Options, error) {
+	mut, err := ParseMutation(a.Options.Mutation)
+	if err != nil {
+		return Options{}, err
+	}
+	return Options{
+		GCS: gcs.Config{
+			FaultDetectTimeout: time.Duration(a.Options.FaultDetectNS),
+			HeartbeatInterval:  time.Duration(a.Options.HeartbeatNS),
+			DiscoveryTimeout:   time.Duration(a.Options.DiscoveryNS),
+		},
+		BalanceTimeout:          time.Duration(a.Options.BalanceNS),
+		SettleBound:             time.Duration(a.Options.SettleNS),
+		StabilityWindow:         time.Duration(a.Options.StabilityNS),
+		JitterWindow:            time.Duration(a.Options.JitterWindowNS),
+		RepresentativeDecisions: a.Options.Representative,
+		Mutation:                mut,
+	}.withDefaults(), nil
+}
+
+// WriteArtifact writes a as indented JSON.
+func WriteArtifact(w io.Writer, a Artifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadArtifact parses an artifact written by WriteArtifact.
+func ReadArtifact(r io.Reader) (Artifact, error) {
+	var a Artifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return Artifact{}, fmt.Errorf("check: parse artifact: %w", err)
+	}
+	return a, nil
+}
+
+// WriteTrace writes a report's structured event stream as NDJSON (one
+// obs.Event per line), the same wire shape wacksim and wacktrace use.
+func WriteTrace(w io.Writer, rep *Report) error {
+	return obs.WriteNDJSON(w, rep.Trace)
+}
+
+// Replay re-executes an artifact's schedule under its recorded options and
+// reports whether the outcome — violation or clean pass — matches the
+// artifact exactly (same oracle, same detail, same step, same virtual
+// time). The simulation is deterministic, so a faithful artifact always
+// matches.
+func Replay(a Artifact) (*Report, bool, error) {
+	opts, err := a.RunOptions()
+	if err != nil {
+		return nil, false, err
+	}
+	rep, err := Run(a.Schedule, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return rep, violationsEqual(a.Violation, rep.Violation), nil
+}
+
+func violationsEqual(a, b *Violation) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	if a == nil {
+		return true
+	}
+	return a.Oracle == b.Oracle && a.Detail == b.Detail && a.Step == b.Step && a.At == b.At
+}

@@ -1,0 +1,413 @@
+package check
+
+import (
+	"fmt"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/core"
+	"wackamole/internal/gcs"
+	"wackamole/internal/metrics"
+	"wackamole/internal/obs"
+)
+
+// Options parameterize one checked run. The zero value is usable: tuned
+// timeouts, computed settle/stability bounds, no trace, no metrics, no
+// mutation.
+type Options struct {
+	// GCS sets the group-communication timeouts (zero: gcs.TunedConfig).
+	GCS gcs.Config
+	// BalanceTimeout forwards to the engine (zero: 5s, short enough that
+	// balancing completes well inside the settle bound).
+	BalanceTimeout time.Duration
+	// RepresentativeDecisions enables the §4.2 variant.
+	RepresentativeDecisions bool
+	// SettleBound is how long after the last schedule event the oracles
+	// wait before demanding Property 1 and 2. Zero computes a bound from
+	// the gcs timeouts: token-loss detection plus four full
+	// reconfiguration rounds (discovery, form, recovery) plus session
+	// reconnect and slack — generous, but a function of the
+	// configuration, not a magic constant.
+	SettleBound time.Duration
+	// StabilityWindow is the extra quiet period after the settle check in
+	// which no further view installation may occur (zero: computed).
+	StabilityWindow time.Duration
+	// JitterWindow bounds how long an OpJitter scheduling-delay window
+	// stays open (zero: 2s). The delay magnitude is half the detection
+	// margin, so skewed probes can time out spuriously but the system
+	// must always re-converge.
+	JitterWindow time.Duration
+	// Trace captures the structured event stream into the report (and
+	// thence into artifacts).
+	Trace bool
+	// Metrics, when set, receives the checker counters: check_schedules_total,
+	// check_steps_total, check_violations_total, check_shrink_iterations_total.
+	Metrics *metrics.Registry
+	// Mutation injects a deliberate defect (checker self-tests only).
+	Mutation Mutation
+}
+
+func (o Options) withDefaults() Options {
+	if o.GCS == (gcs.Config{}) {
+		o.GCS = gcs.TunedConfig()
+	}
+	if o.BalanceTimeout <= 0 {
+		o.BalanceTimeout = 5 * time.Second
+	}
+	if o.SettleBound <= 0 {
+		o.SettleBound = SettleBound(o.GCS)
+	}
+	if o.StabilityWindow <= 0 {
+		o.StabilityWindow = o.GCS.FaultDetectTimeout + o.GCS.DiscoveryTimeout + 2*time.Second
+	}
+	if o.JitterWindow <= 0 {
+		o.JitterWindow = 2 * time.Second
+	}
+	return o
+}
+
+// SettleBound computes the convergence deadline the checker grants after
+// the last fault: how long a correct cluster can possibly need to detect
+// the change and re-form. Token-loss and fault detection run first, then up
+// to four cascaded reconfiguration rounds (merges can restart discovery),
+// then the session reconnect interval and reallocation slack.
+func SettleBound(cfg gcs.Config) time.Duration {
+	form := cfg.FormTimeout
+	if form <= 0 {
+		form = cfg.DiscoveryTimeout / 2
+	}
+	rec := cfg.RecoveryTimeout
+	if rec <= 0 {
+		rec = cfg.DiscoveryTimeout / 2
+	}
+	tokenLoss := cfg.TokenLossTimeout
+	if tokenLoss <= 0 {
+		tokenLoss = cfg.FaultDetectTimeout
+	}
+	round := cfg.DiscoveryTimeout + form + rec
+	return tokenLoss + cfg.FaultDetectTimeout + 4*round + 2*time.Second + 3*time.Second
+}
+
+// Report is the outcome of one checked run.
+type Report struct {
+	Schedule Schedule
+	// Violation is nil when every oracle held.
+	Violation *Violation
+	// StepsExecuted counts schedule events actually applied (the run stops
+	// at the first violation).
+	StepsExecuted int
+	// Elapsed is the virtual time the run covered.
+	Elapsed time.Duration
+	// Installs and Deliveries summarize how much protocol activity the
+	// oracles observed — useful to confirm a "clean" run actually
+	// exercised something.
+	Installs   int
+	Deliveries uint64
+	// Trace holds the structured event stream when Options.Trace was set.
+	Trace []obs.Event
+}
+
+// Run executes one fault program under the oracles. The error return is for
+// malformed schedules and harness failures only; protocol misbehaviour is
+// reported in Report.Violation.
+func Run(s Schedule, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if s.Servers < 2 {
+		return nil, fmt.Errorf("check: schedule needs at least two servers, got %d", s.Servers)
+	}
+	if s.VIPs < 1 {
+		return nil, fmt.Errorf("check: schedule needs at least one VIP, got %d", s.VIPs)
+	}
+	for _, ev := range s.Events {
+		switch ev.Op {
+		case OpPartition, OpHeal:
+		default:
+			if ev.Server < 0 || ev.Server >= s.Servers {
+				return nil, fmt.Errorf("check: event %s targets server outside 0..%d", ev, s.Servers-1)
+			}
+		}
+	}
+
+	opts.Metrics.Counter("check_schedules_total", "fault programs executed by the checker").Inc()
+	steps := opts.Metrics.Counter("check_steps_total", "schedule events applied by the checker")
+	violations := opts.Metrics.Counter("check_violations_total", "oracle violations detected")
+
+	var tracer *obs.Tracer
+	if opts.Trace {
+		tracer = obs.New(1<<15, nil)
+	}
+
+	var c *wackamole.Cluster
+	var start time.Time
+	o := newOracles(s.Servers, func() time.Duration {
+		if c == nil {
+			return 0
+		}
+		return c.Sim.Now().Sub(start)
+	})
+
+	copts := wackamole.ClusterOptions{
+		Seed:                    s.Seed,
+		Servers:                 s.Servers,
+		VIPs:                    s.VIPs,
+		GCS:                     opts.GCS,
+		BalanceTimeout:          opts.BalanceTimeout,
+		RepresentativeDecisions: opts.RepresentativeDecisions,
+		Tracer:                  tracer,
+		OnNode: func(i int, n *wackamole.Node) {
+			self := n.Member()
+			n.Engine().SetViewHook(func(v core.View) { o.onViewInstall(i, v) })
+			n.Engine().SetOwnershipHook(func(g string, owned bool, viewID string) {
+				o.onOwnership(i, g, owned, viewID, self)
+			})
+			n.Daemon().SetDeliveryHandler(func(r gcs.RingID, seq uint64, origin gcs.DaemonID) {
+				o.onDelivery(i, r, seq, origin)
+			})
+		},
+	}
+	if opts.Mutation != nil {
+		copts.WrapBackend = opts.Mutation.wrap
+	}
+	var err error
+	c, err = wackamole.NewCluster(copts)
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	start = c.Sim.Now()
+
+	// The delay magnitude an OpJitter window applies: half the margin
+	// between heartbeats and detection, so skew can push individual probes
+	// past their deadline without making detection permanently impossible.
+	jitterMax := (opts.GCS.FaultDetectTimeout - opts.GCS.HeartbeatInterval) / 2
+
+	report := func() *Report {
+		rep := &Report{
+			Schedule:   s,
+			Violation:  o.violation,
+			Elapsed:    c.Sim.Now().Sub(start),
+			Installs:   o.installCount(),
+			Deliveries: o.delivers,
+		}
+		if tracer != nil {
+			rep.Trace = tracer.Snapshot()
+		}
+		if rep.Violation != nil {
+			violations.Inc()
+		}
+		return rep
+	}
+
+	c.Settle()
+	o.checkOrder()
+	if o.violation != nil {
+		return report(), nil
+	}
+
+	base := c.Sim.Now()
+	executed := 0
+	for idx, ev := range s.Events {
+		o.step = idx
+		c.Sim.RunUntil(base.Add(ev.At))
+		if o.violation != nil {
+			break
+		}
+		apply(c, ev, jitterMax, opts.JitterWindow)
+		executed++
+		steps.Inc()
+		o.step = executed
+		o.checkOrder()
+		if o.violation != nil {
+			break
+		}
+	}
+
+	if o.violation == nil {
+		o.step = executed
+		c.RunFor(opts.SettleBound)
+		o.checkOrder()
+	}
+	if o.violation == nil {
+		checkSettled(c, s, o)
+	}
+	if o.violation == nil {
+		before := o.installCount()
+		c.RunFor(opts.StabilityWindow)
+		o.checkOrder()
+		if o.violation == nil && o.installCount() != before {
+			o.fail(OracleConvergence,
+				"membership still changing after the settle bound: %d further view installations during the %v stability window",
+				o.installCount()-before, opts.StabilityWindow)
+		}
+		if o.violation == nil {
+			checkSettled(c, s, o)
+		}
+	}
+
+	rep := report()
+	rep.StepsExecuted = executed
+	return rep, nil
+}
+
+// apply executes one schedule event against the cluster. Inapplicable
+// events (restoring an up interface, severing an already-detached session)
+// degrade to deterministic no-ops so shrunk schedules stay runnable.
+func apply(c *wackamole.Cluster, ev Event, jitterMax, jitterWindow time.Duration) {
+	switch ev.Op {
+	case OpFail:
+		c.FailServer(ev.Server)
+	case OpRestore:
+		c.RestoreServer(ev.Server)
+	case OpPartition:
+		var sideA, sideB []int
+		for i := range c.Servers {
+			if ev.Mask&(1<<uint(i)) != 0 {
+				sideA = append(sideA, i)
+			} else {
+				sideB = append(sideB, i)
+			}
+		}
+		if len(sideA) == 0 || len(sideB) == 0 {
+			c.Heal()
+			return
+		}
+		c.Partition(sideA, sideB)
+	case OpHeal:
+		c.Heal()
+	case OpSever:
+		if sess := c.Servers[ev.Server].Node.Session(); sess != nil {
+			sess.Sever()
+		}
+	case OpLeave:
+		if c.Servers[ev.Server].Node.Connected() {
+			// Error is impossible under the Connected guard; a failed
+			// leave would surface as an oracle violation anyway.
+			_ = c.Servers[ev.Server].Node.LeaveService()
+		}
+	case OpJitter:
+		host := c.Servers[ev.Server].Host
+		host.SetProcessingJitter(jitterMax)
+		c.Sim.After(jitterWindow, func() { host.SetProcessingJitter(0) })
+	}
+}
+
+// checkSettled demands the settled-state properties: Property 1
+// (exactly-once coverage per component), Property 2 (one view, one table
+// per component) and interface/engine agreement. A failure is retried once
+// after one extra second, because an in-flight balance legitimately moves
+// an address between two interfaces in a sub-millisecond window and the
+// settled properties are about resting states; persistent failures are
+// violations.
+func checkSettled(c *wackamole.Cluster, s Schedule, o *oracles) {
+	oracle, detail := settledProblem(c, s)
+	if oracle == "" {
+		return
+	}
+	c.RunFor(time.Second)
+	oracle, detail = settledProblem(c, s)
+	if oracle != "" {
+		o.fail(oracle, "%s", detail)
+	}
+}
+
+func settledProblem(c *wackamole.Cluster, s Schedule) (oracle, detail string) {
+	for _, comp := range c.Components() {
+		var serving []int
+		for _, i := range comp {
+			if c.Servers[i].Node.Connected() {
+				serving = append(serving, i)
+			}
+		}
+		if len(serving) == 0 {
+			// A component with no in-service node must hold nothing: its
+			// engines released (or never had) every address.
+			for _, i := range comp {
+				for j := 0; j < s.VIPs; j++ {
+					if c.Servers[i].NIC.HasAddr(wackamole.VIPAddr(j)) {
+						return OracleForeignClaim, fmt.Sprintf(
+							"server %d holds %v although no node in component %v is in service",
+							i, wackamole.VIPAddr(j), comp)
+					}
+				}
+			}
+			continue
+		}
+
+		// Property 2: every in-service member of the component has settled
+		// on the same view and the same allocation table.
+		ref := c.Servers[serving[0]].Node.Status()
+		if ref.State != core.StateRun {
+			return OracleConvergence, fmt.Sprintf(
+				"server %d still in state %v after the settle bound (component %v)",
+				serving[0], ref.State, comp)
+		}
+		for _, i := range serving[1:] {
+			st := c.Servers[i].Node.Status()
+			if st.State != core.StateRun {
+				return OracleConvergence, fmt.Sprintf(
+					"server %d still in state %v after the settle bound (component %v)",
+					i, st.State, comp)
+			}
+			if st.ViewID != ref.ViewID {
+				return OracleConvergence, fmt.Sprintf(
+					"servers %d and %d settled on different views %q and %q in component %v",
+					serving[0], i, ref.ViewID, st.ViewID, comp)
+			}
+			if !tablesEqual(ref.Table, st.Table) {
+				return OracleConvergence, fmt.Sprintf(
+					"servers %d and %d settled on different tables in view %q: %v vs %v",
+					serving[0], i, ref.ViewID, ref.Table, st.Table)
+			}
+		}
+
+		// Property 1: exactly one holder per virtual address within the
+		// component — counting every reachable interface, in service or
+		// not, because a stale interface answering ARP is a real conflict.
+		for j := 0; j < s.VIPs; j++ {
+			var holders []int
+			for _, i := range comp {
+				if c.Servers[i].NIC.HasAddr(wackamole.VIPAddr(j)) {
+					holders = append(holders, i)
+				}
+			}
+			if len(holders) != 1 {
+				return OracleExactlyOnce, fmt.Sprintf(
+					"%v has %d holders %v in component %v (want exactly one)",
+					wackamole.VIPAddr(j), len(holders), holders, comp)
+			}
+		}
+	}
+
+	// Oracle (e), settled half: every reachable interface holds exactly the
+	// addresses its engine believes it owns.
+	for i := range c.Servers {
+		if !c.Reachable(i) {
+			continue
+		}
+		owned := map[string]bool{}
+		for _, g := range c.Servers[i].Node.Status().Owned {
+			owned[g] = true
+		}
+		for j := 0; j < s.VIPs; j++ {
+			has := c.Servers[i].NIC.HasAddr(wackamole.VIPAddr(j))
+			wants := owned[fmt.Sprintf("vip%02d", j)]
+			if has != wants {
+				return OracleForeignClaim, fmt.Sprintf(
+					"server %d interface and engine disagree on %v: interface=%v engine=%v",
+					i, wackamole.VIPAddr(j), has, wants)
+			}
+		}
+	}
+	return "", ""
+}
+
+func tablesEqual(a, b map[string]core.MemberID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"wackamole/internal/core"
+	"wackamole/internal/gcs"
+	"wackamole/internal/metrics"
+)
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	a := Generate(7, GenConfig{Servers: 5, VIPs: 10, Steps: 12, Leaves: true})
+	b := Generate(7, GenConfig{Servers: 5, VIPs: 10, Steps: 12, Leaves: true})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	c := Generate(8, GenConfig{Servers: 5, VIPs: 10, Steps: 12, Leaves: true})
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatalf("different seeds produced identical event lists")
+	}
+	if len(a.Events) != 12 {
+		t.Fatalf("wanted 12 events, got %d", len(a.Events))
+	}
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].At <= a.Events[i-1].At {
+			t.Fatalf("events out of order: %v then %v", a.Events[i-1], a.Events[i])
+		}
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := Generate(3, GenConfig{Servers: 4, VIPs: 6, Steps: 10, Leaves: true})
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatalf("round trip changed the schedule:\n%v\n%v", s, back)
+	}
+}
+
+func TestCleanScheduleSatisfiesOracles(t *testing.T) {
+	reg := metrics.New()
+	s := Generate(1, GenConfig{Servers: 5, VIPs: 10, Steps: 8, Leaves: true})
+	rep, err := Run(s, Options{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("clean schedule reported violation: %v", rep.Violation)
+	}
+	if rep.StepsExecuted != len(s.Events) {
+		t.Fatalf("executed %d of %d events", rep.StepsExecuted, len(s.Events))
+	}
+	if rep.Installs == 0 || rep.Deliveries == 0 {
+		t.Fatalf("oracles observed nothing: installs=%d deliveries=%d", rep.Installs, rep.Deliveries)
+	}
+	snap := reg.Snapshot()
+	if f := snap.Family("check_schedules_total"); f == nil || f.Series[0].Value != 1 {
+		t.Fatalf("check_schedules_total not recorded: %+v", f)
+	}
+	if f := snap.Family("check_steps_total"); f == nil || f.Series[0].Value != float64(len(s.Events)) {
+		t.Fatalf("check_steps_total not recorded: %+v", f)
+	}
+}
+
+func TestRunIsDeterministic(t *testing.T) {
+	s := Generate(5, GenConfig{Servers: 4, VIPs: 6, Steps: 6})
+	a, err := Run(s, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(s, Options{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.Installs != b.Installs || a.Deliveries != b.Deliveries {
+		t.Fatalf("two runs of the same schedule diverged: %+v vs %+v", a, b)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i].String() != b.Trace[i].String() {
+			t.Fatalf("trace diverges at event %d: %v vs %v", i, a.Trace[i], b.Trace[i])
+		}
+	}
+}
+
+// TestMutationCaughtShrunkAndReplayed is the checker's acceptance self-test:
+// a deliberately broken release rule (server 1 keeps every address its
+// engine releases) must be caught by the exactly-once oracle, shrunk to a
+// minimal schedule of at most 6 events, and the emitted artifact must
+// replay to the identical violation.
+func TestMutationCaughtShrunkAndReplayed(t *testing.T) {
+	reg := metrics.New()
+	// Noise events surround the one sequence that matters: failing and
+	// restoring the mutated server forces it to release conflicting
+	// addresses on merge, which the mutation silently skips.
+	s := Schedule{
+		Seed: 42, Servers: 3, VIPs: 6,
+		Events: []Event{
+			{At: 1 * time.Second, Op: OpJitter, Server: 2},
+			{At: 2 * time.Second, Op: OpFail, Server: 1},
+			{At: 4 * time.Second, Op: OpSever, Server: 0},
+			{At: 9 * time.Second, Op: OpRestore, Server: 1},
+			{At: 11 * time.Second, Op: OpSever, Server: 2},
+			{At: 13 * time.Second, Op: OpHeal},
+		},
+	}
+	opts := Options{Mutation: KeepOnRelease(1), Metrics: reg}
+
+	rep, err := Run(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatalf("broken release rule went undetected")
+	}
+	if rep.Violation.Oracle != OracleExactlyOnce && rep.Violation.Oracle != OracleForeignClaim {
+		t.Fatalf("unexpected oracle %s: %v", rep.Violation.Oracle, rep.Violation)
+	}
+
+	minimal, minRep, iters, err := Shrink(s, opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minRep.Violation == nil {
+		t.Fatalf("shrunk schedule no longer violates")
+	}
+	if len(minimal.Events) > 6 {
+		t.Fatalf("shrink left %d events (want <= 6): %v", len(minimal.Events), minimal.Events)
+	}
+	if iters == 0 {
+		t.Fatalf("shrink reported zero iterations")
+	}
+	snap := reg.Snapshot()
+	if f := snap.Family("check_shrink_iterations_total"); f == nil || f.Series[0].Value != float64(iters) {
+		t.Fatalf("check_shrink_iterations_total not recorded: %+v", f)
+	}
+	if f := snap.Family("check_violations_total"); f == nil || f.Series[0].Value == 0 {
+		t.Fatalf("check_violations_total not recorded: %+v", f)
+	}
+
+	art := NewArtifact(minRep, opts, iters)
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayRep, match, err := Replay(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !match {
+		t.Fatalf("replay mismatch: artifact %v, replay %v", back.Violation, replayRep.Violation)
+	}
+}
+
+// TestOracleViewOrderDetectsDivergence feeds the oracle state machine two
+// engines that disagree on a view's membership.
+func TestOracleViewOrderDetectsDivergence(t *testing.T) {
+	o := newOracles(2, func() time.Duration { return 0 })
+	o.onViewInstall(0, core.View{ID: "v1", Members: []core.MemberID{"a", "b"}})
+	o.onViewInstall(1, core.View{ID: "v1", Members: []core.MemberID{"a"}})
+	if o.violation == nil || o.violation.Oracle != OracleViewOrder {
+		t.Fatalf("diverging member lists not caught: %v", o.violation)
+	}
+}
+
+func TestOracleViewOrderDetectsReordering(t *testing.T) {
+	o := newOracles(2, func() time.Duration { return 0 })
+	o.onViewInstall(0, core.View{ID: "v1", Members: []core.MemberID{"a"}})
+	o.onViewInstall(0, core.View{ID: "v2", Members: []core.MemberID{"a", "b"}})
+	o.onViewInstall(1, core.View{ID: "v2", Members: []core.MemberID{"a", "b"}})
+	o.onViewInstall(1, core.View{ID: "v1", Members: []core.MemberID{"a"}})
+	o.checkOrder()
+	if o.violation == nil || o.violation.Oracle != OracleViewOrder {
+		t.Fatalf("opposite install orders not caught: %v", o.violation)
+	}
+}
+
+func TestOracleDeliveryOrderDetectsConflicts(t *testing.T) {
+	ring := gcs.RingID{Coord: "d0", Epoch: 1}
+	o := newOracles(2, func() time.Duration { return 0 })
+	o.onDelivery(0, ring, 1, "d0")
+	o.onDelivery(1, ring, 1, "d1")
+	if o.violation == nil || o.violation.Oracle != OracleDeliveryOrder {
+		t.Fatalf("conflicting origins not caught: %v", o.violation)
+	}
+
+	o = newOracles(1, func() time.Duration { return 0 })
+	o.onDelivery(0, ring, 2, "d0")
+	o.onDelivery(0, ring, 1, "d0")
+	if o.violation == nil || o.violation.Oracle != OracleDeliveryOrder {
+		t.Fatalf("out-of-order delivery not caught: %v", o.violation)
+	}
+}
+
+func TestParseMutation(t *testing.T) {
+	m, err := ParseMutation("keep-on-release:2")
+	if err != nil || m == nil || m.String() != "keep-on-release:2" {
+		t.Fatalf("parse failed: %v %v", m, err)
+	}
+	if m, err := ParseMutation(""); err != nil || m != nil {
+		t.Fatalf("empty mutation should parse to nil, got %v %v", m, err)
+	}
+	if _, err := ParseMutation("definitely-not-a-mutation"); err == nil {
+		t.Fatalf("unknown mutation accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// GenConfig shapes schedule generation.
+type GenConfig struct {
+	// Servers and VIPs set the cluster size (defaults 5 and 10).
+	Servers int
+	VIPs    int
+	// Steps is the number of fault events to generate (default 12).
+	Steps int
+	// MinGap and MaxGap bound the spacing between consecutive events
+	// (defaults 500ms and 5s). Gaps shorter than the fault-detection
+	// timeout deliberately overlap reconfigurations.
+	MinGap time.Duration
+	MaxGap time.Duration
+	// Leaves enables graceful-departure events (at most one per schedule,
+	// and only while more than two servers remain in service).
+	Leaves bool
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.Servers <= 0 {
+		g.Servers = 5
+	}
+	if g.VIPs <= 0 {
+		g.VIPs = 10
+	}
+	if g.Steps <= 0 {
+		g.Steps = 12
+	}
+	if g.MinGap <= 0 {
+		g.MinGap = 500 * time.Millisecond
+	}
+	if g.MaxGap <= g.MinGap {
+		g.MaxGap = g.MinGap + 5*time.Second
+	}
+	return g
+}
+
+// Generate derives a valid-by-construction fault program from seed alone:
+// the same (seed, config) pair always yields the same schedule, and the
+// generator's random source is private to it, so generation never perturbs
+// the simulation's own randomness. Validity means the program keeps a
+// majority-free invariant the oracles rely on: at most servers-2 interfaces
+// down at once, partitions always two-sided and non-empty, restores only of
+// servers actually down.
+func Generate(seed int64, cfg GenConfig) Schedule {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	n := cfg.Servers
+
+	down := map[int]bool{}
+	left := map[int]bool{}
+	partitioned := false
+	inService := n
+	leftAllowed := cfg.Leaves
+
+	s := Schedule{Seed: seed, Servers: n, VIPs: cfg.VIPs}
+	at := time.Duration(0)
+	for step := 0; step < cfg.Steps; step++ {
+		// Millisecond-round offsets keep serialized schedules readable
+		// without costing any generality.
+		gap := cfg.MinGap + time.Duration(rng.Int63n(int64(cfg.MaxGap-cfg.MinGap)))
+		at += gap.Truncate(time.Millisecond)
+		ev := Event{At: at}
+		// Draw until an applicable operation comes up; every state admits
+		// fail/sever/jitter targets as long as two servers remain up, so
+		// this terminates.
+		for {
+			switch rng.Intn(7) {
+			case 0: // fail
+				cand := pickServer(rng, n, func(i int) bool { return !down[i] })
+				if len(down) >= n-2 || cand < 0 {
+					continue
+				}
+				down[cand] = true
+				ev.Op, ev.Server = OpFail, cand
+			case 1: // restore
+				cand := pickServer(rng, n, func(i int) bool { return down[i] })
+				if cand < 0 {
+					continue
+				}
+				delete(down, cand)
+				ev.Op, ev.Server = OpRestore, cand
+			case 2: // partition
+				if partitioned || n < 2 {
+					continue
+				}
+				mask := uint64(rng.Int63n(int64(1)<<uint(n)-2) + 1)
+				partitioned = true
+				ev.Op, ev.Mask = OpPartition, mask
+			case 3: // heal
+				if !partitioned {
+					continue
+				}
+				partitioned = false
+				ev.Op = OpHeal
+			case 4: // sever
+				cand := pickServer(rng, n, func(i int) bool { return !down[i] && !left[i] })
+				if cand < 0 {
+					continue
+				}
+				ev.Op, ev.Server = OpSever, cand
+			case 5: // leave
+				cand := pickServer(rng, n, func(i int) bool { return !down[i] && !left[i] })
+				if !leftAllowed || inService <= 2 || cand < 0 {
+					continue
+				}
+				left[cand] = true
+				inService--
+				leftAllowed = false
+				ev.Op, ev.Server = OpLeave, cand
+			case 6: // jitter window
+				cand := pickServer(rng, n, func(i int) bool { return !left[i] })
+				if cand < 0 {
+					continue
+				}
+				ev.Op, ev.Server = OpJitter, cand
+			}
+			break
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}
+
+// pickServer draws uniformly among the servers satisfying ok, or -1 when
+// none do. Candidates are collected in sorted index order so the draw is
+// deterministic.
+func pickServer(rng *rand.Rand, n int, ok func(int) bool) int {
+	cand := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if ok(i) {
+			cand = append(cand, i)
+		}
+	}
+	if len(cand) == 0 {
+		return -1
+	}
+	sort.Ints(cand)
+	return cand[rng.Intn(len(cand))]
+}

@@ -78,9 +78,11 @@ type Engine struct {
 	balanceTimer env.Timer
 	matureTimer  env.Timer
 
-	hook   func(Event)
-	tracer *obs.Tracer
-	stats  engineCounters
+	hook     func(Event)
+	viewHook func(View)
+	ownHook  func(group string, owned bool, viewID string)
+	tracer   *obs.Tracer
+	stats    engineCounters
 
 	// Latency instruments (nil when no registry is installed; a nil
 	// histogram's Observe is a zero-allocation no-op). gatherStart is
@@ -177,6 +179,23 @@ func NewEngine(cfg Config, deps Deps) (*Engine, error) {
 // and tests use it to timestamp reallocation).
 func (e *Engine) SetEventHook(h func(Event)) { e.hook = h }
 
+// SetViewHook registers a typed observer that runs once per view the engine
+// installs, after the view is recorded but before any STATE_MSG exchange.
+// Unlike the stringly-typed event hook it receives the full membership list,
+// which is what protocol checkers need to compare installation order across
+// engines. The handler receives a private copy; nil (the default) costs
+// nothing. Call before Start.
+func (e *Engine) SetViewHook(h func(View)) { e.viewHook = h }
+
+// SetOwnershipHook registers a typed observer for address-group ownership
+// transitions: it runs after every successful acquire (owned=true) and
+// release (owned=false) with the ID of the view the engine held at that
+// moment (empty when detached). Nil (the default) costs nothing. Call
+// before Start.
+func (e *Engine) SetOwnershipHook(h func(group string, owned bool, viewID string)) {
+	e.ownHook = h
+}
+
 // SetNotifier replaces the ownership-change notifier. Applications that
 // need the daemon to exist before they can build their notifier (the §5.2
 // ARP-cache sharer) install it here after construction; call before Start.
@@ -249,6 +268,9 @@ func (e *Engine) OnView(v View) {
 	}
 	e.view = View{ID: v.ID, Members: append([]MemberID(nil), v.Members...)}
 	e.gatherStart = e.deps.Clock.Now()
+	if e.viewHook != nil {
+		e.viewHook(View{ID: v.ID, Members: append([]MemberID(nil), v.Members...)})
+	}
 	if e.tracer.Enabled() {
 		e.trace(obs.KindViewChange, v.ID, "", fmt.Sprintf("members=%d", len(v.Members)))
 	}
@@ -637,6 +659,9 @@ func (e *Engine) acquireGroup(g, why string) {
 		e.deps.Notify.Announce(a)
 	}
 	e.owned[g] = true
+	if e.ownHook != nil {
+		e.ownHook(g, true, e.view.ID)
+	}
 	e.emit(EventAcquire, g, why)
 }
 
@@ -655,6 +680,9 @@ func (e *Engine) releaseGroup(g, why string) {
 		e.deps.Notify.Withdraw(a)
 	}
 	delete(e.owned, g)
+	if e.ownHook != nil {
+		e.ownHook(g, false, e.view.ID)
+	}
 	e.emit(EventRelease, g, why)
 }
 

@@ -47,6 +47,15 @@ func (s daemonState) String() string {
 // daemon installs a new configuration after fault detection and discovery.
 type MembershipHandler func(ring RingID, members []DaemonID)
 
+// DeliveryHandler observes Agreed delivery: it runs for every data message
+// the moment the daemon hands it to the group layer, identified by the ring
+// that ordered it, its sequence number on that ring, and its origin daemon.
+// Both the operational delivery path and the reconfiguration recovery flush
+// report here, so the handler sees the complete total order each member
+// observed — which is exactly what a virtual-synchrony checker needs to
+// compare members against each other.
+type DeliveryHandler func(ring RingID, seq uint64, origin DaemonID)
+
 // Daemon is one group-communication daemon. It must be driven entirely from
 // its Env's callback loop; none of its methods are safe for concurrent use
 // from other goroutines.
@@ -95,6 +104,7 @@ type Daemon struct {
 
 	groups       *groupLayer
 	onMembership MembershipHandler
+	onDelivery   DeliveryHandler
 	tracer       *obs.Tracer
 	stats        daemonCounters
 
@@ -281,6 +291,10 @@ func (d *Daemon) Stop() {
 // SetMembershipHandler registers cb to run at every daemon-level membership
 // installation.
 func (d *Daemon) SetMembershipHandler(cb MembershipHandler) { d.onMembership = cb }
+
+// SetDeliveryHandler registers cb to run at every Agreed delivery. A nil
+// handler (the default) costs nothing on the delivery path.
+func (d *Daemon) SetDeliveryHandler(cb DeliveryHandler) { d.onDelivery = cb }
 
 // State returns the daemon's protocol state name (for tests and tooling).
 func (d *Daemon) State() string { return d.state.String() }
@@ -901,6 +915,9 @@ func (d *Daemon) flushOldRing() bool {
 		if msg, ok := d.old.store[s]; ok {
 			d.old.deliveredSeq = s
 			d.stats.recoveryFlushes.Add(1)
+			if d.onDelivery != nil {
+				d.onDelivery(msg.Ring, msg.Seq, msg.Origin)
+			}
 			d.groups.deliverData(msg)
 		}
 	}
@@ -1091,6 +1108,9 @@ func (d *Daemon) tryDeliver() {
 		if !msg.sentAt.IsZero() {
 			// Only the origin's own copy carries a send timestamp.
 			d.mDelivery.ObserveDuration(d.env.Clock.Now().Sub(msg.sentAt))
+		}
+		if d.onDelivery != nil {
+			d.onDelivery(msg.Ring, msg.Seq, msg.Origin)
 		}
 		d.groups.deliverData(msg)
 	}

@@ -92,6 +92,115 @@ func TestVirtualSynchronyUnderRandomChurn(t *testing.T) {
 	}
 }
 
+func TestViewOrderIdenticalUnderSessionSevers(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			const n = 4
+			c := newCluster(t, 500+seed, n, gcs.TunedConfig())
+			// recs accumulates every session epoch ever opened; live tracks
+			// the current session per daemon.
+			var recs []*clientRec
+			live := make([]*clientRec, n)
+			for i := 0; i < n; i++ {
+				live[i] = c.connectClient(i, fmt.Sprintf("w%d", i), "wack")
+				recs = append(recs, live[i])
+			}
+			c.sim.RunFor(5 * time.Second)
+
+			rng := sim.New(900 + seed).Rand()
+			downNIC := -1
+			for step := 0; step < 8; step++ {
+				switch rng.Intn(3) {
+				case 0: // sever one client's session, then reconnect it
+					i := rng.Intn(n)
+					live[i].sess.Sever()
+					c.sim.RunFor(time.Duration(500+rng.Intn(2000)) * time.Millisecond)
+					live[i] = c.connectClient(i, fmt.Sprintf("w%d", i), "wack")
+					recs = append(recs, live[i])
+				case 1:
+					if downNIC < 0 {
+						downNIC = rng.Intn(n)
+						c.hosts[downNIC].NICs()[0].SetUp(false)
+					}
+				case 2:
+					if downNIC >= 0 {
+						c.hosts[downNIC].NICs()[0].SetUp(true)
+						downNIC = -1
+					}
+				}
+				c.sim.RunFor(time.Duration(1000+rng.Intn(3000)) * time.Millisecond)
+			}
+			if downNIC >= 0 {
+				c.hosts[downNIC].NICs()[0].SetUp(true)
+			}
+			c.sim.RunFor(20 * time.Second)
+
+			// Safety: a view id names one immutable membership. Every client
+			// that installed it — across daemons AND across session epochs —
+			// must have seen the identical member list.
+			byID := map[gcs.ViewID][]gcs.GroupMember{}
+			for _, r := range recs {
+				for _, v := range r.views {
+					prev, ok := byID[v.ID]
+					if !ok {
+						byID[v.ID] = v.Members
+						continue
+					}
+					if len(prev) != len(v.Members) {
+						t.Fatalf("view %v has two memberships: %v vs %v", v.ID, prev, v.Members)
+					}
+					for k := range prev {
+						if prev[k] != v.Members[k] {
+							t.Fatalf("view %v has two memberships: %v vs %v", v.ID, prev, v.Members)
+						}
+					}
+				}
+			}
+
+			// Safety: views install in the same relative order everywhere —
+			// no two delivery sequences may disagree on the order of the
+			// views they both installed.
+			for i := 0; i < len(recs); i++ {
+				for j := i + 1; j < len(recs); j++ {
+					assertViewOrderConsistent(t, recs[i].views, recs[j].views)
+				}
+			}
+
+			// Liveness: after the churn ends every surviving session agrees
+			// on one final view holding all n clients.
+			ref := live[0].lastView(t)
+			if len(ref.Members) != n {
+				t.Fatalf("final view has %d members, want %d: %v", len(ref.Members), n, ref.Members)
+			}
+			for i := 1; i < n; i++ {
+				if v := live[i].lastView(t); v.ID != ref.ID {
+					t.Fatalf("client %d final view %v != %v", i, v.ID, ref.ID)
+				}
+			}
+		})
+	}
+}
+
+// assertViewOrderConsistent fails if two view-install sequences order any
+// common pair of view ids differently.
+func assertViewOrderConsistent(t *testing.T, a, b []gcs.View) {
+	t.Helper()
+	posB := make(map[gcs.ViewID]int, len(b))
+	for i, v := range b {
+		posB[v.ID] = i
+	}
+	last := -1
+	for _, v := range a {
+		if p, ok := posB[v.ID]; ok {
+			if p < last {
+				t.Fatalf("common views installed in different orders (%v)", v.ID)
+			}
+			last = p
+		}
+	}
+}
+
 // assertRelativeOrderConsistent fails if two delivery sequences order any
 // common pair of messages differently.
 func assertRelativeOrderConsistent(t *testing.T, a, b []string) {

@@ -216,6 +216,14 @@ func (s *Segment) Heal() {
 	s.partition = map[*NIC]int{}
 }
 
+// PartitionGroup returns the partition group nic currently belongs to (0 for
+// every NIC when the segment is whole). Two NICs on the segment can exchange
+// frames iff their groups are equal; checkers use this to reason about
+// reachable network components without re-deriving the partition.
+func (s *Segment) PartitionGroup(nic *NIC) int {
+	return s.partition[nic]
+}
+
 func (s *Segment) reachable(a, b *NIC) bool {
 	return s.partition[a] == s.partition[b]
 }

@@ -253,6 +253,11 @@ func (n *Node) Daemon() *gcs.Daemon { return n.daemon }
 // disconnected. Tests use it for §4.2 fault injection via Sever.
 func (n *Node) Session() *gcs.Session { return n.sess }
 
+// Connected reports whether the node currently holds a daemon session —
+// i.e. it is in service. False after LeaveService (permanently) and in the
+// window between a severed session and its automatic reconnect.
+func (n *Node) Connected() bool { return n.sess != nil }
+
 // IPs exposes the node's address manager.
 func (n *Node) IPs() *ipmgr.Manager { return n.ips }
 
