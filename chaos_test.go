@@ -18,6 +18,8 @@ import (
 
 	"wackamole"
 	"wackamole/internal/check"
+	"wackamole/internal/experiment"
+	"wackamole/internal/load"
 )
 
 // runChecked generates the schedule for one seed and fails the test on any
@@ -79,6 +81,53 @@ func TestLargerClusterScales(t *testing.T) {
 	c.FailServer(13)
 	c.RunFor(10 * time.Second)
 	checkExactlyOnce(t, c)
+}
+
+// TestChaosLoadDrivenNICFailure is the load-driven chaos case: a NIC failure
+// under 200 concurrent closed-loop clients. Unlike the checker schedules
+// above, the oracle here is the client population itself — every request must
+// land in a bounded error class (ok / reset / timeout / stale, nothing
+// unexplained), the damage must be proportionate to the outage, and goodput
+// must recover after the takeover.
+func TestChaosLoadDrivenNICFailure(t *testing.T) {
+	cfg := experiment.AvailabilityConfig{
+		Clients:   200,
+		Mode:      load.Closed,
+		ThinkTime: 200 * time.Millisecond,
+		Fault:     experiment.FaultNIC,
+		PreFault:  2 * time.Second,
+	}
+	_, res, err := experiment.AvailabilityTrial(41, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No errors of any class outside the fault window.
+	if res.Before.Completions == 0 || res.Before.Completions != res.Before.OK {
+		t.Fatalf("fault-free window: %d completions, %d ok — want all ok",
+			res.Before.Completions, res.Before.OK)
+	}
+	// Error classes are bounded: a closed-loop client has at most one
+	// request in flight, so each can lose its connection once and then fail
+	// a handful of operations while the takeover completes. Orders of
+	// magnitude more would mean requests are being misclassified or
+	// double-counted.
+	st := res.Stats
+	errs := st.Requests[load.ClassReset] + st.Requests[load.ClassTimeout] + st.Requests[load.ClassStale]
+	if errs == 0 {
+		t.Fatal("a NIC failure under load produced no client-visible errors")
+	}
+	if max := uint64(20 * cfg.Clients); errs > max {
+		t.Fatalf("%d failed requests across one fail-over of %d clients, want ≤ %d", errs, cfg.Clients, max)
+	}
+	if st.ConnsLost == 0 || st.ConnsLost > uint64(cfg.Clients) {
+		t.Fatalf("ConnsLost = %d, want in 1..%d (each client holds one connection)", st.ConnsLost, cfg.Clients)
+	}
+	// Goodput recovers: the post-recovery window's ok fraction matches the
+	// fault-free window's.
+	if res.After.Completions == 0 || res.Recovery < 0.99 {
+		t.Fatalf("goodput did not recover: after=%d completions, recovery=%v",
+			res.After.Completions, res.Recovery)
+	}
 }
 
 func TestFiftyServerCluster(t *testing.T) {

@@ -1,0 +1,155 @@
+// Command wackload measures request-level availability: it drives a
+// population of simulated clients over flow connections against the
+// web-cluster or virtual-router topology, injects a fault, and reports what
+// the clients experienced — goodput and error-rate timeline, per-class
+// request counts (ok / reset / timeout / stale), latency before/during/
+// after the fail-over, and the number of established connections lost at
+// takeover:
+//
+//	wackload -clients 1000 -mode open -rps 5000 -fault nic -json
+//
+// Output is a per-trial table; -json emits NDJSON rows like wacksim (one
+// aggregate row, then one row per trial), -trace captures per-trial
+// structured event streams, and -prom writes the trials' shared metrics
+// registry (including the load_request_latency_seconds histogram family) in
+// Prometheus text exposition format — the same bytes a /metrics endpoint
+// would serve. Trials are independent seeded simulations, so -parallel N
+// spreads them over N workers without changing any number in the output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"wackamole/internal/experiment"
+	"wackamole/internal/experiment/runner"
+	"wackamole/internal/load"
+	"wackamole/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("wackload", flag.ContinueOnError)
+	clients := fs.Int("clients", 200, "concurrent simulated clients")
+	mode := fs.String("mode", "closed", "workload shape: open|closed")
+	rps := fs.Float64("rps", 1000, "aggregate Poisson arrival rate (open loop)")
+	think := fs.Duration("think", time.Second, "per-client think time (closed loop)")
+	fault := fs.String("fault", "nic", "injected fault: nic|crash|graceful")
+	topology := fs.String("topology", "web", "scenario: web|router")
+	servers := fs.Int("servers", 4, "web-cluster size")
+	trials := fs.Int("trials", 3, "seeded trials")
+	seed := fs.Int64("seed", 1, "base seed")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS)")
+	pre := fs.Duration("pre", 0, "fault-free measurement window (0 = default 4s)")
+	post := fs.Duration("post", 0, "post-fault run time (0 = fail-over bound + window)")
+	jsonOut := fs.Bool("json", false, "emit NDJSON result rows instead of a table")
+	tracePath := fs.String("trace", "", "capture per-trial structured event streams into this NDJSON file")
+	promPath := fs.String("prom", "", "write the shared metrics registry in Prometheus exposition format (- for stdout)")
+	progress := fs.Bool("progress", false, "report per-trial progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *trials <= 0 {
+		fmt.Fprintln(os.Stderr, "wackload: -trials must be positive")
+		return 2
+	}
+	m, err := load.ParseMode(*mode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+		return 2
+	}
+	fk, err := experiment.ParseFaultKind(*fault)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+		return 2
+	}
+	topo, err := experiment.ParseTopology(*topology)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+		return 2
+	}
+
+	reg := metrics.New()
+	cfg := experiment.AvailabilityConfig{
+		Topology:  topo,
+		Servers:   *servers,
+		Clients:   *clients,
+		Mode:      m,
+		RPS:       *rps,
+		ThinkTime: *think,
+		Fault:     fk,
+		PreFault:  *pre,
+		PostFault: *post,
+		Metrics:   reg,
+	}
+	opts := []experiment.Option{experiment.Parallel(*parallel)}
+	if *tracePath != "" {
+		opts = append(opts, experiment.WithTrace())
+	}
+	if *progress {
+		opts = append(opts, experiment.WithSink(runner.SinkFunc(func(p runner.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "error: " + p.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "wackload: [%d/%d] %s seed=%d %s\n", p.Done, p.Total, p.Point, p.Seed, status)
+		})))
+	}
+
+	row, err := experiment.Availability(*seed, *trials, cfg, opts...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+		return 1
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+		if err := experiment.WriteAvailabilityTrace(f, row); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+	}
+	if *promPath != "" {
+		w := out
+		if *promPath != "-" {
+			f, err := os.Create(*promPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := metrics.WritePrometheus(w, reg.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+	}
+
+	if *jsonOut {
+		if err := experiment.WriteNDJSON(out, experiment.AvailabilityJSON(row)); err != nil {
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	fmt.Fprintln(out, "## Request-level availability across a fault")
+	fmt.Fprintln(out)
+	fmt.Fprint(out, experiment.RenderAvailability(row))
+	return 0
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTableOutput(t *testing.T) {
+	var out bytes.Buffer
+	code := run([]string{"-clients", "50", "-think", "200ms", "-trials", "1", "-pre", "2s"}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{"Request-level availability", "conns lost", "recovery"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunJSONAndProm(t *testing.T) {
+	prom := filepath.Join(t.TempDir(), "metrics.prom")
+	var out bytes.Buffer
+	code := run([]string{"-clients", "50", "-think", "200ms", "-trials", "2",
+		"-pre", "2s", "-json", "-prom", prom}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("NDJSON lines = %d, want 1 aggregate + 2 per-trial", len(lines))
+	}
+	var agg struct {
+		Experiment string             `json:"experiment"`
+		Trials     int                `json:"trials"`
+		Extra      map[string]float64 `json:"extra"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &agg); err != nil {
+		t.Fatalf("bad NDJSON: %v", err)
+	}
+	if agg.Experiment != "availability" || agg.Trials != 2 {
+		t.Errorf("aggregate row = %+v", agg)
+	}
+	if agg.Extra["reset"] == 0 || agg.Extra["conns_lost"] == 0 {
+		t.Errorf("aggregate extra missing takeover evidence: %v", agg.Extra)
+	}
+	// The Prometheus exposition must carry the request-latency family.
+	text, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "# TYPE load_request_latency_seconds histogram") {
+		t.Error("prom output missing load_request_latency_seconds histogram family")
+	}
+	if !strings.Contains(string(text), "load_requests_total") {
+		t.Error("prom output missing load_requests_total counter family")
+	}
+}
+
+func TestRunTraceArtifact(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.ndjson")
+	var out bytes.Buffer
+	code := run([]string{"-clients", "20", "-think", "200ms", "-trials", "1",
+		"-pre", "1s", "-json", "-trace", trace}, &out)
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	text, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), `"record":"trial"`) {
+		t.Error("trace artifact missing trial record")
+	}
+	if !strings.Contains(string(text), `"flow-`) {
+		t.Error("trace artifact missing flow events")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	runOnce := func(parallel string) string {
+		var out bytes.Buffer
+		code := run([]string{"-clients", "60", "-mode", "open", "-rps", "300",
+			"-trials", "2", "-pre", "2s", "-parallel", parallel, "-json"}, &out)
+		if code != 0 {
+			t.Fatalf("exit %d:\n%s", code, out.String())
+		}
+		return out.String()
+	}
+	if a, b := runOnce("1"), runOnce("2"); a != b {
+		t.Fatalf("output depends on worker count:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "bogus"},
+		{"-fault", "bogus"},
+		{"-topology", "bogus"},
+		{"-trials", "0"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if code := run(args, &out); code != 2 {
+			t.Errorf("run(%v) = %d, want usage error 2", args, code)
+		}
+	}
+}

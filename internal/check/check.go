@@ -6,7 +6,9 @@ import (
 
 	"wackamole"
 	"wackamole/internal/core"
+	"wackamole/internal/flow"
 	"wackamole/internal/gcs"
+	"wackamole/internal/load"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
@@ -131,6 +133,13 @@ func Run(s Schedule, opts Options) (*Report, error) {
 	opts.Metrics.Counter("check_schedules_total", "fault programs executed by the checker").Inc()
 	steps := opts.Metrics.Counter("check_steps_total", "schedule events applied by the checker")
 	violations := opts.Metrics.Counter("check_violations_total", "oracle violations detected")
+	// Pre-register the traffic-subsystem counter families so wackcheck's
+	// counter report (which flattens every counter in the registry, -mutate
+	// runs included) sees a stable family set whether or not a schedule
+	// drives flow traffic.
+	flow.RegisterClientMetrics(opts.Metrics)
+	flow.RegisterServerMetrics(opts.Metrics)
+	load.Register(opts.Metrics)
 
 	var tracer *obs.Tracer
 	if opts.Trace {

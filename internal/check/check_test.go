@@ -70,6 +70,19 @@ func TestCleanScheduleSatisfiesOracles(t *testing.T) {
 	if f := snap.Family("check_steps_total"); f == nil || f.Series[0].Value != float64(len(s.Events)) {
 		t.Fatalf("check_steps_total not recorded: %+v", f)
 	}
+	// The traffic-subsystem families must be pre-registered even though a
+	// checker schedule drives no flow traffic: wackcheck's counter report
+	// flattens the whole registry, and -mutate comparisons depend on the
+	// family set being identical across runs.
+	for _, name := range []string{
+		"flow_conns_opened_total", "flow_conns_reset_total", "flow_retransmits_total",
+		"flow_conns_timeout_total", "flow_accepts_total", "flow_responses_total",
+		"flow_rsts_sent_total", "load_requests_total",
+	} {
+		if snap.Family(name) == nil {
+			t.Errorf("traffic counter family %q not pre-registered", name)
+		}
+	}
 }
 
 func TestRunIsDeterministic(t *testing.T) {

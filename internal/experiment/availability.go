@@ -1,0 +1,582 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+
+	"wackamole"
+	"wackamole/internal/experiment/runner"
+	"wackamole/internal/flow"
+	"wackamole/internal/gcs"
+	"wackamole/internal/load"
+	"wackamole/internal/metrics"
+	"wackamole/internal/obs"
+	"wackamole/internal/rip"
+)
+
+// availability.go is the request-level availability experiment: where
+// figure5.go measures a fault through a single 10ms probe, this experiment
+// drives a whole client population over flow connections and reports what
+// that population experiences across the fault — goodput and error-rate
+// timeline, per-class request counts, latency before/during/after the
+// fail-over, and the number of established connections lost at takeover
+// (the paper's §2/§6 connection-loss claim, observed rather than asserted).
+// cmd/wackload is its command-line front end.
+
+// FlowPort is the connection-oriented service port every cluster server
+// answers on (distinct from ServicePort, the probe's datagram echo).
+const FlowPort = 8090
+
+// LoadClientPort is the workload engine's client-side UDP port (distinct
+// from ClientPort, the probe client's).
+const LoadClientPort = 9100
+
+// FaultKind selects the injected fault.
+type FaultKind string
+
+// The three fault injections the experiment supports.
+const (
+	// FaultNIC disconnects the victim's interface — the paper's §6 method.
+	FaultNIC FaultKind = "nic"
+	// FaultCrash halts the victim host entirely.
+	FaultCrash FaultKind = "crash"
+	// FaultGraceful makes the victim leave service voluntarily.
+	FaultGraceful FaultKind = "graceful"
+)
+
+// ParseFaultKind converts a CLI spelling into a FaultKind.
+func ParseFaultKind(s string) (FaultKind, error) {
+	switch FaultKind(s) {
+	case FaultNIC, FaultCrash, FaultGraceful:
+		return FaultKind(s), nil
+	default:
+		return "", fmt.Errorf("experiment: unknown fault %q (want nic, crash or graceful)", s)
+	}
+}
+
+// Topology selects the application scenario the workload runs against.
+type Topology string
+
+// The two application scenarios of the paper.
+const (
+	// TopologyWeb is the Figure 3 web cluster: the workload targets a
+	// virtual address that fails over between servers.
+	TopologyWeb Topology = "web"
+	// TopologyRouter is the Figure 4 virtual router: the workload targets a
+	// stationary web server reached through a fail-over router pair.
+	TopologyRouter Topology = "router"
+)
+
+// ParseTopology converts a CLI spelling into a Topology.
+func ParseTopology(s string) (Topology, error) {
+	switch Topology(s) {
+	case TopologyWeb, TopologyRouter:
+		return Topology(s), nil
+	default:
+		return "", fmt.Errorf("experiment: unknown topology %q (want web or router)", s)
+	}
+}
+
+// AvailabilityConfig parameterizes one availability trial.
+type AvailabilityConfig struct {
+	// Topology selects the scenario (default web).
+	Topology Topology
+	// Servers is the web-cluster size (default 4; the router topology is
+	// fixed at two fail-over routers).
+	Servers int
+	// Clients, Mode, RPS and ThinkTime forward to the workload engine.
+	Clients   int
+	Mode      load.Mode
+	RPS       float64
+	ThinkTime time.Duration
+	// Fault selects the injection (default nic). The router topology
+	// supports nic and crash.
+	Fault FaultKind
+	// GCS configures the group-communication timeouts (zero: tuned).
+	GCS gcs.Config
+	// Warmup is the traffic-settling period after cluster formation and
+	// before measurement starts (default 2s).
+	Warmup time.Duration
+	// PreFault is the measured fault-free window (default 4s); the post-
+	// recovery goodput window has the same width.
+	PreFault time.Duration
+	// PostFault is how long the trial runs after the fault (default: the
+	// fail-over bound plus a PreFault-wide recovery window).
+	PostFault time.Duration
+	// Trace captures a structured event stream per trial.
+	Trace bool
+	// Metrics receives the flow and load instrument families from every
+	// trial (shared across trials; the registry serializes access). Nil
+	// disables.
+	Metrics *metrics.Registry
+}
+
+func (c AvailabilityConfig) withDefaults() AvailabilityConfig {
+	if c.Topology == "" {
+		c.Topology = TopologyWeb
+	}
+	if c.Servers <= 0 {
+		c.Servers = 4
+	}
+	if c.Clients <= 0 {
+		c.Clients = 200
+	}
+	if c.Mode == 0 {
+		c.Mode = load.Closed
+	}
+	if c.Fault == "" {
+		c.Fault = FaultNIC
+	}
+	if c.GCS == (gcs.Config{}) {
+		c.GCS = gcs.TunedConfig()
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 2 * time.Second
+	}
+	if c.PreFault <= 0 {
+		c.PreFault = 4 * time.Second
+	}
+	if c.PostFault <= 0 {
+		c.PostFault = 4*(c.GCS.FaultDetectTimeout+c.GCS.DiscoveryTimeout) + c.PreFault + time.Second
+	}
+	return c
+}
+
+// Label names the configuration the way sweep points and NDJSON rows do.
+func (c AvailabilityConfig) Label() string {
+	c = c.withDefaults()
+	return fmt.Sprintf("%s/%s/%s/c=%d", c.Topology, c.Mode, c.Fault, c.Clients)
+}
+
+// LatencyWindow summarizes client-observed request latency over one phase
+// of the trial. Quantiles cover responses (ok and stale); Completions
+// counts every request that terminated in the window.
+type LatencyWindow struct {
+	Completions uint64
+	OK          uint64
+	P50         time.Duration
+	P99         time.Duration
+	Max         time.Duration
+}
+
+// AvailabilityResult is the rich per-trial outcome backing one sample.
+type AvailabilityResult struct {
+	Seed int64
+	// Interruption is the longest gap between consecutive ok completions —
+	// the request-level service interruption (the trial's sample value).
+	Interruption time.Duration
+	// Stats is the engine's full counter snapshot for the measured window.
+	Stats load.Stats
+	// FaultAt and RecoveredAt bracket the fail-over as the clients saw it
+	// (RecoveredAt is the first ok completion after the interruption).
+	FaultAt     time.Time
+	RecoveredAt time.Time
+	// Before, During and After summarize latency in the three phases
+	// [epoch, fault), [fault, recovery) and [recovery, end).
+	Before, During, After LatencyWindow
+	// GoodputPre and GoodputPost are ok completions per second in the
+	// fault-free window and in an equally wide window at the end of the
+	// trial. Recovery compares the two windows' goodput normalized by
+	// offered load (ok per completed request), so Poisson arrival-sampling
+	// noise between the windows does not masquerade as loss — any real
+	// degradation (timeouts, resets, stale responses) still depresses it.
+	GoodputPre  float64
+	GoodputPost float64
+	Recovery    float64
+	// ByServer counts responses by responding server, showing the takeover
+	// shifting traffic.
+	ByServer map[string]uint64
+	// Buckets is the per-class completion timeline (copied; BucketWidth is
+	// the engine default).
+	Buckets []load.Bucket
+}
+
+// AvailabilityTrial runs one seeded trial and returns the runner sample
+// (value = request-level interruption) plus the rich per-trial result.
+func AvailabilityTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *AvailabilityResult, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Topology {
+	case TopologyWeb:
+		return availabilityWebTrial(seed, cfg)
+	case TopologyRouter:
+		return availabilityRouterTrial(seed, cfg)
+	default:
+		return runner.Sample{}, nil, fmt.Errorf("experiment: unknown topology %q", cfg.Topology)
+	}
+}
+
+func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *AvailabilityResult, error) {
+	var tr *obs.Tracer
+	var traceReg *metrics.Registry
+	var mods []func(*wackamole.ClusterOptions)
+	if cfg.Trace {
+		tr = obs.New(0, nil)
+		traceReg = metrics.New()
+		mods = append(mods, func(o *wackamole.ClusterOptions) {
+			o.Tracer = tr
+			o.Metrics = traceReg
+		})
+	}
+	wc, err := NewWebCluster(seed, cfg.Servers, cfg.GCS, mods...)
+	if err != nil {
+		return runner.Sample{}, nil, err
+	}
+	for _, srv := range wc.Servers {
+		if _, err := flow.NewServer(srv.Host, FlowPort, flow.ServerConfig{
+			Metrics: cfg.Metrics, Tracer: tr,
+		}); err != nil {
+			return runner.Sample{}, nil, err
+		}
+	}
+	engine, err := load.New(wc.ClientHost, load.Config{
+		Clients:   cfg.Clients,
+		Mode:      cfg.Mode,
+		RPS:       cfg.RPS,
+		ThinkTime: cfg.ThinkTime,
+		Target:    netip.AddrPortFrom(wc.Target, FlowPort),
+		LocalPort: LoadClientPort,
+		Metrics:   cfg.Metrics,
+		Tracer:    tr,
+	})
+	if err != nil {
+		return runner.Sample{}, nil, err
+	}
+
+	// Settle the cluster, warm the traffic path, then start the measured
+	// window at a seed-derived offset within the heartbeat interval so the
+	// fault phase is uniformly distributed (as in WebCluster.WarmUp).
+	wc.Settle()
+	engine.Start()
+	wc.RunFor(cfg.Warmup)
+	wc.RunFor(time.Duration(wc.Sim.Rand().Int63n(int64(cfg.GCS.HeartbeatInterval))))
+	engine.ResetStats()
+	wc.RunFor(cfg.PreFault)
+
+	victim, holders := wc.Owner(wc.Target)
+	if holders != 1 {
+		return runner.Sample{}, nil, fmt.Errorf("experiment: %d holders of the target before fault", holders)
+	}
+	faultAt := wc.Sim.Now()
+	switch cfg.Fault {
+	case FaultNIC:
+		wc.FailServer(victim)
+	case FaultCrash:
+		wc.CrashServer(victim)
+	case FaultGraceful:
+		if err := wc.Servers[victim].Node.LeaveService(); err != nil {
+			return runner.Sample{}, nil, err
+		}
+	}
+	wc.RunFor(cfg.PostFault)
+
+	res := summarizeTrial(seed, engine, faultAt)
+	engine.Stop()
+	sample := runner.Sample{Value: res.Interruption, Metrics: clusterMetrics(wc.Cluster)}
+	attachTrace(&sample, tr, traceReg, res, wc.Target.String())
+	return sample, res, nil
+}
+
+func availabilityRouterTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *AvailabilityResult, error) {
+	if cfg.Fault == FaultGraceful {
+		return runner.Sample{}, nil, fmt.Errorf("experiment: the router topology has no graceful fault")
+	}
+	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
+	sc, err := newVirtualRouterScenario(seed, RouterModeAdvertiseAll, cfg.GCS, ripCfg)
+	if err != nil {
+		return runner.Sample{}, nil, err
+	}
+	var tr *obs.Tracer
+	if cfg.Trace {
+		tr = obs.New(0, nil)
+		tr.SetNow(sc.sim.Now)
+		sc.net.SetEventTracer(tr)
+	}
+	if _, err := flow.NewServer(sc.server, FlowPort, flow.ServerConfig{
+		Metrics: cfg.Metrics, Tracer: tr,
+	}); err != nil {
+		return runner.Sample{}, nil, err
+	}
+	engine, err := load.New(sc.clientHost, load.Config{
+		Clients:   cfg.Clients,
+		Mode:      cfg.Mode,
+		RPS:       cfg.RPS,
+		ThinkTime: cfg.ThinkTime,
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.1.0.10"), FlowPort),
+		LocalPort: LoadClientPort,
+		Metrics:   cfg.Metrics,
+		Tracer:    tr,
+	})
+	if err != nil {
+		return runner.Sample{}, nil, err
+	}
+
+	// Let memberships form, the active router join the routing protocol and
+	// the upstream's first periodic advertisement teach it the client
+	// network (the reply path needs it), then warm the traffic path.
+	sc.sim.RunFor(2*cfg.GCS.DiscoveryTimeout + 2*time.Second)
+	sc.sim.RunFor(ripCfg.AdvertisePeriod + 5*time.Second)
+	engine.Start()
+	sc.sim.RunFor(cfg.Warmup)
+	sc.sim.RunFor(time.Duration(sc.sim.Rand().Int63n(int64(cfg.GCS.HeartbeatInterval))))
+	engine.ResetStats()
+	sc.sim.RunFor(cfg.PreFault)
+
+	active, err := sc.activeRouter()
+	if err != nil {
+		return runner.Sample{}, nil, err
+	}
+	faultAt := sc.sim.Now()
+	switch cfg.Fault {
+	case FaultNIC:
+		for _, nic := range sc.frHosts[active].NICs() {
+			nic.SetUp(false)
+		}
+	case FaultCrash:
+		sc.frHosts[active].Crash()
+	}
+	sc.sim.RunFor(cfg.PostFault)
+
+	res := summarizeTrial(seed, engine, faultAt)
+	engine.Stop()
+	sample := runner.Sample{Value: res.Interruption, Metrics: sc.metrics()}
+	attachTrace(&sample, tr, nil, res, extVIP.String())
+	return sample, res, nil
+}
+
+// attachTrace fills the sample's trace and latency fields from a traced
+// trial; a nil tracer leaves the sample untouched.
+func attachTrace(sample *runner.Sample, tr *obs.Tracer, reg *metrics.Registry, res *AvailabilityResult, target string) {
+	if tr == nil {
+		return
+	}
+	events := tr.Snapshot()
+	sample.Trace = &obs.TrialTrace{
+		Events:   events,
+		Phases:   obs.FailoverBreakdown(events, res.Stats.GapStart, res.Stats.GapEnd, target),
+		GapStart: res.Stats.GapStart,
+		GapEnd:   res.Stats.GapEnd,
+		Target:   target,
+	}
+	if reg != nil {
+		sample.Latency = reg.Snapshot()
+	}
+}
+
+// summarizeTrial reduces the engine's measured window into the rich
+// per-trial result. Must run before engine.Stop (live slices).
+func summarizeTrial(seed int64, engine *load.Engine, faultAt time.Time) *AvailabilityResult {
+	st := engine.Stats()
+	end := engine.Epoch()
+	if n := len(engine.Completions()); n > 0 {
+		end = engine.Completions()[n-1].At
+	}
+	// Recovery instant: the first ok completion after the interruption. If
+	// the gap never spanned the fault (e.g. graceful leave too short to
+	// notice), the during-window is empty.
+	recoveredAt := faultAt
+	if st.GapEnd.After(faultAt) {
+		recoveredAt = st.GapEnd
+	}
+	res := &AvailabilityResult{
+		Seed:         seed,
+		Interruption: st.MaxOKGap,
+		Stats:        st,
+		FaultAt:      faultAt,
+		RecoveredAt:  recoveredAt,
+		ByServer:     map[string]uint64{},
+		Buckets:      append([]load.Bucket(nil), engine.Buckets()...),
+	}
+	for k, v := range engine.ByServer() {
+		res.ByServer[k] = v
+	}
+	res.Before = windowOf(engine.Completions(), engine.Epoch(), faultAt)
+	res.During = windowOf(engine.Completions(), faultAt, recoveredAt)
+	res.After = windowOf(engine.Completions(), recoveredAt, end.Add(time.Nanosecond))
+
+	// Goodput: ok completions per second in the fault-free window, and in
+	// an equally wide window ending at the last completion.
+	preW := faultAt.Sub(engine.Epoch())
+	if preW > 0 {
+		res.GoodputPre = float64(res.Before.OK) / preW.Seconds()
+	}
+	postStart := end.Add(-preW)
+	if postStart.Before(recoveredAt) {
+		postStart = recoveredAt
+	}
+	var post LatencyWindow
+	if postW := end.Sub(postStart); postW > 0 {
+		post = windowOf(engine.Completions(), postStart, end.Add(time.Nanosecond))
+		res.GoodputPost = float64(post.OK) / postW.Seconds()
+	}
+	if res.Before.Completions > 0 && post.Completions > 0 {
+		preFrac := float64(res.Before.OK) / float64(res.Before.Completions)
+		postFrac := float64(post.OK) / float64(post.Completions)
+		if preFrac > 0 {
+			res.Recovery = postFrac / preFrac
+		}
+	}
+	return res
+}
+
+// windowOf summarizes the completions with from <= At < to.
+func windowOf(completions []load.Completion, from, to time.Time) LatencyWindow {
+	var w LatencyWindow
+	var rtts []time.Duration
+	for _, c := range completions {
+		if c.At.Before(from) || !c.At.Before(to) {
+			continue
+		}
+		w.Completions++
+		if c.Class == load.ClassOK {
+			w.OK++
+		}
+		if c.Class == load.ClassOK || c.Class == load.ClassStale {
+			rtts = append(rtts, c.RTT)
+			if c.RTT > w.Max {
+				w.Max = c.RTT
+			}
+		}
+	}
+	if len(rtts) > 0 {
+		sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+		w.P50 = metrics.Percentile(rtts, 50)
+		w.P99 = metrics.Percentile(rtts, 99)
+	}
+	return w
+}
+
+// AvailabilityRow is the aggregate of one availability sweep point.
+type AvailabilityRow struct {
+	Point   string
+	Stat    Stat
+	Metrics runner.Metrics
+	Errors  int
+	// Samples holds the point's successful trials in seed order (with event
+	// traces when the sweep ran traced).
+	Samples []runner.Sample
+	// Results holds the rich per-trial outcomes, aligned with Samples.
+	Results []*AvailabilityResult
+}
+
+// Availability measures the request-level availability of one configuration
+// over `trials` seeded runs on the shared parallel trial runner.
+func Availability(baseSeed int64, trials int, cfg AvailabilityConfig, opts ...Option) (AvailabilityRow, error) {
+	cfg = cfg.withDefaults()
+	sweep := resolveOptions(opts)
+	if sweep.trace {
+		cfg.Trace = true
+	}
+	var (
+		mu      sync.Mutex
+		bySeeds = map[int64]*AvailabilityResult{}
+	)
+	point := runner.Point{
+		Label: "availability/" + cfg.Label(),
+		Seeds: Seeds(baseSeed, trials),
+		Run: func(seed int64) (runner.Sample, error) {
+			sample, res, err := AvailabilityTrial(seed, cfg)
+			if err != nil {
+				return runner.Sample{}, err
+			}
+			mu.Lock()
+			bySeeds[seed] = res
+			mu.Unlock()
+			return sample, nil
+		},
+	}
+	res := runner.Run([]runner.Point{point}, sweep.Options)[0]
+	stat, m, errs, err := collectPoint(res)
+	if err != nil {
+		return AvailabilityRow{}, err
+	}
+	row := AvailabilityRow{Point: point.Label, Stat: stat, Metrics: m, Errors: errs, Samples: res.Samples}
+	for _, s := range res.Samples {
+		row.Results = append(row.Results, bySeeds[s.Seed])
+	}
+	return row, nil
+}
+
+// RenderAvailability formats the per-trial outcomes plus the aggregate.
+func RenderAvailability(row AvailabilityRow) string {
+	header := []string{"seed", "interruption", "ok", "reset", "timeout", "stale",
+		"conns lost", "goodput pre", "goodput post", "recovery", "p99 before", "p99 after"}
+	var cells [][]string
+	for _, r := range row.Results {
+		cells = append(cells, []string{
+			fmt.Sprintf("%d", r.Seed), Seconds(r.Interruption),
+			fmt.Sprintf("%d", r.Stats.Requests[load.ClassOK]),
+			fmt.Sprintf("%d", r.Stats.Requests[load.ClassReset]),
+			fmt.Sprintf("%d", r.Stats.Requests[load.ClassTimeout]),
+			fmt.Sprintf("%d", r.Stats.Requests[load.ClassStale]),
+			fmt.Sprintf("%d", r.Stats.ConnsLost),
+			fmt.Sprintf("%.1f/s", r.GoodputPre),
+			fmt.Sprintf("%.1f/s", r.GoodputPost),
+			fmt.Sprintf("%.3f", r.Recovery),
+			Seconds(r.Before.P99), Seconds(r.After.P99),
+		})
+	}
+	return fmt.Sprintf("point: %s (trials %d, errors %d, mean interruption %s)\n\n%s",
+		row.Point, row.Stat.N, row.Errors, Seconds(row.Stat.Mean), Table(header, cells))
+}
+
+// AvailabilityJSON converts the row into NDJSON records: one aggregate row
+// followed by one row per trial carrying its full per-class and latency
+// detail in Extra.
+func AvailabilityJSON(row AvailabilityRow) []JSONRow {
+	agg := jsonRow("availability", row.Point, "interruption", row.Stat, row.Errors, row.Metrics)
+	agg.Extra = map[string]float64{}
+	for _, r := range row.Results {
+		for c := load.Class(0); c < load.NumClasses; c++ {
+			agg.Extra[c.String()] += float64(r.Stats.Requests[c])
+		}
+		agg.Extra["conns_lost"] += float64(r.Stats.ConnsLost)
+		agg.Extra["recovery"] += r.Recovery / float64(len(row.Results))
+	}
+	agg.PerTrial = trialRows(row.Samples)
+	out := []JSONRow{agg}
+	for _, r := range row.Results {
+		jr := jsonRow("availability", fmt.Sprintf("%s/seed=%d", row.Point, r.Seed), "interruption",
+			Stat{N: 1, Mean: r.Interruption, Min: r.Interruption, Median: r.Interruption,
+				P50: r.Interruption, P99: r.Interruption, Max: r.Interruption}, 0, runner.Metrics{})
+		jr.Trials = 1
+		jr.Extra = map[string]float64{
+			"issued":           float64(r.Stats.Issued),
+			"conns_lost":       float64(r.Stats.ConnsLost),
+			"dials_ok":         float64(r.Stats.DialsOK),
+			"dials_failed":     float64(r.Stats.DialsFailed),
+			"goodput_pre_rps":  r.GoodputPre,
+			"goodput_post_rps": r.GoodputPost,
+			"recovery":         r.Recovery,
+			"before_p50_s":     r.Before.P50.Seconds(),
+			"before_p99_s":     r.Before.P99.Seconds(),
+			"before_max_s":     r.Before.Max.Seconds(),
+			"during_p50_s":     r.During.P50.Seconds(),
+			"during_p99_s":     r.During.P99.Seconds(),
+			"during_max_s":     r.During.Max.Seconds(),
+			"after_p50_s":      r.After.P50.Seconds(),
+			"after_p99_s":      r.After.P99.Seconds(),
+			"after_max_s":      r.After.Max.Seconds(),
+			"before_requests":  float64(r.Before.Completions),
+			"before_ok":        float64(r.Before.OK),
+			"during_requests":  float64(r.During.Completions),
+			"during_ok":        float64(r.During.OK),
+			"after_requests":   float64(r.After.Completions),
+			"after_ok":         float64(r.After.OK),
+		}
+		for c := load.Class(0); c < load.NumClasses; c++ {
+			jr.Extra[c.String()] = float64(r.Stats.Requests[c])
+		}
+		out = append(out, jr)
+	}
+	return out
+}
+
+// WriteAvailabilityTrace writes the traced trials of an availability sweep
+// as the same NDJSON stream wacksim -trace produces.
+func WriteAvailabilityTrace(w io.Writer, row AvailabilityRow) error {
+	return writeTrialTraces(w, "availability", row.Point, row.Samples)
+}

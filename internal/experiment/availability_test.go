@@ -1,0 +1,186 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/load"
+	"wackamole/internal/metrics"
+)
+
+// quickAvailability keeps unit-test trials small and fast.
+func quickAvailability() AvailabilityConfig {
+	return AvailabilityConfig{
+		Clients:   50,
+		Mode:      load.Closed,
+		ThinkTime: 200 * time.Millisecond,
+		PreFault:  2 * time.Second,
+	}
+}
+
+func TestAvailabilityTrialWebTakeover(t *testing.T) {
+	reg := metrics.New()
+	cfg := quickAvailability()
+	cfg.Metrics = reg
+	sample, res, err := AvailabilityTrial(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sample.Value != res.Interruption || res.Interruption <= 0 {
+		t.Fatalf("sample value %v vs interruption %v, want equal and positive", sample.Value, res.Interruption)
+	}
+	// The fault-free window must be clean.
+	if res.Before.Completions == 0 || res.Before.Completions != res.Before.OK {
+		t.Fatalf("fault-free window: %d completions, %d ok — want all ok", res.Before.Completions, res.Before.OK)
+	}
+	// The paper's connection-loss claim: established connections to the
+	// failed server are lost (reset), and clients recover afterwards.
+	if res.Stats.ConnsLost == 0 {
+		t.Error("no connections lost at takeover")
+	}
+	if res.Stats.Requests[load.ClassReset] == 0 {
+		t.Error("no requests classified reset at takeover")
+	}
+	if res.Recovery < 0.99 {
+		t.Errorf("recovery = %v, want ≥ 0.99", res.Recovery)
+	}
+	if res.After.OK == 0 {
+		t.Error("no ok completions after recovery")
+	}
+	// Traffic must have shifted to a different server after the takeover.
+	if len(res.ByServer) < 2 {
+		t.Errorf("responses came from %d servers, want ≥ 2 (takeover shifts traffic)", len(res.ByServer))
+	}
+	// The latency family the CLI exposes via -prom must be populated.
+	if hist := reg.Snapshot().MergedHistogram("load_request_latency_seconds"); hist.Count() == 0 {
+		t.Error("load_request_latency_seconds histogram family empty")
+	}
+	// Protocol activity was captured from the cluster.
+	if sample.Metrics.ARPSpoofs == 0 {
+		t.Error("no ARP spoofs recorded across a takeover")
+	}
+}
+
+func TestAvailabilityTrialRouter(t *testing.T) {
+	cfg := quickAvailability()
+	cfg.Topology = TopologyRouter
+	cfg.Fault = FaultCrash
+	_, res, err := AvailabilityTrial(2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Before.Completions == 0 || res.Before.Completions != res.Before.OK {
+		t.Fatalf("fault-free window: %d completions, %d ok — want all ok", res.Before.Completions, res.Before.OK)
+	}
+	if res.Interruption <= 0 {
+		t.Fatal("no interruption measured across the router crash")
+	}
+	// The server never died, so flows survive the routing fail-over: the
+	// interruption shows up as timeouts/stale responses, not resets.
+	if res.Stats.ConnsLost != 0 {
+		t.Errorf("ConnsLost = %d across a router fail-over, want 0 (server state intact)", res.Stats.ConnsLost)
+	}
+	if res.Recovery < 0.99 {
+		t.Errorf("recovery = %v, want ≥ 0.99", res.Recovery)
+	}
+}
+
+func TestAvailabilityTrialGraceful(t *testing.T) {
+	cfg := quickAvailability()
+	cfg.Fault = FaultGraceful
+	_, res, err := AvailabilityTrial(3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A graceful leave hands the address over before departing; the
+	// disruption must be far below a crash-detection fail-over, and the
+	// old server's connections are still reset by the new owner.
+	if res.Interruption > 2*time.Second {
+		t.Errorf("graceful-leave interruption = %v, implausibly large", res.Interruption)
+	}
+	if res.Recovery < 0.99 {
+		t.Errorf("recovery = %v, want ≥ 0.99", res.Recovery)
+	}
+}
+
+func TestAvailabilityDeterministic(t *testing.T) {
+	cfg := quickAvailability()
+	run := func() (time.Duration, uint64, uint64) {
+		_, res, err := AvailabilityTrial(7, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Interruption, res.Stats.Total(), res.Stats.Requests[load.ClassReset]
+	}
+	i1, t1, r1 := run()
+	i2, t2, r2 := run()
+	if i1 != i2 || t1 != t2 || r1 != r2 {
+		t.Fatalf("same seed diverged: interruption %v/%v, total %d/%d, resets %d/%d", i1, i2, t1, t2, r1, r2)
+	}
+}
+
+func TestAvailabilitySweepAndJSON(t *testing.T) {
+	rowData, err := Availability(1, 2, quickAvailability(), Parallel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rowData.Stat.N != 2 || len(rowData.Results) != 2 {
+		t.Fatalf("stat N = %d, results = %d, want 2 trials", rowData.Stat.N, len(rowData.Results))
+	}
+	rows := AvailabilityJSON(rowData)
+	if len(rows) != 3 {
+		t.Fatalf("JSON rows = %d, want 1 aggregate + 2 per-trial", len(rows))
+	}
+	if rows[0].Extra["reset"] == 0 {
+		t.Error("aggregate row carries no reset count")
+	}
+	for _, r := range rows[1:] {
+		if r.Extra["before_requests"] == 0 || r.Extra["before_requests"] != r.Extra["before_ok"] {
+			t.Errorf("%s: fault-free window not clean: %+v", r.Point, r.Extra)
+		}
+	}
+	var b bytes.Buffer
+	if err := WriteNDJSON(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(b.String(), "\n"); got != 3 {
+		t.Errorf("NDJSON lines = %d, want 3", got)
+	}
+	if out := RenderAvailability(rowData); !strings.Contains(out, "conns lost") {
+		t.Errorf("rendered table missing header: %q", out)
+	}
+}
+
+func TestAvailabilityTraced(t *testing.T) {
+	cfg := quickAvailability()
+	row, err := Availability(5, 1, cfg, WithTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.Samples) != 1 || row.Samples[0].Trace == nil {
+		t.Fatal("traced sweep produced no trace")
+	}
+	if len(row.Samples[0].Trace.Events) == 0 {
+		t.Fatal("trace carries no events")
+	}
+	// Flow events must appear in the stream.
+	found := false
+	for _, e := range row.Samples[0].Trace.Events {
+		if e.Source.String() == "flow" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no flow-source events in the trace")
+	}
+	var b bytes.Buffer
+	if err := WriteAvailabilityTrace(&b, row); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"record":"trial"`) || !strings.Contains(b.String(), `"flow-`) {
+		t.Error("trace NDJSON missing trial record or flow events")
+	}
+}

@@ -48,6 +48,11 @@ type virtualRouterScenario struct {
 	frHosts [2]*netsim.Host
 	frs     [2]*router.PhysicalRouter
 	client  *probe.Client
+	// server and clientHost are the endpoints of the probed path; the
+	// request-level availability trial attaches a flow server and a load
+	// engine to them.
+	server     *netsim.Host
+	clientHost *netsim.Host
 }
 
 // metrics snapshots the scenario's protocol activity: network-wide traffic
@@ -120,11 +125,13 @@ func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCf
 	if _, err := probe.NewServer(server, ServicePort); err != nil {
 		return nil, err
 	}
+	sc.server = server
 
 	// External client behind the upstream router.
 	client := nw.NewHost("client")
 	cNIC := client.AttachNIC(clientNet, "eth0", netip.MustParsePrefix("203.0.113.50/24"))
 	client.SetDefaultGateway(cNIC, netip.MustParseAddr("203.0.113.1"))
+	sc.clientHost = client
 	sc.client, err = probe.NewClient(client, probe.ClientConfig{
 		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.1.0.10"), ServicePort),
 		LocalPort: ClientPort,

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"wackamole/internal/experiment/runner"
 	"wackamole/internal/obs"
 )
 
@@ -49,43 +50,52 @@ type traceEventRecord struct {
 // WriteFigure5Trace writes the traced trials of a Figure 5 sweep as NDJSON.
 // Rows from an untraced sweep produce no output.
 func WriteFigure5Trace(w io.Writer, rows []Figure5Row) error {
-	enc := json.NewEncoder(w)
 	for _, r := range rows {
 		point := fmt.Sprintf("%s/n=%d", r.Config, r.Size)
-		for _, s := range r.Samples {
-			if s.Trace == nil {
-				continue
-			}
-			if err := enc.Encode(traceTrialRecord{
-				Record:     "trial",
-				Experiment: "figure5",
-				Point:      point,
-				Seed:       s.Seed,
-				ValueSec:   s.Value.Seconds(),
-				Phases:     s.Trace.Phases,
-				Events:     len(s.Trace.Events),
-				GapStart:   s.Trace.GapStart.Format(time.RFC3339Nano),
-				GapEnd:     s.Trace.GapEnd.Format(time.RFC3339Nano),
-				Target:     s.Trace.Target,
+		if err := writeTrialTraces(w, "figure5", point, r.Samples); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTrialTraces writes one point's traced samples as the interleaved
+// trial/event NDJSON stream. Untraced samples produce no output.
+func writeTrialTraces(w io.Writer, experiment, point string, samples []runner.Sample) error {
+	enc := json.NewEncoder(w)
+	for _, s := range samples {
+		if s.Trace == nil {
+			continue
+		}
+		if err := enc.Encode(traceTrialRecord{
+			Record:     "trial",
+			Experiment: experiment,
+			Point:      point,
+			Seed:       s.Seed,
+			ValueSec:   s.Value.Seconds(),
+			Phases:     s.Trace.Phases,
+			Events:     len(s.Trace.Events),
+			GapStart:   s.Trace.GapStart.Format(time.RFC3339Nano),
+			GapEnd:     s.Trace.GapEnd.Format(time.RFC3339Nano),
+			Target:     s.Trace.Target,
+		}); err != nil {
+			return err
+		}
+		for _, e := range s.Trace.Events {
+			if err := enc.Encode(traceEventRecord{
+				Record: "event",
+				Point:  point,
+				Seed:   s.Seed,
+				Seq:    e.Seq,
+				At:     e.At.Format(time.RFC3339Nano),
+				Source: e.Source.String(),
+				Kind:   e.Kind.String(),
+				Node:   e.Node,
+				Group:  e.Group,
+				Addr:   e.Addr,
+				Detail: e.Detail,
 			}); err != nil {
 				return err
-			}
-			for _, e := range s.Trace.Events {
-				if err := enc.Encode(traceEventRecord{
-					Record: "event",
-					Point:  point,
-					Seed:   s.Seed,
-					Seq:    e.Seq,
-					At:     e.At.Format(time.RFC3339Nano),
-					Source: e.Source.String(),
-					Kind:   e.Kind.String(),
-					Node:   e.Node,
-					Group:  e.Group,
-					Addr:   e.Addr,
-					Detail: e.Detail,
-				}); err != nil {
-					return err
-				}
 			}
 		}
 	}

@@ -1,0 +1,751 @@
+// Package flow implements a minimal connection-oriented transport on top of
+// netsim UDP sockets — just enough of a TCP-like protocol to reproduce the
+// connection-level failover semantics the Wackamole paper describes for its
+// web-cluster application (§2, §6): "clients with open connections to the
+// failed server lose their connections, while new connections are directed
+// to the server that took over."
+//
+// The protocol is request/response over explicit connections:
+//
+//   - a three-way handshake (SYN, SYN|ACK, ACK) opens a connection
+//     identified by a client-chosen 32-bit id;
+//   - each request is a DATA segment carrying a per-connection sequence
+//     number; the server replies with DATA|ACK echoing that sequence;
+//   - unacknowledged segments are retransmitted on a fixed RTO with a
+//     bounded retry budget (timers ride the netsim timing wheel, so
+//     thousands of in-flight requests cost one simulator event per tick);
+//   - any non-SYN segment for an unknown connection draws an RST. This is
+//     the load-bearing rule: after a takeover the new owner of a virtual
+//     address has none of the failed server's connection state, so every
+//     orphaned flow that retransmits into it is reset — exactly how a real
+//     server's kernel answers a foreign TCP segment, and exactly the
+//     client-visible connection loss the paper claims.
+//
+// Delivery to the server is at-least-once: a response lost on the return
+// path causes the client to retransmit the request and the server to
+// re-execute the handler. The measurement workloads only read responses, so
+// re-execution is benign; a production protocol would deduplicate.
+//
+// The send path is allocation-free in steady state: segment buffers come
+// from the network's payload pool (SendUDPOwned), pending-request records
+// and their RTO closures are pooled per client, and wheel timers are pooled
+// by netsim. Callbacks therefore run on the simulation goroutine and must
+// not retain payload slices past their return.
+package flow
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"wackamole/internal/metrics"
+	"wackamole/internal/netsim"
+	"wackamole/internal/obs"
+)
+
+// Wire format: 13-byte header, then the payload.
+//
+//	[0]    flags
+//	[1:5]  connection id (big endian)
+//	[5:9]  sequence number
+//	[9:13] acknowledgement number
+const headerLen = 13
+
+const (
+	flagSYN  = 1 << iota // connection open request
+	flagACK              // acknowledges seq in the ack field
+	flagRST              // connection does not exist here; peer must abort
+	flagFIN              // graceful close
+	flagDATA             // carries a request or response payload
+)
+
+// Protocol errors surfaced to request and dial callbacks.
+var (
+	// ErrReset reports that the peer answered with an RST — the connection
+	// is unknown on the remote side (typically because a takeover server
+	// has no state for flows opened against the failed one).
+	ErrReset = errors.New("flow: connection reset by peer")
+	// ErrTimedOut reports that the retry budget was exhausted with no
+	// acknowledgement.
+	ErrTimedOut = errors.New("flow: timed out")
+	// ErrClosed reports use of a locally closed connection or client.
+	ErrClosed = errors.New("flow: connection closed")
+)
+
+func putHeader(b []byte, flags byte, id, seq, ack uint32) {
+	b[0] = flags
+	binary.BigEndian.PutUint32(b[1:5], id)
+	binary.BigEndian.PutUint32(b[5:9], seq)
+	binary.BigEndian.PutUint32(b[9:13], ack)
+}
+
+type header struct {
+	flags byte
+	id    uint32
+	seq   uint32
+	ack   uint32
+}
+
+func parseHeader(b []byte) (header, bool) {
+	if len(b) < headerLen {
+		return header{}, false
+	}
+	return header{
+		flags: b[0],
+		id:    binary.BigEndian.Uint32(b[1:5]),
+		seq:   binary.BigEndian.Uint32(b[5:9]),
+		ack:   binary.BigEndian.Uint32(b[9:13]),
+	}, true
+}
+
+// ClientMetrics bundles the client-side counter instruments. Registering
+// them through one constructor keeps the family set stable whether or not
+// any traffic flows — wackcheck's counter report depends on that.
+type ClientMetrics struct {
+	ConnsOpened *metrics.Counter
+	ConnsReset  *metrics.Counter
+	Retransmits *metrics.Counter
+	Timeouts    *metrics.Counter
+}
+
+// RegisterClientMetrics creates (or finds) the client counter families in r.
+// A nil registry yields nil-safe no-op instruments.
+func RegisterClientMetrics(r *metrics.Registry) ClientMetrics {
+	return ClientMetrics{
+		ConnsOpened: r.Counter("flow_conns_opened_total", "connections that completed the three-way handshake"),
+		ConnsReset:  r.Counter("flow_conns_reset_total", "connections aborted by a peer RST"),
+		Retransmits: r.Counter("flow_retransmits_total", "segment retransmissions after an RTO"),
+		Timeouts:    r.Counter("flow_conns_timeout_total", "connections or requests abandoned after the retry budget"),
+	}
+}
+
+// ServerMetrics bundles the server-side counter instruments.
+type ServerMetrics struct {
+	Accepts   *metrics.Counter
+	Responses *metrics.Counter
+	RSTsSent  *metrics.Counter
+}
+
+// RegisterServerMetrics creates (or finds) the server counter families in r.
+func RegisterServerMetrics(r *metrics.Registry) ServerMetrics {
+	return ServerMetrics{
+		Accepts:   r.Counter("flow_accepts_total", "connections accepted (SYN|ACK sent)"),
+		Responses: r.Counter("flow_responses_total", "request handler executions answered"),
+		RSTsSent:  r.Counter("flow_rsts_sent_total", "RSTs sent for segments addressed to unknown connections"),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Server
+
+// ServerConfig parameterizes a flow server.
+type ServerConfig struct {
+	// Handler produces the response for one request. The request slice is
+	// only valid for the duration of the call; the returned slice is copied
+	// onto the wire before Handler can run again, so returning a reused
+	// buffer is both allowed and what the zero-allocation path expects.
+	// A nil Handler answers every request with the host's name.
+	Handler func(req []byte) []byte
+	// Metrics receives the server counter families (nil disables).
+	Metrics *metrics.Registry
+	// Tracer receives flow events (nil disables).
+	Tracer *obs.Tracer
+}
+
+type serverKey struct {
+	peer netip.AddrPort
+	id   uint32
+}
+
+type serverConn struct {
+	established bool
+}
+
+// Server answers flow requests on one UDP port, typically bound across all
+// the virtual addresses a cluster node may come to own (the socket binds
+// the wildcard address, as the paper's service daemons do).
+type Server struct {
+	host  *netsim.Host
+	port  uint16
+	sock  *netsim.Socket
+	cfg   ServerConfig
+	conns map[serverKey]*serverConn
+	m     ServerMetrics
+	name  []byte
+}
+
+// NewServer binds a flow server to port on h.
+func NewServer(h *netsim.Host, port uint16, cfg ServerConfig) (*Server, error) {
+	s := &Server{
+		host:  h,
+		port:  port,
+		cfg:   cfg,
+		conns: make(map[serverKey]*serverConn),
+		m:     RegisterServerMetrics(cfg.Metrics),
+		name:  []byte(h.Name()),
+	}
+	sock, err := h.BindUDP(netip.Addr{}, port, s.receive)
+	if err != nil {
+		return nil, err
+	}
+	s.sock = sock
+	return s, nil
+}
+
+// Close unbinds the server. Connection state is discarded, so late segments
+// from old clients are simply dropped (the port answers nothing at all — a
+// takeover scenario instead has a *different* server answering with RSTs).
+func (s *Server) Close() {
+	s.sock.Close()
+	s.conns = make(map[serverKey]*serverConn)
+}
+
+// Conns reports how many connections the server currently tracks.
+func (s *Server) Conns() int { return len(s.conns) }
+
+func (s *Server) receive(src, dst netip.AddrPort, payload []byte) {
+	h, ok := parseHeader(payload)
+	if !ok {
+		return
+	}
+	key := serverKey{peer: src, id: h.id}
+	conn, known := s.conns[key]
+
+	switch {
+	case h.flags&flagSYN != 0:
+		if !known {
+			s.conns[key] = &serverConn{}
+			s.m.Accepts.Inc()
+			if s.cfg.Tracer.Enabled() {
+				s.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowOpen,
+					Node: s.host.Name(), Addr: src.Addr().String(), Detail: "accept"})
+			}
+		}
+		// SYN|ACK — repeated for a retransmitted SYN, which also covers the
+		// case of our SYN|ACK having been lost.
+		s.reply(src, dst, flagSYN|flagACK, h.id, 0, h.seq, nil)
+
+	case h.flags&flagRST != 0:
+		delete(s.conns, key)
+
+	case !known:
+		// The paper's takeover semantics: no state for this flow here, so
+		// the sender must abort it.
+		s.m.RSTsSent.Inc()
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowReset,
+				Node: s.host.Name(), Addr: src.Addr().String(), Detail: "unknown-conn"})
+		}
+		s.reply(src, dst, flagRST, h.id, 0, h.seq, nil)
+
+	case h.flags&flagFIN != 0:
+		delete(s.conns, key)
+		if s.cfg.Tracer.Enabled() {
+			s.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowClose,
+				Node: s.host.Name(), Addr: src.Addr().String()})
+		}
+
+	case h.flags&flagDATA != 0:
+		conn.established = true
+		resp := payload[headerLen:]
+		if s.cfg.Handler != nil {
+			resp = s.cfg.Handler(resp)
+		} else {
+			resp = s.name
+		}
+		s.m.Responses.Inc()
+		s.reply(src, dst, flagDATA|flagACK, h.id, h.seq, h.seq, resp)
+
+	case h.flags&flagACK != 0:
+		// Final leg of the handshake.
+		conn.established = true
+	}
+}
+
+// reply sends one segment back to src, sourced from the address the inbound
+// segment was addressed to — which is what keeps responses flowing from the
+// virtual address the client connected to.
+func (s *Server) reply(src, dst netip.AddrPort, flags byte, id, seq, ack uint32, payload []byte) {
+	nw := s.host.Network()
+	buf := nw.GetBuf(headerLen + len(payload))
+	putHeader(buf, flags, id, seq, ack)
+	copy(buf[headerLen:], payload)
+	if err := s.host.SendUDPOwned(dst, src, buf); err != nil {
+		nw.PutBuf(buf)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Client
+
+// ClientConfig parameterizes a flow client.
+type ClientConfig struct {
+	// RTO is the fixed retransmission timeout (default 250ms). Deadlines
+	// ride the netsim timing wheel and are rounded up to its tick.
+	RTO time.Duration
+	// MaxRetries bounds retransmissions per segment (default 9, i.e. up to
+	// ten transmissions ≈ 2.5s of persistence — long enough to span a
+	// tuned failover and collect the takeover server's RST).
+	MaxRetries int
+	// WheelTick is the RTO wheel granularity (default RTO/8).
+	WheelTick time.Duration
+	// Metrics receives the client counter families (nil disables).
+	Metrics *metrics.Registry
+	// Tracer receives flow events (nil disables).
+	Tracer *obs.Tracer
+}
+
+func (c ClientConfig) withDefaults() ClientConfig {
+	if c.RTO <= 0 {
+		c.RTO = 250 * time.Millisecond
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 9
+	}
+	if c.WheelTick <= 0 {
+		c.WheelTick = c.RTO / 8
+	}
+	return c
+}
+
+// Client multiplexes many flow connections over one local UDP port,
+// distinguishing them by connection id. One Client drives every simulated
+// browser on its host; per-connection state is pooled.
+type Client struct {
+	host   *netsim.Host
+	port   uint16
+	sock   *netsim.Socket
+	cfg    ClientConfig
+	wheel  *netsim.TimerWheel
+	conns  map[uint32]*Conn
+	nextID uint32
+	m      ClientMetrics
+	closed bool
+
+	freeConns    []*Conn
+	freePendings []*pending
+}
+
+// NewClient binds a flow client to localPort on h.
+func NewClient(h *netsim.Host, localPort uint16, cfg ClientConfig) (*Client, error) {
+	cfg = cfg.withDefaults()
+	c := &Client{
+		host:  h,
+		port:  localPort,
+		cfg:   cfg,
+		conns: make(map[uint32]*Conn),
+		m:     RegisterClientMetrics(cfg.Metrics),
+	}
+	c.wheel = netsim.NewTimerWheel(h, cfg.WheelTick, 256)
+	sock, err := h.BindUDP(netip.Addr{}, localPort, c.receive)
+	if err != nil {
+		return nil, err
+	}
+	c.sock = sock
+	return c, nil
+}
+
+// Close aborts every connection (callbacks fire with ErrClosed) and unbinds
+// the socket.
+func (c *Client) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, conn := range c.conns {
+		conn.fail(ErrClosed)
+	}
+	c.sock.Close()
+}
+
+// Conns reports how many connections the client currently tracks.
+func (c *Client) Conns() int { return len(c.conns) }
+
+// connState is a Conn's lifecycle position.
+type connState uint8
+
+const (
+	stateDialing connState = iota + 1
+	stateEstablished
+	stateClosed
+)
+
+// Conn is one client-side connection.
+type Conn struct {
+	client *Client
+	id     uint32
+	peer   netip.AddrPort
+	state  connState
+	seq    uint32
+
+	// Dial state.
+	dialCb      func(*Conn, error)
+	dialRetries int
+	dialTimer   *netsim.WheelTimer
+	dialRTO     func() // persistent closure, allocated once per pooled Conn
+
+	// onAbort, if set, fires once when the peer resets the connection,
+	// after every outstanding request callback. Holders of a *Conn MUST
+	// drop their reference in this hook: the record is pooled and will be
+	// reused by a later Dial.
+	onAbort func(err error)
+
+	pendings []*pending
+}
+
+// SetAbortHandler installs fn to run when the connection is torn down by
+// the peer (RST), after outstanding request callbacks have fired. Local
+// closes (Conn.Close, Client.Close) do not trigger it.
+func (conn *Conn) SetAbortHandler(fn func(err error)) { conn.onAbort = fn }
+
+// pending is one in-flight request. Records are pooled per client; rtoFn is
+// a persistent closure bound once so that arming a retransmission timer
+// allocates nothing.
+type pending struct {
+	conn    *Conn
+	seq     uint32
+	master  []byte // encoded segment retained for retransmission (pooled buffer)
+	cb      func(resp []byte, rtt time.Duration, err error)
+	sentAt  time.Time
+	retries int
+	timer   *netsim.WheelTimer
+	rtoFn   func()
+}
+
+// Peer returns the address the connection was dialed to.
+func (conn *Conn) Peer() netip.AddrPort { return conn.peer }
+
+// Established reports whether the handshake has completed and the
+// connection is still usable.
+func (conn *Conn) Established() bool { return conn.state == stateEstablished }
+
+// InFlight reports how many requests await a response.
+func (conn *Conn) InFlight() int { return len(conn.pendings) }
+
+func (c *Client) getConn() *Conn {
+	if l := len(c.freeConns); l > 0 {
+		conn := c.freeConns[l-1]
+		c.freeConns[l-1] = nil
+		c.freeConns = c.freeConns[:l-1]
+		return conn
+	}
+	conn := &Conn{client: c}
+	conn.dialRTO = conn.onDialRTO
+	return conn
+}
+
+func (c *Client) putConn(conn *Conn) {
+	id, pendings := conn.id, conn.pendings
+	*conn = Conn{client: c, dialRTO: conn.dialRTO, pendings: pendings[:0]}
+	delete(c.conns, id)
+	c.freeConns = append(c.freeConns, conn)
+}
+
+func (c *Client) getPending(conn *Conn) *pending {
+	var p *pending
+	if l := len(c.freePendings); l > 0 {
+		p = c.freePendings[l-1]
+		c.freePendings[l-1] = nil
+		c.freePendings = c.freePendings[:l-1]
+	} else {
+		p = &pending{}
+		p.rtoFn = p.onRTO
+	}
+	p.conn = conn
+	return p
+}
+
+func (c *Client) putPending(p *pending) {
+	if p.master != nil {
+		c.host.Network().PutBuf(p.master)
+	}
+	rtoFn := p.rtoFn
+	*p = pending{rtoFn: rtoFn}
+	c.freePendings = append(c.freePendings, p)
+}
+
+// Dial opens a connection to target. cb fires exactly once: with the
+// established connection, or with ErrTimedOut (no answer within the retry
+// budget), ErrReset (the peer refused) or ErrClosed.
+func (c *Client) Dial(target netip.AddrPort, cb func(*Conn, error)) {
+	if cb == nil {
+		panic("flow: Dial requires a callback")
+	}
+	if c.closed {
+		cb(nil, ErrClosed)
+		return
+	}
+	c.nextID++
+	conn := c.getConn()
+	conn.id = c.nextID
+	conn.peer = target
+	conn.state = stateDialing
+	conn.dialCb = cb
+	c.conns[conn.id] = conn
+	conn.sendSYN()
+	conn.dialTimer = c.wheel.Schedule(c.cfg.RTO, conn.dialRTO)
+}
+
+func (conn *Conn) sendSYN() {
+	c := conn.client
+	nw := c.host.Network()
+	buf := nw.GetBuf(headerLen)
+	putHeader(buf, flagSYN, conn.id, 0, 0)
+	if err := c.host.SendUDPOwned(c.localAddr(), conn.peer, buf); err != nil {
+		nw.PutBuf(buf)
+	}
+}
+
+func (c *Client) localAddr() netip.AddrPort {
+	return netip.AddrPortFrom(netip.Addr{}, c.port)
+}
+
+// onDialRTO is the persistent SYN retransmission handler.
+func (conn *Conn) onDialRTO() {
+	conn.dialTimer = nil
+	if conn.state != stateDialing {
+		return
+	}
+	c := conn.client
+	if conn.dialRetries >= c.cfg.MaxRetries {
+		c.m.Timeouts.Inc()
+		cb := conn.dialCb
+		c.putConn(conn)
+		cb(nil, ErrTimedOut)
+		return
+	}
+	conn.dialRetries++
+	c.m.Retransmits.Inc()
+	conn.sendSYN()
+	conn.dialTimer = c.wheel.Schedule(c.cfg.RTO, conn.dialRTO)
+}
+
+// Request sends payload and fires cb exactly once with the response (and
+// the first-transmission round-trip time) or an error. The response slice
+// is only valid for the duration of the callback.
+func (conn *Conn) Request(payload []byte, cb func(resp []byte, rtt time.Duration, err error)) {
+	if cb == nil {
+		panic("flow: Request requires a callback")
+	}
+	c := conn.client
+	if conn.state != stateEstablished {
+		cb(nil, 0, ErrClosed)
+		return
+	}
+	conn.seq++
+	p := c.getPending(conn)
+	p.seq = conn.seq
+	p.cb = cb
+	p.sentAt = c.host.Now()
+	nw := c.host.Network()
+	p.master = nw.GetBuf(headerLen + len(payload))
+	putHeader(p.master, flagDATA, conn.id, p.seq, 0)
+	copy(p.master[headerLen:], payload)
+	conn.pendings = append(conn.pendings, p)
+	p.transmit()
+	p.timer = c.wheel.Schedule(c.cfg.RTO, p.rtoFn)
+}
+
+// transmit copies the master segment into a fresh pooled buffer and sends
+// it (the network consumes owned buffers on delivery, so the master must
+// stay behind for retransmissions).
+func (p *pending) transmit() {
+	c := p.conn.client
+	nw := c.host.Network()
+	buf := nw.GetBuf(len(p.master))
+	copy(buf, p.master)
+	if err := c.host.SendUDPOwned(c.localAddr(), p.conn.peer, buf); err != nil {
+		nw.PutBuf(buf)
+	}
+}
+
+// onRTO is the persistent retransmission handler for one pooled pending.
+func (p *pending) onRTO() {
+	p.timer = nil
+	conn := p.conn
+	if conn == nil || conn.state != stateEstablished {
+		return
+	}
+	c := conn.client
+	if p.retries >= c.cfg.MaxRetries {
+		conn.removePending(p)
+		c.m.Timeouts.Inc()
+		cb := p.cb
+		c.putPending(p)
+		cb(nil, 0, ErrTimedOut)
+		return
+	}
+	p.retries++
+	c.m.Retransmits.Inc()
+	if c.cfg.Tracer.Enabled() {
+		c.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowRetransmit,
+			Node: c.host.Name(), Addr: conn.peer.Addr().String()})
+	}
+	p.transmit()
+	p.timer = c.wheel.Schedule(c.cfg.RTO, p.rtoFn)
+}
+
+// removePending unlinks p from its connection (order is not preserved; the
+// slice is small and unordered).
+func (conn *Conn) removePending(p *pending) {
+	for i, q := range conn.pendings {
+		if q == p {
+			last := len(conn.pendings) - 1
+			conn.pendings[i] = conn.pendings[last]
+			conn.pendings[last] = nil
+			conn.pendings = conn.pendings[:last]
+			return
+		}
+	}
+}
+
+// Close closes the connection gracefully: a FIN tells the server to drop
+// its state. Outstanding requests fail with ErrClosed.
+func (conn *Conn) Close() {
+	if conn.state == stateClosed {
+		return
+	}
+	c := conn.client
+	// Send the FIN before fail recycles the record (which zeroes id/peer).
+	if conn.state == stateEstablished {
+		nw := c.host.Network()
+		buf := nw.GetBuf(headerLen)
+		putHeader(buf, flagFIN, conn.id, 0, 0)
+		if err := c.host.SendUDPOwned(c.localAddr(), conn.peer, buf); err != nil {
+			nw.PutBuf(buf)
+		}
+		if c.cfg.Tracer.Enabled() {
+			c.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowClose,
+				Node: c.host.Name(), Addr: conn.peer.Addr().String()})
+		}
+	}
+	conn.fail(ErrClosed)
+}
+
+// fail tears the connection down, completing the dial callback or every
+// outstanding request with err, and returns the record to the pool.
+func (conn *Conn) fail(err error) {
+	if conn.state == stateClosed {
+		return
+	}
+	c := conn.client
+	prev := conn.state
+	conn.state = stateClosed
+	if conn.dialTimer != nil {
+		conn.dialTimer.Stop()
+		conn.dialTimer = nil
+	}
+	var dialCb func(*Conn, error)
+	if prev == stateDialing {
+		dialCb = conn.dialCb
+	}
+	// Detach pendings and the abort hook before running callbacks: a
+	// callback may issue new traffic, and putConn recycles the record.
+	pendings := conn.pendings
+	conn.pendings = nil
+	onAbort := conn.onAbort
+	c.putConn(conn)
+	if dialCb != nil {
+		dialCb(nil, err)
+	}
+	for i, p := range pendings {
+		pendings[i] = nil
+		if p.timer != nil {
+			p.timer.Stop()
+			p.timer = nil
+		}
+		cb := p.cb
+		c.putPending(p)
+		cb(nil, 0, err)
+	}
+	if onAbort != nil && !errors.Is(err, ErrClosed) {
+		onAbort(err)
+	}
+}
+
+// receive dispatches one inbound segment.
+func (c *Client) receive(src, dst netip.AddrPort, payload []byte) {
+	h, ok := parseHeader(payload)
+	if !ok {
+		return
+	}
+	conn, known := c.conns[h.id]
+	if !known {
+		return // late segment for a finished connection
+	}
+
+	switch {
+	case h.flags&flagRST != 0:
+		c.m.ConnsReset.Inc()
+		if c.cfg.Tracer.Enabled() {
+			c.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowReset,
+				Node: c.host.Name(), Addr: conn.peer.Addr().String(), Detail: "rst-received"})
+		}
+		conn.fail(ErrReset)
+
+	case h.flags&flagSYN != 0 && h.flags&flagACK != 0:
+		if conn.state != stateDialing {
+			return // duplicate SYN|ACK
+		}
+		conn.state = stateEstablished
+		if conn.dialTimer != nil {
+			conn.dialTimer.Stop()
+			conn.dialTimer = nil
+		}
+		// Complete the handshake so the server stops re-acking.
+		nw := c.host.Network()
+		buf := nw.GetBuf(headerLen)
+		putHeader(buf, flagACK, conn.id, 0, 0)
+		if err := c.host.SendUDPOwned(c.localAddr(), conn.peer, buf); err != nil {
+			nw.PutBuf(buf)
+		}
+		c.m.ConnsOpened.Inc()
+		if c.cfg.Tracer.Enabled() {
+			c.cfg.Tracer.Emit(obs.Event{Source: obs.SourceFlow, Kind: obs.KindFlowOpen,
+				Node: c.host.Name(), Addr: conn.peer.Addr().String(), Detail: "established"})
+		}
+		cb := conn.dialCb
+		conn.dialCb = nil
+		cb(conn, nil)
+
+	case h.flags&flagDATA != 0 && h.flags&flagACK != 0:
+		p := conn.findPending(h.ack)
+		if p == nil {
+			return // duplicate response
+		}
+		conn.removePending(p)
+		if p.timer != nil {
+			p.timer.Stop()
+			p.timer = nil
+		}
+		rtt := c.host.Now().Sub(p.sentAt)
+		cb := p.cb
+		c.putPending(p)
+		cb(payload[headerLen:], rtt, nil)
+	}
+}
+
+func (conn *Conn) findPending(seq uint32) *pending {
+	for _, p := range conn.pendings {
+		if p.seq == seq {
+			return p
+		}
+	}
+	return nil
+}
+
+// String renders errors usefully in test output.
+func (s connState) String() string {
+	switch s {
+	case stateDialing:
+		return "dialing"
+	case stateEstablished:
+		return "established"
+	case stateClosed:
+		return "closed"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}

@@ -1,0 +1,356 @@
+package flow
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"wackamole/internal/metrics"
+	"wackamole/internal/netsim"
+	"wackamole/internal/sim"
+)
+
+// rig is a two-host LAN: a client host at 10.0.0.1 and a server host at
+// 10.0.0.2 answering on port 8090.
+type rig struct {
+	s      *sim.Sim
+	nw     *netsim.Network
+	client *netsim.Host
+	server *netsim.Host
+	target netip.AddrPort
+}
+
+func newRig(t *testing.T, seed int64) *rig {
+	t.Helper()
+	s := sim.New(seed)
+	nw := netsim.New(s)
+	seg := nw.NewSegment("lan", netsim.DefaultSegmentConfig())
+	ch := nw.NewHost("client")
+	ch.AttachNIC(seg, "eth0", netip.MustParsePrefix("10.0.0.1/24"))
+	sh := nw.NewHost("server")
+	sh.AttachNIC(seg, "eth0", netip.MustParsePrefix("10.0.0.2/24"))
+	return &rig{
+		s: s, nw: nw, client: ch, server: sh,
+		target: netip.AddrPortFrom(netip.MustParseAddr("10.0.0.2"), 8090),
+	}
+}
+
+// dial establishes a connection or fails the test.
+func dial(t *testing.T, r *rig, c *Client) *Conn {
+	t.Helper()
+	var conn *Conn
+	var dialErr error
+	c.Dial(r.target, func(cn *Conn, err error) { conn, dialErr = cn, err })
+	r.s.RunFor(time.Second)
+	if dialErr != nil {
+		t.Fatalf("dial: %v", dialErr)
+	}
+	if conn == nil || !conn.Established() {
+		t.Fatal("dial returned no established connection")
+	}
+	return conn
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := newRig(t, 1)
+	reg := metrics.New()
+	srv, err := NewServer(r.server, 8090, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+
+	var resp string
+	var rtt time.Duration
+	conn.Request([]byte("GET /"), func(b []byte, d time.Duration, err error) {
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		resp, rtt = string(b), d
+	})
+	r.s.RunFor(time.Second)
+
+	if resp != "server" {
+		t.Fatalf("response = %q, want default handler output %q", resp, "server")
+	}
+	if rtt <= 0 || rtt > 10*time.Millisecond {
+		t.Fatalf("rtt = %v, want small positive LAN round trip", rtt)
+	}
+	if srv.Conns() != 1 {
+		t.Fatalf("server tracks %d conns, want 1", srv.Conns())
+	}
+	if conn.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after completion, want 0", conn.InFlight())
+	}
+}
+
+func TestCustomHandlerAndPipelining(t *testing.T) {
+	r := newRig(t, 2)
+	if _, err := NewServer(r.server, 8090, ServerConfig{
+		Handler: func(req []byte) []byte { return append(append([]byte{}, req...), '!') },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+
+	got := map[string]bool{}
+	for _, msg := range []string{"a", "b", "c"} {
+		msg := msg
+		conn.Request([]byte(msg), func(b []byte, _ time.Duration, err error) {
+			if err != nil {
+				t.Fatalf("request %q: %v", msg, err)
+			}
+			got[string(b)] = true
+		})
+	}
+	if conn.InFlight() != 3 {
+		t.Fatalf("in-flight = %d, want 3 pipelined", conn.InFlight())
+	}
+	r.s.RunFor(time.Second)
+	for _, want := range []string{"a!", "b!", "c!"} {
+		if !got[want] {
+			t.Errorf("missing response %q (got %v)", want, got)
+		}
+	}
+}
+
+func TestRetransmitRecoversFromOutage(t *testing.T) {
+	r := newRig(t, 3)
+	reg := metrics.New()
+	if _, err := NewServer(r.server, 8090, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+
+	// Take the server's interface down across the first transmission, then
+	// bring it back inside the retry budget.
+	nic := r.server.NICs()[0]
+	nic.SetUp(false)
+	r.s.AfterFunc(600*time.Millisecond, func() { nic.SetUp(true) })
+
+	var rtt time.Duration
+	done := false
+	conn.Request([]byte("x"), func(b []byte, d time.Duration, err error) {
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		done, rtt = true, d
+	})
+	r.s.RunFor(10 * time.Second)
+
+	if !done {
+		t.Fatal("request never completed")
+	}
+	if rtt < 600*time.Millisecond {
+		t.Fatalf("rtt = %v, want ≥ outage length (measured from first send)", rtt)
+	}
+	m := RegisterClientMetrics(reg)
+	if m.Retransmits.Value() == 0 {
+		t.Error("no retransmissions counted across the outage")
+	}
+}
+
+func TestRequestTimesOutAfterBudget(t *testing.T) {
+	r := newRig(t, 4)
+	reg := metrics.New()
+	if _, err := NewServer(r.server, 8090, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{
+		RTO: 100 * time.Millisecond, MaxRetries: 3, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+	r.server.NICs()[0].SetUp(false)
+
+	var gotErr error
+	conn.Request([]byte("x"), func(_ []byte, _ time.Duration, err error) { gotErr = err })
+	r.s.RunFor(10 * time.Second)
+
+	if !errors.Is(gotErr, ErrTimedOut) {
+		t.Fatalf("err = %v, want ErrTimedOut", gotErr)
+	}
+	if conn.InFlight() != 0 {
+		t.Fatalf("in-flight = %d after timeout, want 0", conn.InFlight())
+	}
+	if v := RegisterClientMetrics(reg).Timeouts.Value(); v != 1 {
+		t.Errorf("timeouts counter = %d, want 1", v)
+	}
+}
+
+// TestTakeoverServerResetsOrphanedFlow is the paper's §2/§6 claim in
+// miniature: a connection opened against one server, retransmitting into a
+// fresh server that holds no state for it, must be reset — not hang.
+func TestTakeoverServerResetsOrphanedFlow(t *testing.T) {
+	r := newRig(t, 5)
+	reg := metrics.New()
+	old, err := NewServer(r.server, 8090, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+
+	// "Fail over": the old server process dies, a new one binds the port
+	// with empty connection state.
+	old.Close()
+	fresh, err := NewServer(r.server, 8090, ServerConfig{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gotErr error
+	conn.Request([]byte("x"), func(_ []byte, _ time.Duration, err error) { gotErr = err })
+	r.s.RunFor(5 * time.Second)
+
+	if !errors.Is(gotErr, ErrReset) {
+		t.Fatalf("err = %v, want ErrReset from the takeover server", gotErr)
+	}
+	if conn.Established() {
+		t.Error("connection still established after RST")
+	}
+	if v := RegisterClientMetrics(reg).ConnsReset.Value(); v != 1 {
+		t.Errorf("resets counter = %d, want 1", v)
+	}
+	if v := RegisterServerMetrics(reg).RSTsSent.Value(); v == 0 {
+		t.Error("takeover server sent no RST")
+	}
+
+	// New connections against the fresh server work immediately.
+	conn2 := dial(t, r, c)
+	ok := false
+	conn2.Request([]byte("y"), func(_ []byte, _ time.Duration, err error) { ok = err == nil })
+	r.s.RunFor(time.Second)
+	if !ok {
+		t.Error("new connection to takeover server failed")
+	}
+	if fresh.Conns() == 0 {
+		t.Error("fresh server tracks no connections")
+	}
+}
+
+func TestCloseSendsFIN(t *testing.T) {
+	r := newRig(t, 6)
+	srv, err := NewServer(r.server, 8090, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+	if srv.Conns() != 1 {
+		t.Fatalf("server conns = %d, want 1", srv.Conns())
+	}
+	conn.Close()
+	r.s.RunFor(time.Second)
+	if srv.Conns() != 0 {
+		t.Fatalf("server conns = %d after FIN, want 0", srv.Conns())
+	}
+	if c.Conns() != 0 {
+		t.Fatalf("client conns = %d after close, want 0", c.Conns())
+	}
+}
+
+func TestDialTimesOutWithNoServer(t *testing.T) {
+	r := newRig(t, 7)
+	c, err := NewClient(r.client, 9100, ClientConfig{RTO: 100 * time.Millisecond, MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	c.Dial(r.target, func(_ *Conn, err error) { gotErr = err })
+	r.s.RunFor(10 * time.Second)
+	if !errors.Is(gotErr, ErrTimedOut) {
+		t.Fatalf("err = %v, want ErrTimedOut", gotErr)
+	}
+	if c.Conns() != 0 {
+		t.Fatalf("client conns = %d after dial timeout, want 0", c.Conns())
+	}
+}
+
+func TestManyConnectionsMultiplexed(t *testing.T) {
+	r := newRig(t, 8)
+	srv, err := NewServer(r.server, 8090, ServerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	okResponses := 0
+	for i := 0; i < n; i++ {
+		c.Dial(r.target, func(conn *Conn, err error) {
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			conn.Request([]byte("ping"), func(_ []byte, _ time.Duration, err error) {
+				if err != nil {
+					t.Errorf("request: %v", err)
+					return
+				}
+				okResponses++
+			})
+		})
+	}
+	r.s.RunFor(5 * time.Second)
+	if okResponses != n {
+		t.Fatalf("completed %d/%d requests", okResponses, n)
+	}
+	if srv.Conns() != n {
+		t.Fatalf("server conns = %d, want %d", srv.Conns(), n)
+	}
+}
+
+// TestSteadyStateReusesPools drives repeated request cycles and then checks
+// the client is serving from its pools rather than growing them.
+func TestSteadyStateReusesPools(t *testing.T) {
+	r := newRig(t, 9)
+	if _, err := NewServer(r.server, 8090, ServerConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(r.client, 9100, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := dial(t, r, c)
+
+	for i := 0; i < 50; i++ {
+		done := false
+		conn.Request([]byte("x"), func(_ []byte, _ time.Duration, err error) {
+			if err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+			done = true
+		})
+		r.s.RunFor(50 * time.Millisecond)
+		if !done {
+			t.Fatalf("request %d incomplete", i)
+		}
+	}
+	if len(c.freePendings) != 1 {
+		t.Errorf("pending pool holds %d records, want exactly 1 recycled record", len(c.freePendings))
+	}
+}

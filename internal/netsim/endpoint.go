@@ -3,6 +3,7 @@ package netsim
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 
 	"wackamole/internal/env"
 )
@@ -18,14 +19,17 @@ type Endpoint struct {
 	port    uint16
 	sock    *Socket
 	handler env.Handler
-	closed  bool
+	// closed is atomic so that tear-down from outside the simulation
+	// goroutine cannot race a concurrent frame delivery into a
+	// closed-endpoint handler invocation.
+	closed atomic.Bool
 }
 
 // OpenEndpoint binds (nic.Primary(), port) and returns the packet endpoint.
 func (h *Host) OpenEndpoint(nic *NIC, port uint16) (*Endpoint, error) {
 	ep := &Endpoint{host: h, nic: nic, port: port}
 	sock, err := h.BindUDP(netip.Addr{}, port, func(src, dst netip.AddrPort, payload []byte) {
-		if ep.closed || ep.handler == nil {
+		if ep.closed.Load() || ep.handler == nil {
 			return
 		}
 		ep.handler(env.Addr(src.String()), payload)
@@ -44,7 +48,7 @@ func (e *Endpoint) LocalAddr() env.Addr {
 
 // SendTo implements env.PacketConn.
 func (e *Endpoint) SendTo(to env.Addr, payload []byte) error {
-	if e.closed {
+	if e.closed.Load() {
 		return fmt.Errorf("netsim: endpoint %s closed", e.LocalAddr())
 	}
 	dst, err := netip.ParseAddrPort(string(to))
@@ -56,7 +60,7 @@ func (e *Endpoint) SendTo(to env.Addr, payload []byte) error {
 
 // Broadcast implements env.PacketConn.
 func (e *Endpoint) Broadcast(payload []byte) error {
-	if e.closed {
+	if e.closed.Load() {
 		return fmt.Errorf("netsim: endpoint %s closed", e.LocalAddr())
 	}
 	dst := netip.AddrPortFrom(e.nic.Broadcast(), e.port)
@@ -66,12 +70,12 @@ func (e *Endpoint) Broadcast(payload []byte) error {
 // SetHandler implements env.PacketConn.
 func (e *Endpoint) SetHandler(h env.Handler) { e.handler = h }
 
-// Close implements env.PacketConn.
+// Close implements env.PacketConn. It is safe to call from any goroutine; a
+// frame delivered concurrently observes the flag and is dropped without
+// invoking the handler.
 func (e *Endpoint) Close() error {
-	if !e.closed {
-		e.closed = true
-		e.sock.Close()
-	}
+	e.closed.Store(true)
+	e.sock.Close()
 	return nil
 }
 

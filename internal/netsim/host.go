@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"wackamole/internal/arp"
@@ -79,7 +80,11 @@ type Socket struct {
 	addr    netip.Addr // invalid ⇒ wildcard
 	port    uint16
 	handler UDPHandler
-	closed  bool
+	// closed is atomic so that Close may race with a frame delivery running
+	// on the simulation goroutine: tear-down code sometimes runs off-loop,
+	// and a delivery that observes the flag must simply drop the datagram
+	// rather than invoke the handler of a dead socket.
+	closed atomic.Bool
 }
 
 // NewHost creates a live host with no interfaces.
@@ -384,7 +389,7 @@ func (h *Host) NICs() []*NIC {
 // binds the wildcard. One socket per port is supported, matching what the
 // simulated workloads need.
 func (h *Host) BindUDP(addr netip.Addr, port uint16, fn UDPHandler) (*Socket, error) {
-	if s, ok := h.sockets[port]; ok && !s.closed {
+	if s, ok := h.sockets[port]; ok && !s.closed.Load() {
 		return nil, fmt.Errorf("%w: %s port %d", ErrPortInUse, h.name, port)
 	}
 	s := &Socket{host: h, addr: addr, port: port, handler: fn}
@@ -392,12 +397,12 @@ func (h *Host) BindUDP(addr netip.Addr, port uint16, fn UDPHandler) (*Socket, er
 	return s, nil
 }
 
-// Close unbinds the socket.
+// Close unbinds the socket. Close only flips the atomic flag — it does not
+// touch the host's socket map — so it is safe to call concurrently with the
+// simulation loop; BindUDP reclaims the port by overwriting the closed
+// socket's slot.
 func (s *Socket) Close() {
-	if !s.closed {
-		s.closed = true
-		delete(s.host.sockets, s.port)
-	}
+	s.closed.Store(true)
 }
 
 // SendUDP transmits a datagram. The source address may be invalid, in which
@@ -447,6 +452,51 @@ func (h *Host) SendUDP(src, dst netip.AddrPort, payload []byte) error {
 	return h.egress(nic, nexthop, p)
 }
 
+// Network returns the network this host belongs to. Traffic generators use
+// it to reach the payload-buffer pool that pairs with SendUDPOwned.
+func (h *Host) Network() *Network { return h.net }
+
+// SendUDPOwned transmits a datagram whose payload buffer the caller hands
+// over to the network, typically one obtained from Network.GetBuf. Unlike
+// SendUDP no defensive copy is made; the buffer and the packet record are
+// recycled after the receiving socket's handler returns. Two contracts
+// follow: the caller must not touch payload after a successful call, and
+// receiving handlers must not retain the payload slice past their return.
+// Only unicast destinations take the owned fast path — broadcast and local
+// loopback destinations fall back to SendUDP's copy-free-of-pools
+// semantics. On error the caller retains ownership of payload.
+func (h *Host) SendUDPOwned(src, dst netip.AddrPort, payload []byte) error {
+	if !h.alive {
+		return ErrHostDown
+	}
+	if h.hasLocalAddr(dst.Addr()) {
+		return h.SendUDP(src, dst, payload)
+	}
+	nic, nexthop, ok := h.lookupRoute(dst.Addr())
+	if !ok || h.isBroadcastFor(nic, dst.Addr()) {
+		// Unroutable (possibly a limited broadcast) or subnet broadcast:
+		// both are off the fast path.
+		return h.SendUDP(src, dst, payload)
+	}
+	p := h.net.getPacket()
+	p.src = src.Addr()
+	p.dst = dst.Addr()
+	p.ttl = defaultTTL
+	p.srcPort = src.Port()
+	p.dstPort = dst.Port()
+	p.payload = payload
+	p.owned = true
+	if !p.src.IsValid() {
+		p.src = nic.primary
+	}
+	if err := h.egress(nic, nexthop, p); err != nil {
+		p.payload = nil // caller keeps the buffer on error
+		h.net.putPacket(p)
+		return err
+	}
+	return nil
+}
+
 // broadcastNIC returns the NIC whose subnet broadcast (or the limited
 // broadcast address) matches dst.
 func (h *Host) broadcastNIC(dst netip.Addr) *NIC {
@@ -468,6 +518,10 @@ func (h *Host) egress(nic *NIC, nexthop netip.Addr, p *ipPacket) error {
 		return fmt.Errorf("%w: %s/%s", ErrNICDown, h.name, nic.name)
 	}
 	if h.isBroadcastFor(nic, p.dst) {
+		// Broadcast fans out to many receivers; an owned packet would be
+		// recycled once per receiver, so release ownership first (the one
+		// extra garbage-collected packet is irrelevant off the fast path).
+		p.owned = false
 		nic.seg.transmit(nic, frame{src: nic.mac, dst: BroadcastMAC, kind: frameIPv4, pkt: p})
 		// Local sockets also hear subnet broadcasts.
 		h.net.sim.After(10*time.Microsecond, func() {
@@ -651,37 +705,58 @@ func (h *Host) receiveIP(nic *NIC, fr frame) {
 		return
 	}
 	// Not for us and not forwarding: drop silently, as a real stack would.
+	if p.owned {
+		h.net.putPacket(p)
+	}
 }
 
 func (h *Host) forward(p *ipPacket) {
 	h.net.emitTrace(TraceEvent{Kind: TraceForward, Host: h.name, SrcIP: p.src, DstIP: p.dst})
 	if p.ttl <= 1 {
 		h.net.log.Logf("netsim: %s: TTL expired for %v -> %v", h.name, p.src, p.dst)
+		if p.owned {
+			h.net.putPacket(p)
+		}
 		return
 	}
 	nic, nexthop, ok := h.lookupRoute(p.dst)
 	if !ok {
 		h.net.log.Logf("netsim: %s: no route for %v", h.name, p.dst)
+		if p.owned {
+			h.net.putPacket(p)
+		}
 		return
 	}
-	fwd := *p
-	fwd.ttl--
-	if err := h.egress(nic, nexthop, &fwd); err != nil {
+	out := p
+	if !p.owned {
+		// A broadcast frame shares its packet between receivers, so the
+		// hop count must not be decremented in place. Owned packets are
+		// unicast with a single consumer and forward without copying.
+		cp := *p
+		out = &cp
+	}
+	out.ttl--
+	if err := h.egress(nic, nexthop, out); err != nil {
 		h.net.log.Logf("netsim: %s: forward %v -> %v: %v", h.name, p.src, p.dst, err)
+		if out.owned {
+			h.net.putPacket(out)
+		}
 	}
 }
 
 func (h *Host) deliverUDP(p *ipPacket) {
-	s, ok := h.sockets[p.dstPort]
-	if !ok || s.closed {
-		return
+	if s, ok := h.sockets[p.dstPort]; ok && !s.closed.Load() &&
+		(!s.addr.IsValid() || s.addr == p.dst) {
+		src := netip.AddrPortFrom(p.src, p.srcPort)
+		dst := netip.AddrPortFrom(p.dst, p.dstPort)
+		s.handler(src, dst, p.payload)
 	}
-	if s.addr.IsValid() && s.addr != p.dst {
-		return
+	// Terminal consumption point for owned packets: whether or not a
+	// handler ran, the datagram's life ends here. Handlers must not retain
+	// the payload past their return — SendUDPOwned documents the contract.
+	if p.owned {
+		h.net.putPacket(p)
 	}
-	src := netip.AddrPortFrom(p.src, p.srcPort)
-	dst := netip.AddrPortFrom(p.dst, p.dstPort)
-	s.handler(src, dst, p.payload)
 }
 
 // Ensure sim.Timer satisfies env.Timer (compile-time interface check).

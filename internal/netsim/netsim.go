@@ -70,6 +70,14 @@ type ipPacket struct {
 	srcPort uint16
 	dstPort uint16
 	payload []byte
+	// owned marks a packet whose struct and payload buffer came from the
+	// network's pools (the SendUDPOwned fast path). Owned packets have
+	// exactly one consumer — they are only ever unicast — and are recycled
+	// at their terminal consumption point (after the socket handler
+	// returns, or on a drop decision in the forwarding path). Packets lost
+	// to link faults simply fall to the garbage collector; the pools
+	// replenish themselves, so leaks under fault injection are harmless.
+	owned bool
 }
 
 // SegmentConfig holds per-broadcast-domain link characteristics.
@@ -100,6 +108,64 @@ type Network struct {
 	tracer   *obs.Tracer
 	metrics  *metrics.Registry
 	counters Counters
+
+	// Freelists for the zero-allocation traffic fast path. The simulation
+	// loop is single-goroutine, so plain slices suffice — no locking, no
+	// sync.Pool churn.
+	freePackets []*ipPacket
+	freeBufs    [][]byte
+	freeJobs    []*deliveryJob
+}
+
+// maxPooledBuf caps the payload buffers the network keeps; anything larger
+// is left to the garbage collector so a single jumbo payload cannot pin
+// memory for the rest of a trial.
+const maxPooledBuf = 64 << 10
+
+// GetBuf returns a payload buffer of length n from the network's pool,
+// allocating if the pool is dry. The buffer's contents are unspecified.
+// Callers hand the buffer to SendUDPOwned, which assumes ownership; the
+// network returns it to the pool after final delivery.
+func (n *Network) GetBuf(size int) []byte {
+	if l := len(n.freeBufs); l > 0 {
+		b := n.freeBufs[l-1]
+		n.freeBufs[l-1] = nil
+		n.freeBufs = n.freeBufs[:l-1]
+		if cap(b) >= size {
+			return b[:size]
+		}
+	}
+	if size < 128 {
+		return make([]byte, size, 128)
+	}
+	return make([]byte, size)
+}
+
+// PutBuf returns a buffer to the pool. Only buffers no longer referenced
+// anywhere else may be returned.
+func (n *Network) PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	n.freeBufs = append(n.freeBufs, b[:0])
+}
+
+// getPacket draws a zeroed pooled packet marked owned.
+func (n *Network) getPacket() *ipPacket {
+	if l := len(n.freePackets); l > 0 {
+		p := n.freePackets[l-1]
+		n.freePackets[l-1] = nil
+		n.freePackets = n.freePackets[:l-1]
+		return p
+	}
+	return &ipPacket{}
+}
+
+// putPacket recycles an owned packet and its payload buffer.
+func (n *Network) putPacket(p *ipPacket) {
+	n.PutBuf(p.payload)
+	*p = ipPacket{}
+	n.freePackets = append(n.freePackets, p)
 }
 
 // SetMetrics installs a latency-metrics registry; segments then record
@@ -266,20 +332,48 @@ func (s *Segment) transmit(src *NIC, fr frame) {
 			s.net.emitTrace(traceOf(s, fr, TraceDrop, nic.host.name))
 			continue
 		}
-		nic := nic
-		frCopy := fr
 		// Draw the latency exactly as before instrumentation existed (one
 		// latency draw plus one jitter draw, in that order) so seeded runs
 		// stay byte-identical whether or not metrics are enabled.
 		delay := s.latency() + nic.host.jitter()
 		s.mFrameLatency.ObserveDuration(delay)
 		s.mQueueDepth.Inc()
-		s.net.sim.After(delay, func() {
-			s.mQueueDepth.Dec()
-			if nic.up && nic.host.alive {
-				s.net.emitTrace(traceOf(s, frCopy, TraceDeliver, nic.host.name))
-				nic.host.receiveFrame(nic, frCopy)
-			}
-		})
+		var j *deliveryJob
+		if l := len(s.net.freeJobs); l > 0 {
+			j = s.net.freeJobs[l-1]
+			s.net.freeJobs[l-1] = nil
+			s.net.freeJobs = s.net.freeJobs[:l-1]
+		} else {
+			j = &deliveryJob{}
+		}
+		j.seg, j.nic, j.fr = s, nic, fr
+		s.net.sim.Post(delay, j)
+	}
+}
+
+// deliveryJob is the pooled, pre-allocated form of the frame-delivery
+// callback; together with sim.Post it keeps per-frame scheduling free of
+// closure and timer allocations on busy segments.
+type deliveryJob struct {
+	seg *Segment
+	nic *NIC
+	fr  frame
+}
+
+// Run delivers the frame. The job recycles itself before touching the host
+// so that sends performed inside the receive path can reuse it immediately.
+func (j *deliveryJob) Run() {
+	seg, nic, fr := j.seg, j.nic, j.fr
+	j.seg, j.nic, j.fr = nil, nil, frame{}
+	seg.net.freeJobs = append(seg.net.freeJobs, j)
+
+	seg.mQueueDepth.Dec()
+	if nic.up && nic.host.alive {
+		seg.net.emitTrace(traceOf(seg, fr, TraceDeliver, nic.host.name))
+		nic.host.receiveFrame(nic, fr)
+	} else if fr.kind == frameIPv4 && fr.pkt != nil && fr.pkt.owned {
+		// The receiver vanished between transmit and delivery; reclaim the
+		// owned packet here since no consumption point will see it.
+		seg.net.putPacket(fr.pkt)
 	}
 }

@@ -34,6 +34,8 @@ const (
 	SourceNet
 	// SourceWatchdog: the application health watchdog (internal/watchdog).
 	SourceWatchdog
+	// SourceFlow: the connection-oriented traffic layer (internal/flow).
+	SourceFlow
 )
 
 // String names the source.
@@ -47,6 +49,8 @@ func (s Source) String() string {
 		return "net"
 	case SourceWatchdog:
 		return "watchdog"
+	case SourceFlow:
+		return "flow"
 	default:
 		return fmt.Sprintf("source(%d)", uint8(s))
 	}
@@ -106,6 +110,16 @@ const (
 	KindWatchdogMiss
 	// KindWatchdogFire: the watchdog threshold was reached and its action ran.
 	KindWatchdogFire
+
+	// KindFlowOpen: a connection completed its three-way handshake.
+	KindFlowOpen
+	// KindFlowReset: a connection was torn down by an RST — the takeover
+	// semantics the paper describes for clients of a failed server.
+	KindFlowReset
+	// KindFlowRetransmit: a segment's retransmission timeout fired.
+	KindFlowRetransmit
+	// KindFlowClose: a connection closed gracefully (FIN).
+	KindFlowClose
 )
 
 // String names the kind.
@@ -153,6 +167,14 @@ func (k Kind) String() string {
 		return "watchdog-miss"
 	case KindWatchdogFire:
 		return "watchdog-fire"
+	case KindFlowOpen:
+		return "flow-open"
+	case KindFlowReset:
+		return "flow-reset"
+	case KindFlowRetransmit:
+		return "flow-retransmit"
+	case KindFlowClose:
+		return "flow-close"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

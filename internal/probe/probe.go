@@ -87,6 +87,12 @@ type Client struct {
 	mRTT       *metrics.Histogram
 	lastSentAt time.Time
 	awaiting   bool
+
+	// mSendErrors counts probes the host refused to send (interface down,
+	// no route, host dead). In-network losses are invisible here; a growing
+	// counter means the *client side* of the measurement path is broken —
+	// which would otherwise masquerade as a service interruption.
+	mSendErrors *metrics.Counter
 }
 
 // ClientConfig parameterizes a Client.
@@ -121,6 +127,8 @@ func NewClient(h *netsim.Host, cfg ClientConfig) (*Client, error) {
 		byServer:     map[string]int{},
 		mRTT: cfg.Metrics.Histogram("probe_rtt_seconds",
 			"round-trip time from probe request to response", metrics.L("node", h.Name())),
+		mSendErrors: cfg.Metrics.Counter("probe_send_errors_total",
+			"probe requests the client host failed to transmit", metrics.L("node", h.Name())),
 	}
 	sock, err := h.BindUDP(netip.Addr{}, cfg.LocalPort, func(_, _ netip.AddrPort, payload []byte) {
 		c.onResponse(string(payload))
@@ -170,9 +178,12 @@ func (c *Client) Start() {
 		c.lastSentAt = c.host.Now()
 		c.awaiting = true
 		if err := c.host.SendUDP(src, c.target, []byte("q")); err != nil {
-			// Host-side failures (no route, interface down) surface during
-			// fault experiments; keep probing.
-			_ = err
+			// Host-side failures (no route, interface down) occur during
+			// fault experiments; count them and keep probing. A probe that
+			// was never sent cannot be answered, so the RTT observation for
+			// this round is cancelled rather than left pending.
+			c.awaiting = false
+			c.mSendErrors.Inc()
 		}
 		c.timer = c.host.AfterFunc(c.interval, tick)
 	}

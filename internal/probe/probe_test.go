@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"wackamole/internal/metrics"
 	"wackamole/internal/netsim"
 	"wackamole/internal/sim"
 )
@@ -179,5 +180,99 @@ func TestServerRepliesFromRequestedAddress(t *testing.T) {
 	s.RunFor(time.Second)
 	if gotSrc != vip {
 		t.Fatalf("reply source = %v, want the virtual address %v", gotSrc, vip)
+	}
+}
+
+// TestClientCountsSendErrors breaks the client's own interface: every probe
+// the host refuses to transmit must increment probe_send_errors_total
+// instead of being silently dropped, and probing must resume afterwards.
+func TestClientCountsSendErrors(t *testing.T) {
+	s, _, server, client := setup(t)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	c, err := NewClient(client, ClientConfig{
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.0.0.10"), 8080),
+		LocalPort: 9001,
+		Metrics:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	s.RunFor(500 * time.Millisecond)
+	if sendErrors(reg) != 0 {
+		t.Fatalf("send errors on a healthy path: %v", sendErrors(reg))
+	}
+	client.NICs()[0].SetUp(false)
+	s.RunFor(500 * time.Millisecond)
+	client.NICs()[0].SetUp(true)
+	got := sendErrors(reg)
+	// ~50 probes at 10ms across the 500ms outage.
+	if got < 40 {
+		t.Fatalf("send errors = %v across a 500ms client-side outage, want ≈50", got)
+	}
+	before := c.Responses()
+	s.RunFor(500 * time.Millisecond)
+	c.Stop()
+	if c.Responses() <= before {
+		t.Fatal("probing did not resume after the client interface came back")
+	}
+	if sendErrors(reg) != got {
+		t.Fatalf("send errors kept growing after restore: %v -> %v", got, sendErrors(reg))
+	}
+}
+
+// sendErrors sums the probe_send_errors_total family.
+func sendErrors(reg *metrics.Registry) float64 {
+	var v float64
+	for _, f := range reg.Snapshot().Families {
+		if f.Name == "probe_send_errors_total" {
+			for _, series := range f.Series {
+				v += series.Value
+			}
+		}
+	}
+	return v
+}
+
+// TestFirstProbeLostGapCorrect starts probing before any server answers: the
+// leading lost probes must not fabricate a gap (service was never observed
+// up), and a later real outage must still be measured exactly.
+func TestFirstProbeLostGapCorrect(t *testing.T) {
+	s, _, server, client := setup(t)
+	c, err := NewClient(client, ClientConfig{
+		Target:    netip.AddrPortFrom(netip.MustParseAddr("10.0.0.10"), 8080),
+		LocalPort: 9001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	// The first ~10 probes reach a host with no server bound and vanish.
+	s.RunFor(95 * time.Millisecond)
+	if _, err := NewServer(server, 8080); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(time.Second)
+	if len(c.Gaps()) != 0 {
+		t.Fatalf("lost leading probes fabricated a gap: %v", c.Gaps())
+	}
+	if c.MaxGap() > 3*DefaultInterval {
+		t.Fatalf("MaxGap = %v includes the pre-service period", c.MaxGap())
+	}
+	// A real outage afterwards measures only itself.
+	server.NICs()[0].SetUp(false)
+	s.RunFor(300 * time.Millisecond)
+	server.NICs()[0].SetUp(true)
+	s.RunFor(500 * time.Millisecond)
+	c.Stop()
+	gaps := c.Gaps()
+	if len(gaps) != 1 {
+		t.Fatalf("gaps = %v, want exactly one", gaps)
+	}
+	if d := gaps[0].Duration(); d < 290*time.Millisecond || d > 400*time.Millisecond {
+		t.Fatalf("gap = %v, want ≈300ms (not inflated by the lost first probes)", d)
 	}
 }

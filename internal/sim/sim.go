@@ -30,6 +30,11 @@ type Sim struct {
 	rng    *rand.Rand
 	fired  uint64
 	inStep bool
+	// free recycles detached events (those scheduled with Post, which hand
+	// out no Timer and so cannot be referenced after firing). Pooling keeps
+	// the per-frame scheduling cost of busy traffic simulations
+	// allocation-free in steady state.
+	free []*event
 }
 
 // New returns a simulator positioned at Epoch whose random source is seeded
@@ -94,6 +99,42 @@ func (s *Sim) After(d time.Duration, fn func()) *Timer {
 	return s.At(s.now.Add(d), fn)
 }
 
+// Runnable is a pre-allocated scheduled callback for the Post fast path.
+// Implementations are typically pooled structs carrying their own context,
+// which is what lets high-rate traffic paths schedule without allocating a
+// closure per event.
+type Runnable interface{ Run() }
+
+// Post schedules r to run d from the current virtual time. Unlike After it
+// returns no Timer — the event cannot be cancelled — which allows the
+// simulator to recycle the event record after it fires. Ordering relative
+// to After-scheduled events follows the same (deadline, insertion sequence)
+// rule.
+func (s *Sim) Post(d time.Duration, r Runnable) {
+	if r == nil {
+		panic("sim: Post called with nil Runnable")
+	}
+	at := s.now.Add(d)
+	if at.Before(s.now) {
+		at = s.now
+	}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at = at
+	ev.seq = s.seq
+	ev.run = r
+	ev.cancelled = false
+	ev.done = false
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
 // AfterFunc adapts After to the env.Clock interface, so a bare simulator can
 // serve as the clock for protocol code that is not tied to a simulated host.
 func (s *Sim) AfterFunc(d time.Duration, fn func()) env.Timer {
@@ -116,6 +157,16 @@ func (s *Sim) Step() bool {
 		s.now = ev.at
 		ev.done = true
 		s.fired++
+		if ev.run != nil {
+			// Detached event: recycle the record before running so nested
+			// Posts can reuse it immediately.
+			r := ev.run
+			ev.run = nil
+			ev.fn = nil
+			s.free = append(s.free, ev)
+			r.Run()
+			return true
+		}
 		ev.fn()
 		return true
 	}
@@ -152,6 +203,7 @@ type event struct {
 	at        time.Time
 	seq       uint64
 	fn        func()
+	run       Runnable // set instead of fn for detached (Post) events
 	cancelled bool
 	done      bool
 }
