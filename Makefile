@@ -1,0 +1,26 @@
+# Convenience targets; everything here is plain `go` — no extra tooling.
+
+# Benchmarks committed with a PR. `make bench` reruns the three headline
+# benchmarks (simulation throughput, flow round-trip, Table 1 end-to-end)
+# with allocation counts and refreshes the JSON snapshot via cmd/benchjson.
+BENCH_OUT ?= BENCH_pr6.json
+BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1)$$
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 . \
+		| tee /dev/stderr \
+		| go run ./cmd/benchjson -o $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

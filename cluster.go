@@ -8,6 +8,7 @@ import (
 	"wackamole/internal/core"
 	"wackamole/internal/env"
 	"wackamole/internal/gcs"
+	"wackamole/internal/invariant"
 	"wackamole/internal/ipmgr"
 	"wackamole/internal/metrics"
 	"wackamole/internal/netsim"
@@ -66,6 +67,11 @@ type ClusterOptions struct {
 	// ConfigureNode, if set, may adjust each server's configuration before
 	// the node is built (per-server preferences, differing timeouts...).
 	ConfigureNode func(i int, cfg *Config)
+	// Invariants, if set, is attached to every server (before it starts, so
+	// no boot event is missed): each node's view, delivery and ownership
+	// hooks feed monitor slot i. The monitor must have been built with
+	// Config.Nodes >= Servers.
+	Invariants *invariant.Monitor
 	// OnNode, if set, runs for each server after its node is built but
 	// before it starts. Checkers use it to install typed observation hooks
 	// (view installs, deliveries, ownership changes) without missing boot
@@ -215,6 +221,9 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		if opts.Metrics != nil {
 			node.SetMetrics(opts.Metrics)
 		}
+		if opts.Invariants != nil {
+			opts.Invariants.Attach(i, node)
+		}
 		if opts.OnNode != nil {
 			opts.OnNode(i, node)
 		}
@@ -338,6 +347,22 @@ func (c *Cluster) CoverageByServer() []int {
 		}
 	}
 	return out
+}
+
+// InvariantView exposes the cluster to the settled-state invariant checks
+// (invariant.SettledProblem) without giving them mutation access.
+func (c *Cluster) InvariantView() invariant.ClusterView {
+	return invariant.ClusterView{
+		Servers:    len(c.Servers),
+		VIPs:       c.opts.VIPs,
+		Components: c.Components,
+		InService:  func(i int) bool { return c.Servers[i].Node.Connected() },
+		Reachable:  c.Reachable,
+		HasVIP:     func(i, j int) bool { return c.Servers[i].NIC.HasAddr(VIPAddr(j)) },
+		VIPAddr:    VIPAddr,
+		GroupName:  func(j int) string { return c.Groups[j].Name },
+		Status:     func(i int) core.Status { return c.Servers[i].Node.Status() },
+	}
 }
 
 // VIPs lists the cluster's virtual addresses.

@@ -30,6 +30,7 @@ import (
 	"wackamole/internal/ctl"
 	"wackamole/internal/env"
 	"wackamole/internal/env/realtime"
+	"wackamole/internal/invariant"
 	"wackamole/internal/ipmgr"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
@@ -108,6 +109,24 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 		node.SetTracer(tracer)
 		registry = metrics.New()
 		node.SetMetrics(registry)
+	}
+	if cfg.Invariants {
+		// The always-on monitors watch this daemon's own hook streams. With
+		// a metrics endpoint configured, violations surface as
+		// invariant_violations_total on /metrics and an invariant-violation
+		// event on /debug/events; either way the daemon logs them.
+		mon := invariant.New(invariant.Config{
+			Nodes:       1,
+			Metrics:     registry,
+			Tracer:      tracer,
+			ArtifactDir: cfg.InvariantArtifacts,
+			Name:        "wackamole-" + cfg.Bind,
+			Meta:        map[string]string{"bind": cfg.Bind, "group": cfg.Group},
+			OnViolation: func(v *invariant.Violation) {
+				fmt.Fprintf(notices, "wackamole: invariant violation: %v\n", v)
+			},
+		})
+		mon.Attach(0, node)
 	}
 
 	startErr := make(chan error, 1)

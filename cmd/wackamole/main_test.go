@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,6 +97,83 @@ func TestDaemonEndToEnd(t *testing.T) {
 	// The dry-run exec backend must have logged the `ip addr add` commands.
 	if !strings.Contains(out, "acquired 10.0.0.100") {
 		t.Fatalf("missing dry-run acquisition log:\n%s", out)
+	}
+}
+
+// TestDaemonInvariantsOnMetrics boots a singleton daemon with the
+// always-on invariant monitors armed and verifies the invariant_* counter
+// families turn up on the /metrics endpoint with zero violations.
+func TestDaemonInvariantsOnMetrics(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wackamole.conf")
+	conf := strings.Join([]string{
+		"bind 127.0.0.1:24895",
+		"peers 127.0.0.1:24895",
+		"metrics 127.0.0.1:24894",
+		"fault_detect 500ms",
+		"heartbeat 100ms",
+		"discovery 300ms",
+		"invariants true",
+		"invariant_artifacts " + dir,
+		"vip web1 10.0.0.100",
+		"dry_run true",
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(conf), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan os.Signal)
+	var buf syncBuilder
+	done := make(chan int, 1)
+	go func() { done <- run([]string{"-config", path}, stop, &buf) }()
+
+	scrape := func() string {
+		resp, err := http.Get("http://127.0.0.1:24894/metrics")
+		if err != nil {
+			return ""
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return ""
+		}
+		return string(body)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var body string
+	for {
+		body = scrape()
+		// The singleton's first view installation is the signal the monitor
+		// is armed and observing.
+		if strings.Contains(body, "invariant_view_events_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("invariant families never appeared on /metrics; last scrape:\n%s\nlog:\n%s",
+				body, buf.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(body, "invariant_violations_total 0") {
+		t.Fatalf("violations counter missing or nonzero:\n%s", body)
+	}
+	for _, family := range []string{"invariant_delivery_events_total", "invariant_ownership_events_total"} {
+		if !strings.Contains(body, family) {
+			t.Fatalf("family %s missing from /metrics:\n%s", family, body)
+		}
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d\nlog:\n%s", code, buf.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if strings.Contains(buf.String(), "invariant violation") {
+		t.Fatalf("healthy singleton logged a violation:\n%s", buf.String())
 	}
 }
 

@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"wackamole/internal/check"
+	"wackamole/internal/invariant"
 )
 
 func TestCleanSweepJSON(t *testing.T) {
@@ -74,6 +78,68 @@ func TestMutationSweepShrinksWritesAndReplays(t *testing.T) {
 	}
 	if !rep.Match {
 		t.Fatalf("replay did not reproduce the violation: %s", replayOut.String())
+	}
+}
+
+// TestForeignClaimArtifactReplays pins the end-to-end violation pipeline on
+// a deterministic fault program rather than a generated sweep: a backend
+// deliberately broken to keep released addresses (KeepOnRelease) makes the
+// departed, then isolated, server 1 hold virtual addresses while nothing in
+// its partition component is in service — the foreign-claim oracle. The
+// hand-written artifact must replay to the identical violation through the
+// `wackcheck -replay` command path.
+func TestForeignClaimArtifactReplays(t *testing.T) {
+	s := check.Schedule{
+		Seed: 7, Servers: 3, VIPs: 4,
+		Events: []check.Event{
+			{At: 1 * time.Second, Op: check.OpLeave, Server: 1},
+			{At: 2 * time.Second, Op: check.OpPartition, Mask: 1 << 1},
+		},
+	}
+	opts := check.Options{Mutation: check.KeepOnRelease(1)}
+	rep, err := check.Run(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation == nil {
+		t.Fatal("broken backend went undetected")
+	}
+	if rep.Violation.Oracle != invariant.OracleForeignClaim {
+		t.Fatalf("oracle = %s (%v), want foreign-claim", rep.Violation.Oracle, rep.Violation)
+	}
+	if !strings.Contains(rep.Violation.Detail, "no node in component") {
+		t.Fatalf("unexpected detail: %v", rep.Violation)
+	}
+
+	path := filepath.Join(t.TempDir(), "foreign-claim.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.WriteArtifact(f, check.NewArtifact(rep, opts, 0)); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if code := run([]string{"-replay", path, "-json"}, &out); code != 0 {
+		t.Fatalf("replay exited %d: %s", code, out.String())
+	}
+	var replay struct {
+		Match    bool                 `json:"match"`
+		Observed *invariant.Violation `json:"observed"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &replay); err != nil {
+		t.Fatalf("bad replay JSON: %v\n%s", err, out.String())
+	}
+	if !replay.Match {
+		t.Fatalf("replay did not reproduce the violation: %s", out.String())
+	}
+	if replay.Observed == nil || replay.Observed.Oracle != invariant.OracleForeignClaim {
+		t.Fatalf("replayed oracle = %+v, want foreign-claim", replay.Observed)
 	}
 }
 

@@ -49,6 +49,8 @@ func run(args []string, out io.Writer) int {
 	pre := fs.Duration("pre", 0, "fault-free measurement window (0 = default 4s)")
 	post := fs.Duration("post", 0, "post-fault run time (0 = fail-over bound + window)")
 	jsonOut := fs.Bool("json", false, "emit NDJSON result rows instead of a table")
+	invariants := fs.Bool("invariants", false, "arm the always-on protocol-invariant monitors on every trial (violations exit nonzero)")
+	invariantDir := fs.String("invariant-artifacts", "", "directory for replayable violation artifacts (implies -invariants)")
 	tracePath := fs.String("trace", "", "capture per-trial structured event streams into this NDJSON file")
 	promPath := fs.String("prom", "", "write the shared metrics registry in Prometheus exposition format (- for stdout)")
 	progress := fs.Bool("progress", false, "report per-trial progress on stderr")
@@ -77,16 +79,18 @@ func run(args []string, out io.Writer) int {
 
 	reg := metrics.New()
 	cfg := experiment.AvailabilityConfig{
-		Topology:  topo,
-		Servers:   *servers,
-		Clients:   *clients,
-		Mode:      m,
-		RPS:       *rps,
-		ThinkTime: *think,
-		Fault:     fk,
-		PreFault:  *pre,
-		PostFault: *post,
-		Metrics:   reg,
+		Topology:           topo,
+		Servers:            *servers,
+		Clients:            *clients,
+		Mode:               m,
+		RPS:                *rps,
+		ThinkTime:          *think,
+		Fault:              fk,
+		PreFault:           *pre,
+		PostFault:          *post,
+		Invariants:         *invariants || *invariantDir != "",
+		InvariantArtifacts: *invariantDir,
+		Metrics:            reg,
 	}
 	opts := []experiment.Option{experiment.Parallel(*parallel)}
 	if *tracePath != "" {
@@ -141,9 +145,22 @@ func run(args []string, out io.Writer) int {
 		}
 	}
 
+	// Invariant verdict: report every violating trial and exit nonzero, so
+	// large-scale runs double as model-checking runs (CI gates on this).
+	violated := 0
+	for _, r := range row.Results {
+		if r != nil && r.Violation != nil {
+			violated++
+			fmt.Fprintf(os.Stderr, "wackload: invariant violation (seed %d): %v\n", r.Seed, r.Violation)
+		}
+	}
+
 	if *jsonOut {
 		if err := experiment.WriteNDJSON(out, experiment.AvailabilityJSON(row)); err != nil {
 			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+		if violated > 0 {
 			return 1
 		}
 		return 0
@@ -151,5 +168,12 @@ func run(args []string, out io.Writer) int {
 	fmt.Fprintln(out, "## Request-level availability across a fault")
 	fmt.Fprintln(out)
 	fmt.Fprint(out, experiment.RenderAvailability(row))
+	if cfg.Invariants {
+		if violated > 0 {
+			fmt.Fprintf(out, "\ninvariants: %d violating trial(s)\n", violated)
+			return 1
+		}
+		fmt.Fprintln(out, "\ninvariants: all oracles held")
+	}
 	return 0
 }

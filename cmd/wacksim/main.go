@@ -36,6 +36,7 @@ func run(args []string, out io.Writer) int {
 	parallel := fs.Int("parallel", 0, "worker goroutines per sweep (0 = GOMAXPROCS)")
 	jsonOut := fs.Bool("json", false, "emit NDJSON result rows instead of tables")
 	progress := fs.Bool("progress", false, "report per-trial progress on stderr")
+	invariants := fs.Bool("invariants", false, "arm the always-on protocol-invariant monitors on every trial (figure5, graceful; a violation fails the trial)")
 	tracePath := fs.String("trace", "", "capture per-trial structured event streams into this NDJSON file (figure5)")
 	sizesFlag := fs.String("sizes", "", "comma-separated cluster sizes for figure5 (default: the paper's 2,4,6,8,10,12)")
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,9 @@ func run(args []string, out io.Writer) int {
 	opts := []experiment.Option{experiment.Parallel(*parallel)}
 	if *tracePath != "" {
 		opts = append(opts, experiment.WithTrace())
+	}
+	if *invariants {
+		opts = append(opts, experiment.WithInvariants())
 	}
 	if *progress {
 		opts = append(opts, experiment.WithSink(runner.SinkFunc(func(p runner.Progress) {

@@ -37,33 +37,9 @@ type OptionsDoc struct {
 	Mutation       string `json:"mutation,omitempty"`
 }
 
-// violationJSON keeps the artifact's violation shape explicit and stable.
-type violationJSON struct {
-	Oracle string `json:"oracle"`
-	Detail string `json:"detail"`
-	Step   int    `json:"step"`
-	AtNS   int64  `json:"at_ns"`
-}
-
-// MarshalJSON implements json.Marshaler.
-func (v *Violation) MarshalJSON() ([]byte, error) {
-	return json.Marshal(violationJSON{
-		Oracle: v.Oracle, Detail: v.Detail, Step: v.Step, AtNS: v.At.Nanoseconds(),
-	})
-}
-
-// UnmarshalJSON implements json.Unmarshaler.
-func (v *Violation) UnmarshalJSON(b []byte) error {
-	var in violationJSON
-	if err := json.Unmarshal(b, &in); err != nil {
-		return err
-	}
-	*v = Violation{Oracle: in.Oracle, Detail: in.Detail, Step: in.Step,
-		At: time.Duration(in.AtNS)}
-	return nil
-}
-
-// NewArtifact packages a report and the options that produced it.
+// NewArtifact packages a report and the options that produced it. The
+// violation's stable JSON wire shape (oracle/detail/step/at_ns) is defined
+// on invariant.Violation.
 func NewArtifact(rep *Report, opts Options, shrinkIterations int) Artifact {
 	opts = opts.withDefaults()
 	doc := OptionsDoc{
@@ -144,15 +120,5 @@ func Replay(a Artifact) (*Report, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return rep, violationsEqual(a.Violation, rep.Violation), nil
-}
-
-func violationsEqual(a, b *Violation) bool {
-	if (a == nil) != (b == nil) {
-		return false
-	}
-	if a == nil {
-		return true
-	}
-	return a.Oracle == b.Oracle && a.Detail == b.Detail && a.Step == b.Step && a.At == b.At
+	return rep, a.Violation.Equal(rep.Violation), nil
 }

@@ -5,9 +5,9 @@ import (
 	"time"
 
 	"wackamole"
-	"wackamole/internal/core"
 	"wackamole/internal/flow"
 	"wackamole/internal/gcs"
+	"wackamole/internal/invariant"
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
@@ -148,11 +148,20 @@ func Run(s Schedule, opts Options) (*Report, error) {
 
 	var c *wackamole.Cluster
 	var start time.Time
-	o := newOracles(s.Servers, func() time.Duration {
-		if c == nil {
-			return 0
-		}
-		return c.Sim.Now().Sub(start)
+	// The checker's monitor runs in Strict mode (full unbounded histories,
+	// batch order sweeps) with no metrics registry or tracer of its own:
+	// wackcheck's counter report flattens every registry family and its
+	// trace artifacts must stay workload-only, so the monitor's own
+	// instrumentation is for the online consumers.
+	o := invariant.New(invariant.Config{
+		Nodes:  s.Servers,
+		Strict: true,
+		Now: func() time.Duration {
+			if c == nil {
+				return 0
+			}
+			return c.Sim.Now().Sub(start)
+		},
 	})
 
 	copts := wackamole.ClusterOptions{
@@ -163,16 +172,7 @@ func Run(s Schedule, opts Options) (*Report, error) {
 		BalanceTimeout:          opts.BalanceTimeout,
 		RepresentativeDecisions: opts.RepresentativeDecisions,
 		Tracer:                  tracer,
-		OnNode: func(i int, n *wackamole.Node) {
-			self := n.Member()
-			n.Engine().SetViewHook(func(v core.View) { o.onViewInstall(i, v) })
-			n.Engine().SetOwnershipHook(func(g string, owned bool, viewID string) {
-				o.onOwnership(i, g, owned, viewID, self)
-			})
-			n.Daemon().SetDeliveryHandler(func(r gcs.RingID, seq uint64, origin gcs.DaemonID) {
-				o.onDelivery(i, r, seq, origin)
-			})
-		},
+		Invariants:              o,
 	}
 	if opts.Mutation != nil {
 		copts.WrapBackend = opts.Mutation.wrap
@@ -192,10 +192,10 @@ func Run(s Schedule, opts Options) (*Report, error) {
 	report := func() *Report {
 		rep := &Report{
 			Schedule:   s,
-			Violation:  o.violation,
+			Violation:  o.Violation(),
 			Elapsed:    c.Sim.Now().Sub(start),
-			Installs:   o.installCount(),
-			Deliveries: o.delivers,
+			Installs:   o.Installs(),
+			Deliveries: o.Deliveries(),
 		}
 		if tracer != nil {
 			rep.Trace = tracer.Snapshot()
@@ -207,48 +207,48 @@ func Run(s Schedule, opts Options) (*Report, error) {
 	}
 
 	c.Settle()
-	o.checkOrder()
-	if o.violation != nil {
+	o.CheckOrder()
+	if o.Violation() != nil {
 		return report(), nil
 	}
 
 	base := c.Sim.Now()
 	executed := 0
 	for idx, ev := range s.Events {
-		o.step = idx
+		o.SetStep(idx)
 		c.Sim.RunUntil(base.Add(ev.At))
-		if o.violation != nil {
+		if o.Violation() != nil {
 			break
 		}
 		apply(c, ev, jitterMax, opts.JitterWindow)
 		executed++
 		steps.Inc()
-		o.step = executed
-		o.checkOrder()
-		if o.violation != nil {
+		o.SetStep(executed)
+		o.CheckOrder()
+		if o.Violation() != nil {
 			break
 		}
 	}
 
-	if o.violation == nil {
-		o.step = executed
+	if o.Violation() == nil {
+		o.SetStep(executed)
 		c.RunFor(opts.SettleBound)
-		o.checkOrder()
+		o.CheckOrder()
 	}
-	if o.violation == nil {
-		checkSettled(c, s, o)
+	if o.Violation() == nil {
+		o.CheckSettled(c.InvariantView(), c.RunFor)
 	}
-	if o.violation == nil {
-		before := o.installCount()
+	if o.Violation() == nil {
+		before := o.Installs()
 		c.RunFor(opts.StabilityWindow)
-		o.checkOrder()
-		if o.violation == nil && o.installCount() != before {
-			o.fail(OracleConvergence,
+		o.CheckOrder()
+		if o.Violation() == nil && o.Installs() != before {
+			o.Fail(OracleConvergence,
 				"membership still changing after the settle bound: %d further view installations during the %v stability window",
-				o.installCount()-before, opts.StabilityWindow)
+				o.Installs()-before, opts.StabilityWindow)
 		}
-		if o.violation == nil {
-			checkSettled(c, s, o)
+		if o.Violation() == nil {
+			o.CheckSettled(c.InvariantView(), c.RunFor)
 		}
 	}
 
@@ -297,126 +297,4 @@ func apply(c *wackamole.Cluster, ev Event, jitterMax, jitterWindow time.Duration
 		host.SetProcessingJitter(jitterMax)
 		c.Sim.After(jitterWindow, func() { host.SetProcessingJitter(0) })
 	}
-}
-
-// checkSettled demands the settled-state properties: Property 1
-// (exactly-once coverage per component), Property 2 (one view, one table
-// per component) and interface/engine agreement. A failure is retried once
-// after one extra second, because an in-flight balance legitimately moves
-// an address between two interfaces in a sub-millisecond window and the
-// settled properties are about resting states; persistent failures are
-// violations.
-func checkSettled(c *wackamole.Cluster, s Schedule, o *oracles) {
-	oracle, detail := settledProblem(c, s)
-	if oracle == "" {
-		return
-	}
-	c.RunFor(time.Second)
-	oracle, detail = settledProblem(c, s)
-	if oracle != "" {
-		o.fail(oracle, "%s", detail)
-	}
-}
-
-func settledProblem(c *wackamole.Cluster, s Schedule) (oracle, detail string) {
-	for _, comp := range c.Components() {
-		var serving []int
-		for _, i := range comp {
-			if c.Servers[i].Node.Connected() {
-				serving = append(serving, i)
-			}
-		}
-		if len(serving) == 0 {
-			// A component with no in-service node must hold nothing: its
-			// engines released (or never had) every address.
-			for _, i := range comp {
-				for j := 0; j < s.VIPs; j++ {
-					if c.Servers[i].NIC.HasAddr(wackamole.VIPAddr(j)) {
-						return OracleForeignClaim, fmt.Sprintf(
-							"server %d holds %v although no node in component %v is in service",
-							i, wackamole.VIPAddr(j), comp)
-					}
-				}
-			}
-			continue
-		}
-
-		// Property 2: every in-service member of the component has settled
-		// on the same view and the same allocation table.
-		ref := c.Servers[serving[0]].Node.Status()
-		if ref.State != core.StateRun {
-			return OracleConvergence, fmt.Sprintf(
-				"server %d still in state %v after the settle bound (component %v)",
-				serving[0], ref.State, comp)
-		}
-		for _, i := range serving[1:] {
-			st := c.Servers[i].Node.Status()
-			if st.State != core.StateRun {
-				return OracleConvergence, fmt.Sprintf(
-					"server %d still in state %v after the settle bound (component %v)",
-					i, st.State, comp)
-			}
-			if st.ViewID != ref.ViewID {
-				return OracleConvergence, fmt.Sprintf(
-					"servers %d and %d settled on different views %q and %q in component %v",
-					serving[0], i, ref.ViewID, st.ViewID, comp)
-			}
-			if !tablesEqual(ref.Table, st.Table) {
-				return OracleConvergence, fmt.Sprintf(
-					"servers %d and %d settled on different tables in view %q: %v vs %v",
-					serving[0], i, ref.ViewID, ref.Table, st.Table)
-			}
-		}
-
-		// Property 1: exactly one holder per virtual address within the
-		// component — counting every reachable interface, in service or
-		// not, because a stale interface answering ARP is a real conflict.
-		for j := 0; j < s.VIPs; j++ {
-			var holders []int
-			for _, i := range comp {
-				if c.Servers[i].NIC.HasAddr(wackamole.VIPAddr(j)) {
-					holders = append(holders, i)
-				}
-			}
-			if len(holders) != 1 {
-				return OracleExactlyOnce, fmt.Sprintf(
-					"%v has %d holders %v in component %v (want exactly one)",
-					wackamole.VIPAddr(j), len(holders), holders, comp)
-			}
-		}
-	}
-
-	// Oracle (e), settled half: every reachable interface holds exactly the
-	// addresses its engine believes it owns.
-	for i := range c.Servers {
-		if !c.Reachable(i) {
-			continue
-		}
-		owned := map[string]bool{}
-		for _, g := range c.Servers[i].Node.Status().Owned {
-			owned[g] = true
-		}
-		for j := 0; j < s.VIPs; j++ {
-			has := c.Servers[i].NIC.HasAddr(wackamole.VIPAddr(j))
-			wants := owned[fmt.Sprintf("vip%02d", j)]
-			if has != wants {
-				return OracleForeignClaim, fmt.Sprintf(
-					"server %d interface and engine disagree on %v: interface=%v engine=%v",
-					i, wackamole.VIPAddr(j), has, wants)
-			}
-		}
-	}
-	return "", ""
-}
-
-func tablesEqual(a, b map[string]core.MemberID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for k, v := range a {
-		if b[k] != v {
-			return false
-		}
-	}
-	return true
 }

@@ -9,6 +9,7 @@ import (
 
 	"wackamole/internal/core"
 	"wackamole/internal/gcs"
+	"wackamole/internal/invariant"
 	"wackamole/internal/metrics"
 )
 
@@ -181,43 +182,51 @@ func TestMutationCaughtShrunkAndReplayed(t *testing.T) {
 	}
 }
 
+// strictMonitor builds the checker-mode oracle state machine the way Run
+// does, for driving its event methods directly.
+func strictMonitor(nodes int) *invariant.Monitor {
+	return invariant.New(invariant.Config{
+		Nodes: nodes, Strict: true, Now: func() time.Duration { return 0 },
+	})
+}
+
 // TestOracleViewOrderDetectsDivergence feeds the oracle state machine two
 // engines that disagree on a view's membership.
 func TestOracleViewOrderDetectsDivergence(t *testing.T) {
-	o := newOracles(2, func() time.Duration { return 0 })
-	o.onViewInstall(0, core.View{ID: "v1", Members: []core.MemberID{"a", "b"}})
-	o.onViewInstall(1, core.View{ID: "v1", Members: []core.MemberID{"a"}})
-	if o.violation == nil || o.violation.Oracle != OracleViewOrder {
-		t.Fatalf("diverging member lists not caught: %v", o.violation)
+	o := strictMonitor(2)
+	o.OnView(0, core.View{ID: "v1", Members: []core.MemberID{"a", "b"}})
+	o.OnView(1, core.View{ID: "v1", Members: []core.MemberID{"a"}})
+	if v := o.Violation(); v == nil || v.Oracle != OracleViewOrder {
+		t.Fatalf("diverging member lists not caught: %v", v)
 	}
 }
 
 func TestOracleViewOrderDetectsReordering(t *testing.T) {
-	o := newOracles(2, func() time.Duration { return 0 })
-	o.onViewInstall(0, core.View{ID: "v1", Members: []core.MemberID{"a"}})
-	o.onViewInstall(0, core.View{ID: "v2", Members: []core.MemberID{"a", "b"}})
-	o.onViewInstall(1, core.View{ID: "v2", Members: []core.MemberID{"a", "b"}})
-	o.onViewInstall(1, core.View{ID: "v1", Members: []core.MemberID{"a"}})
-	o.checkOrder()
-	if o.violation == nil || o.violation.Oracle != OracleViewOrder {
-		t.Fatalf("opposite install orders not caught: %v", o.violation)
+	o := strictMonitor(2)
+	o.OnView(0, core.View{ID: "v1", Members: []core.MemberID{"a"}})
+	o.OnView(0, core.View{ID: "v2", Members: []core.MemberID{"a", "b"}})
+	o.OnView(1, core.View{ID: "v2", Members: []core.MemberID{"a", "b"}})
+	o.OnView(1, core.View{ID: "v1", Members: []core.MemberID{"a"}})
+	o.CheckOrder()
+	if v := o.Violation(); v == nil || v.Oracle != OracleViewOrder {
+		t.Fatalf("opposite install orders not caught: %v", v)
 	}
 }
 
 func TestOracleDeliveryOrderDetectsConflicts(t *testing.T) {
 	ring := gcs.RingID{Coord: "d0", Epoch: 1}
-	o := newOracles(2, func() time.Duration { return 0 })
-	o.onDelivery(0, ring, 1, "d0")
-	o.onDelivery(1, ring, 1, "d1")
-	if o.violation == nil || o.violation.Oracle != OracleDeliveryOrder {
-		t.Fatalf("conflicting origins not caught: %v", o.violation)
+	o := strictMonitor(2)
+	o.OnDelivery(0, ring, 1, "d0")
+	o.OnDelivery(1, ring, 1, "d1")
+	if v := o.Violation(); v == nil || v.Oracle != OracleDeliveryOrder {
+		t.Fatalf("conflicting origins not caught: %v", v)
 	}
 
-	o = newOracles(1, func() time.Duration { return 0 })
-	o.onDelivery(0, ring, 2, "d0")
-	o.onDelivery(0, ring, 1, "d0")
-	if o.violation == nil || o.violation.Oracle != OracleDeliveryOrder {
-		t.Fatalf("out-of-order delivery not caught: %v", o.violation)
+	o = strictMonitor(1)
+	o.OnDelivery(0, ring, 2, "d0")
+	o.OnDelivery(0, ring, 1, "d0")
+	if v := o.Violation(); v == nil || v.Oracle != OracleDeliveryOrder {
+		t.Fatalf("out-of-order delivery not caught: %v", v)
 	}
 }
 

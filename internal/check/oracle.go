@@ -1,213 +1,24 @@
 package check
 
-import (
-	"fmt"
-	"time"
+import "wackamole/internal/invariant"
 
-	"wackamole/internal/core"
-	"wackamole/internal/gcs"
-)
+// The five oracle state machines were extracted into internal/invariant so
+// they run always-on under any workload (wackload sweeps, wacksim
+// experiments, a live daemon), not only inside the checker. The checker
+// arms an invariant.Monitor in Strict mode, which keeps full unbounded
+// histories and reproduces the original findings byte-for-byte. The
+// aliases below keep the checker's public API — artifacts embed
+// Violation, callers switch on the Oracle* names — source-compatible.
+
+// Violation is the first oracle failure observed during a run.
+type Violation = invariant.Violation
 
 // Oracle names, stable across versions because artifacts and shrinking key
 // on them.
 const (
-	OracleExactlyOnce   = "exactly-once"
-	OracleConvergence   = "convergence"
-	OracleViewOrder     = "view-order"
-	OracleDeliveryOrder = "delivery-order"
-	OracleForeignClaim  = "foreign-claim"
+	OracleExactlyOnce   = invariant.OracleExactlyOnce
+	OracleConvergence   = invariant.OracleConvergence
+	OracleViewOrder     = invariant.OracleViewOrder
+	OracleDeliveryOrder = invariant.OracleDeliveryOrder
+	OracleForeignClaim  = invariant.OracleForeignClaim
 )
-
-// Violation is the first oracle failure observed during a run.
-type Violation struct {
-	// Oracle is one of the Oracle* constants.
-	Oracle string
-	// Detail is a human-readable description of the contradiction.
-	Detail string
-	// Step is how many schedule events had executed when the violation was
-	// detected (0 = during initial formation).
-	Step int
-	// At is the virtual time offset from the start of the run.
-	At time.Duration
-}
-
-func (v *Violation) String() string {
-	if v == nil {
-		return "<none>"
-	}
-	return fmt.Sprintf("%s at step %d (+%v): %s", v.Oracle, v.Step, v.At, v.Detail)
-}
-
-type delivKey struct {
-	ring gcs.RingID
-	seq  uint64
-}
-
-// oracles accumulates the typed hook streams from every node and validates
-// them online. All methods run on the single simulation goroutine.
-type oracles struct {
-	servers int
-	now     func() time.Duration // virtual offset from run start
-	step    int                  // schedule events executed so far
-
-	// Engine view installations, per server, in installation order.
-	installs [][]core.View
-	// viewMembers pins the member list first seen for each view ID.
-	viewMembers map[string][]core.MemberID
-	// currentView tracks each engine's latest installed view.
-	currentView []core.View
-
-	// Agreed delivery: origin first seen for each (ring, seq), and each
-	// daemon's last delivered seq per ring (prefix/monotonicity check).
-	origins  map[delivKey]gcs.DaemonID
-	lastSeq  []map[gcs.RingID]uint64
-	delivers uint64
-
-	violation *Violation
-}
-
-func newOracles(servers int, now func() time.Duration) *oracles {
-	o := &oracles{
-		servers:     servers,
-		now:         now,
-		installs:    make([][]core.View, servers),
-		viewMembers: map[string][]core.MemberID{},
-		currentView: make([]core.View, servers),
-		origins:     map[delivKey]gcs.DaemonID{},
-		lastSeq:     make([]map[gcs.RingID]uint64, servers),
-	}
-	for i := range o.lastSeq {
-		o.lastSeq[i] = map[gcs.RingID]uint64{}
-	}
-	return o
-}
-
-// fail records the first violation; later ones are ignored so the reported
-// failure is always the earliest observable contradiction.
-func (o *oracles) fail(oracle, format string, args ...any) {
-	if o.violation != nil {
-		return
-	}
-	o.violation = &Violation{
-		Oracle: oracle,
-		Detail: fmt.Sprintf(format, args...),
-		Step:   o.step,
-		At:     o.now(),
-	}
-}
-
-// onViewInstall is the engine view hook for server i: oracle (c), the
-// identity half — the same view ID must always carry the same member list.
-func (o *oracles) onViewInstall(i int, v core.View) {
-	if prev, ok := o.viewMembers[v.ID]; ok {
-		if !sameMembers(prev, v.Members) {
-			o.fail(OracleViewOrder,
-				"view %s installed with diverging member lists: %v vs %v (server %d)",
-				v.ID, prev, v.Members, i)
-		}
-	} else {
-		o.viewMembers[v.ID] = append([]core.MemberID(nil), v.Members...)
-	}
-	o.installs[i] = append(o.installs[i], v)
-	o.currentView[i] = v
-}
-
-// onDelivery is the daemon delivery hook for server i: oracle (d). Each
-// daemon must deliver a ring's sequence numbers in increasing order, and no
-// two daemons may attribute the same (ring, seq) to different origins —
-// together, prefix consistency of the Agreed total order.
-func (o *oracles) onDelivery(i int, ring gcs.RingID, seq uint64, origin gcs.DaemonID) {
-	o.delivers++
-	if last, ok := o.lastSeq[i][ring]; ok && seq <= last {
-		o.fail(OracleDeliveryOrder,
-			"server %d delivered ring %s seq %d after seq %d", i, ring, seq, last)
-	}
-	o.lastSeq[i][ring] = seq
-	key := delivKey{ring: ring, seq: seq}
-	if prev, ok := o.origins[key]; ok {
-		if prev != origin {
-			o.fail(OracleDeliveryOrder,
-				"ring %s seq %d delivered from origin %s at server %d but %s elsewhere",
-				ring, seq, origin, i, prev)
-		}
-		return
-	}
-	o.origins[key] = origin
-}
-
-// onOwnership is the engine ownership hook for server i: the online half of
-// oracle (e) — an engine may only acquire while it is a member of its
-// installed view.
-func (o *oracles) onOwnership(i int, group string, owned bool, viewID string, self core.MemberID) {
-	if !owned {
-		return
-	}
-	v := o.currentView[i]
-	if v.ID == "" || v.ID != viewID {
-		o.fail(OracleForeignClaim,
-			"server %d acquired %s under view %q but last installed view is %q",
-			i, group, viewID, v.ID)
-		return
-	}
-	for _, m := range v.Members {
-		if m == self {
-			return
-		}
-	}
-	o.fail(OracleForeignClaim,
-		"server %d acquired %s outside its view %s (members %v)", i, group, v.ID, v.Members)
-}
-
-// checkOrder validates the cross-member half of oracle (c): any two engines
-// must have installed their common views in the same relative order. Runs at
-// step boundaries; O(servers² × installs).
-func (o *oracles) checkOrder() {
-	if o.violation != nil {
-		return
-	}
-	for a := 0; a < o.servers; a++ {
-		pos := make(map[string]int, len(o.installs[a]))
-		for idx, v := range o.installs[a] {
-			pos[v.ID] = idx
-		}
-		for b := a + 1; b < o.servers; b++ {
-			lastPos := -1
-			var lastID string
-			for _, v := range o.installs[b] {
-				p, ok := pos[v.ID]
-				if !ok {
-					continue
-				}
-				if p <= lastPos {
-					o.fail(OracleViewOrder,
-						"servers %d and %d installed views %s and %s in opposite orders",
-						a, b, lastID, v.ID)
-					return
-				}
-				lastPos, lastID = p, v.ID
-			}
-		}
-	}
-}
-
-// installCount totals engine view installations across the cluster; the
-// convergence oracle uses it to assert membership has stopped changing.
-func (o *oracles) installCount() int {
-	n := 0
-	for _, ins := range o.installs {
-		n += len(ins)
-	}
-	return n
-}
-
-func sameMembers(a, b []core.MemberID) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
-}

@@ -22,6 +22,8 @@
 //	prefer web1 web2
 //	device eth0
 //	dry_run true
+//	invariants true           # arm the always-on protocol-invariant monitors
+//	invariant_artifacts /var/lib/wackamole/violations
 //	vip web1 10.0.0.100
 //	vip vrouter 198.51.100.1 10.1.0.1
 package config
@@ -59,6 +61,14 @@ type File struct {
 	Device string
 	// DryRun suppresses actual `ip addr` execution.
 	DryRun bool
+	// Invariants arms the always-on protocol-invariant monitors on this
+	// daemon: the model checker's oracles watch the live view, delivery and
+	// ownership streams, with violations counted on /metrics
+	// (invariant_violations_total) and visible on /debug/events.
+	Invariants bool
+	// InvariantArtifacts is the directory a violation's replayable artifact
+	// (and trace tail) is written into; empty disables artifact dumps.
+	InvariantArtifacts string
 
 	GCS            gcs.Config
 	BalanceTimeout time.Duration
@@ -131,6 +141,17 @@ func Parse(r io.Reader) (*File, error) {
 				if err != nil {
 					err = fail("dry_run: %v", err)
 				}
+			}
+		case "invariants":
+			if err = need(1); err == nil {
+				f.Invariants, err = strconv.ParseBool(args[0])
+				if err != nil {
+					err = fail("invariants: %v", err)
+				}
+			}
+		case "invariant_artifacts":
+			if err = need(1); err == nil {
+				f.InvariantArtifacts = args[0]
 			}
 		case "timeouts":
 			if err = need(1); err == nil {

@@ -12,6 +12,7 @@ import (
 	"wackamole/internal/experiment/runner"
 	"wackamole/internal/flow"
 	"wackamole/internal/gcs"
+	"wackamole/internal/invariant"
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
@@ -109,9 +110,22 @@ type AvailabilityConfig struct {
 	PostFault time.Duration
 	// Trace captures a structured event stream per trial.
 	Trace bool
+	// Invariants arms an always-on invariant.Monitor on every trial's
+	// nodes: the five model-checker oracles watch the trial's view,
+	// delivery and ownership streams, and the settled-state properties are
+	// probed after the measured window closes. Monitoring is
+	// observation-only — a violation is recorded on the trial's
+	// AvailabilityResult (and its artifact written) without perturbing the
+	// measured sample.
+	Invariants bool
+	// InvariantArtifacts is the directory a violating trial's replay
+	// artifact (and trace tail, when tracing) is written into ("" disables
+	// artifact dumps).
+	InvariantArtifacts string
 	// Metrics receives the flow and load instrument families from every
 	// trial (shared across trials; the registry serializes access). Nil
-	// disables.
+	// disables. With Invariants set it also receives the invariant_*
+	// families.
 	Metrics *metrics.Registry
 }
 
@@ -193,6 +207,9 @@ type AvailabilityResult struct {
 	// Buckets is the per-class completion timeline (copied; BucketWidth is
 	// the engine default).
 	Buckets []load.Bucket
+	// Violation is the first invariant violation the trial's monitor
+	// observed (nil when monitoring was off or every oracle held).
+	Violation *invariant.Violation
 }
 
 // AvailabilityTrial runs one seeded trial and returns the runner sample
@@ -221,9 +238,17 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 			o.Metrics = traceReg
 		})
 	}
+	mon := availabilityMonitor(seed, cfg, tr)
+	if mon != nil {
+		mods = append(mods, func(o *wackamole.ClusterOptions) { o.Invariants = mon })
+	}
 	wc, err := NewWebCluster(seed, cfg.Servers, cfg.GCS, mods...)
 	if err != nil {
 		return runner.Sample{}, nil, err
+	}
+	if mon != nil {
+		epoch := wc.Sim.Now()
+		mon.SetNow(func() time.Duration { return wc.Sim.Now().Sub(epoch) })
 	}
 	for _, srv := range wc.Servers {
 		if _, err := flow.NewServer(srv.Host, FlowPort, flow.ServerConfig{
@@ -277,7 +302,41 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 	engine.Stop()
 	sample := runner.Sample{Value: res.Interruption, Metrics: clusterMetrics(wc.Cluster)}
 	attachTrace(&sample, tr, traceReg, res, wc.Target.String())
+	if mon != nil {
+		// The measured window is closed; the extra settled-state probing
+		// (and its possible one-second retry) is monitoring-only.
+		mon.CheckOrder()
+		mon.CheckSettled(wc.Cluster.InvariantView(), wc.RunFor)
+		res.Violation = mon.Violation()
+	}
 	return sample, res, nil
+}
+
+// availabilityMonitor builds the per-trial online monitor (nil when
+// monitoring is off), annotated with enough metadata to re-run the trial
+// that trips it.
+func availabilityMonitor(seed int64, cfg AvailabilityConfig, tr *obs.Tracer) *invariant.Monitor {
+	if !cfg.Invariants {
+		return nil
+	}
+	nodes := cfg.Servers
+	if cfg.Topology == TopologyRouter {
+		nodes = 2
+	}
+	return invariant.New(invariant.Config{
+		Nodes:       nodes,
+		Metrics:     cfg.Metrics,
+		Tracer:      tr,
+		ArtifactDir: cfg.InvariantArtifacts,
+		Name:        fmt.Sprintf("wackload-seed%d", seed),
+		Meta: map[string]string{
+			"experiment": "availability",
+			"point":      cfg.Label(),
+			"seed":       fmt.Sprintf("%d", seed),
+			"servers":    fmt.Sprintf("%d", nodes),
+			"fault":      string(cfg.Fault),
+		},
+	})
 }
 
 func availabilityRouterTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *AvailabilityResult, error) {
@@ -285,13 +344,21 @@ func availabilityRouterTrial(seed int64, cfg AvailabilityConfig) (runner.Sample,
 		return runner.Sample{}, nil, fmt.Errorf("experiment: the router topology has no graceful fault")
 	}
 	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
-	sc, err := newVirtualRouterScenario(seed, RouterModeAdvertiseAll, cfg.GCS, ripCfg)
-	if err != nil {
-		return runner.Sample{}, nil, err
-	}
 	var tr *obs.Tracer
 	if cfg.Trace {
 		tr = obs.New(0, nil)
+	}
+	mon := availabilityMonitor(seed, cfg, tr)
+	sc, err := newVirtualRouterScenario(seed, RouterModeAdvertiseAll, cfg.GCS, ripCfg,
+		func(i int, n *wackamole.Node) { mon.Attach(i, n) })
+	if err != nil {
+		return runner.Sample{}, nil, err
+	}
+	if mon != nil {
+		epoch := sc.sim.Now()
+		mon.SetNow(func() time.Duration { return sc.sim.Now().Sub(epoch) })
+	}
+	if cfg.Trace {
 		tr.SetNow(sc.sim.Now)
 		sc.net.SetEventTracer(tr)
 	}
@@ -344,6 +411,13 @@ func availabilityRouterTrial(seed int64, cfg AvailabilityConfig) (runner.Sample,
 	engine.Stop()
 	sample := runner.Sample{Value: res.Interruption, Metrics: sc.metrics()}
 	attachTrace(&sample, tr, nil, res, extVIP.String())
+	if mon != nil {
+		// The router topology has no wackamole.Cluster to probe at rest;
+		// the online oracles (view order, delivery order, foreign claim)
+		// still watched the whole trial.
+		mon.CheckOrder()
+		res.Violation = mon.Violation()
+	}
 	return sample, res, nil
 }
 
@@ -469,6 +543,9 @@ func Availability(baseSeed int64, trials int, cfg AvailabilityConfig, opts ...Op
 	sweep := resolveOptions(opts)
 	if sweep.trace {
 		cfg.Trace = true
+	}
+	if sweep.invariants {
+		cfg.Invariants = true
 	}
 	var (
 		mu      sync.Mutex

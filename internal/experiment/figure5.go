@@ -8,6 +8,7 @@ import (
 	"wackamole"
 	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
+	"wackamole/internal/invariant"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 )
@@ -44,7 +45,33 @@ var Figure5Sizes = []int{2, 4, 6, 8, 10, 12}
 // every 10ms, and a fault disconnecting the interface of the server
 // covering it.
 func Figure5Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
-	return figure5Trial(seed, n, cfg, false)
+	return figure5Trial(seed, n, cfg, false, false)
+}
+
+// armMonitor builds an online invariant monitor attached to a web
+// cluster's servers via the cluster-option hook, stamping violations with
+// virtual time once the cluster exists.
+func armMonitor(n int, mods *[]func(*wackamole.ClusterOptions)) *invariant.Monitor {
+	mon := invariant.New(invariant.Config{Nodes: n})
+	*mods = append(*mods, func(o *wackamole.ClusterOptions) { o.Invariants = mon })
+	return mon
+}
+
+// settleAndVerify runs the cluster to a resting state and applies the
+// settled-state oracles plus the batch order sweep. Call after the
+// measured value is extracted: the extra simulated time is
+// monitoring-only and cannot perturb the sample.
+func settleAndVerify(mon *invariant.Monitor, wc *WebCluster, cfg gcs.Config) error {
+	if mon == nil {
+		return nil
+	}
+	wc.RunFor(4*(cfg.FaultDetectTimeout+cfg.DiscoveryTimeout) + 2*time.Second)
+	mon.CheckOrder()
+	mon.CheckSettled(wc.Cluster.InvariantView(), wc.RunFor)
+	if v := mon.Violation(); v != nil {
+		return fmt.Errorf("experiment: invariant violation: %v", v)
+	}
+	return nil
 }
 
 // figure5Trial is Figure5Trial with optional event tracing: when trace is
@@ -53,7 +80,7 @@ func Figure5Trial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 // fail-over phase breakdown. The tracer only observes — it draws no
 // randomness and schedules no simulator events — so the measured value is
 // bit-identical with tracing on or off.
-func figure5Trial(seed int64, n int, cfg gcs.Config, trace bool) (runner.Sample, error) {
+func figure5Trial(seed int64, n int, cfg gcs.Config, trace, invariants bool) (runner.Sample, error) {
 	var tr *obs.Tracer
 	var reg *metrics.Registry
 	var mods []func(*wackamole.ClusterOptions)
@@ -65,9 +92,17 @@ func figure5Trial(seed int64, n int, cfg gcs.Config, trace bool) (runner.Sample,
 			o.Metrics = reg
 		})
 	}
+	var mon *invariant.Monitor
+	if invariants {
+		mon = armMonitor(n, &mods)
+	}
 	wc, err := NewWebCluster(seed, n, cfg, mods...)
 	if err != nil {
 		return runner.Sample{}, err
+	}
+	if mon != nil {
+		epoch := wc.Sim.Now()
+		mon.SetNow(func() time.Duration { return wc.Sim.Now().Sub(epoch) })
 	}
 	wc.WarmUp(cfg)
 	victim, holders := wc.Owner(wc.Target)
@@ -84,6 +119,9 @@ func figure5Trial(seed int64, n int, cfg gcs.Config, trace bool) (runner.Sample,
 		return runner.Sample{}, fmt.Errorf("experiment: service resumed on the failed server %q", gap.To)
 	}
 	sample := runner.Sample{Value: gap.Duration(), Metrics: clusterMetrics(wc.Cluster)}
+	if err := settleAndVerify(mon, wc, cfg); err != nil {
+		return runner.Sample{}, err
+	}
 	if trace {
 		events := tr.Snapshot()
 		sample.Trace = &obs.TrialTrace{
@@ -136,7 +174,7 @@ func Figure5Over(baseSeed int64, trials int, sizes []int, opts ...Option) ([]Fig
 				Label: fmt.Sprintf("figure5/%s/n=%d", nc.Name, n),
 				Seeds: Seeds(baseSeed+int64(n), trials),
 				Run: func(seed int64) (runner.Sample, error) {
-					return figure5Trial(seed, n, nc.Cfg, cfg.trace)
+					return figure5Trial(seed, n, nc.Cfg, cfg.trace, cfg.invariants)
 				},
 			})
 		}
@@ -195,9 +233,22 @@ type GracefulRow struct {
 // departure): the client-visible gap, bounded below by the 10ms probe
 // interval.
 func GracefulTrial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
-	wc, err := NewWebCluster(seed, n, cfg)
+	return gracefulTrial(seed, n, cfg, false)
+}
+
+func gracefulTrial(seed int64, n int, cfg gcs.Config, invariants bool) (runner.Sample, error) {
+	var mods []func(*wackamole.ClusterOptions)
+	var mon *invariant.Monitor
+	if invariants {
+		mon = armMonitor(n, &mods)
+	}
+	wc, err := NewWebCluster(seed, n, cfg, mods...)
 	if err != nil {
 		return runner.Sample{}, err
+	}
+	if mon != nil {
+		epoch := wc.Sim.Now()
+		mon.SetNow(func() time.Duration { return wc.Sim.Now().Sub(epoch) })
 	}
 	wc.WarmUp(cfg)
 	victim, holders := wc.Owner(wc.Target)
@@ -213,7 +264,11 @@ func GracefulTrial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 	}
 	// The interruption may be too short to register as a gap; the largest
 	// inter-response spacing bounds it either way.
-	return runner.Sample{Value: wc.Client.MaxGap(), Metrics: clusterMetrics(wc.Cluster)}, nil
+	sample := runner.Sample{Value: wc.Client.MaxGap(), Metrics: clusterMetrics(wc.Cluster)}
+	if err := settleAndVerify(mon, wc, cfg); err != nil {
+		return runner.Sample{}, err
+	}
+	return sample, nil
 }
 
 // Graceful sweeps the graceful-leave measurement over cluster sizes.
@@ -221,6 +276,7 @@ func GracefulTrial(seed int64, n int, cfg gcs.Config) (runner.Sample, error) {
 // like Figure5; only a point with no surviving trial aborts the sweep.
 func Graceful(baseSeed int64, trials int, sizes []int, opts ...Option) ([]GracefulRow, error) {
 	cfg := gcs.TunedConfig()
+	sc := resolveOptions(opts)
 	var points []runner.Point
 	for _, n := range sizes {
 		n := n
@@ -228,12 +284,12 @@ func Graceful(baseSeed int64, trials int, sizes []int, opts ...Option) ([]Gracef
 			Label: fmt.Sprintf("graceful/n=%d", n),
 			Seeds: Seeds(baseSeed+int64(n)*13, trials),
 			Run: func(seed int64) (runner.Sample, error) {
-				return GracefulTrial(seed, n, cfg)
+				return gracefulTrial(seed, n, cfg, sc.invariants)
 			},
 		})
 	}
 	var rows []GracefulRow
-	for i, res := range runSweep(points, opts) {
+	for i, res := range runner.Run(points, sc.Options) {
 		stat, metrics, errs, err := collectPoint(res)
 		if err != nil {
 			return nil, err

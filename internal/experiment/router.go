@@ -5,6 +5,7 @@ import (
 	"net/netip"
 	"time"
 
+	"wackamole"
 	"wackamole/internal/core"
 	"wackamole/internal/experiment/runner"
 	"wackamole/internal/gcs"
@@ -65,7 +66,10 @@ func (sc *virtualRouterScenario) metrics() runner.Metrics {
 	return m
 }
 
-func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config) (*virtualRouterScenario, error) {
+// newVirtualRouterScenario builds (and starts) the topology. The optional
+// onNode callbacks run for each fail-over router's node after it is built
+// and before it starts — the attachment window invariant monitors need.
+func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCfg rip.Config, onNode ...func(i int, n *wackamole.Node)) (*virtualRouterScenario, error) {
 	s := sim.New(seed)
 	nw := netsim.New(s)
 	segCfg := netsim.DefaultSegmentConfig()
@@ -108,6 +112,11 @@ func newVirtualRouterScenario(seed int64, mode RouterMode, cfg gcs.Config, ripCf
 			Group:         group,
 			RIP:           ripCfg,
 			Participation: participation,
+			OnNode: func(n *wackamole.Node) {
+				for _, f := range onNode {
+					f(i, n)
+				}
+			},
 		})
 		if err != nil {
 			return nil, err

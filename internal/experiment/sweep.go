@@ -15,7 +15,8 @@ import (
 // runner's execution options plus experiment-layer behaviour (tracing).
 type sweepConfig struct {
 	runner.Options
-	trace bool
+	trace      bool
+	invariants bool
 }
 
 // Option adjusts how a sweep executes its trials (parallelism, progress
@@ -42,6 +43,16 @@ func WithSink(s runner.Sink) Option {
 // identical to untraced ones.
 func WithTrace() Option {
 	return func(c *sweepConfig) { c.trace = true }
+}
+
+// WithInvariants arms an always-on invariant.Monitor (the five model-
+// checker oracles) on every trial's cluster. Like tracing it is
+// observation-only — hooks consume no randomness and schedule nothing, so
+// measured rows are identical with monitoring on or off; a violation turns
+// the trial into a counted per-trial error. Sweeps that do not support
+// monitoring ignore it.
+func WithInvariants() Option {
+	return func(c *sweepConfig) { c.invariants = true }
 }
 
 // resolveOptions folds the option list into a sweepConfig.

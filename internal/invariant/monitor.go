@@ -1,0 +1,744 @@
+// Package invariant is the always-on protocol-invariant monitor layer: the
+// five oracles the model checker introduced (exactly-once coverage, bounded
+// convergence, view order, Agreed delivery order, foreign claim) packaged
+// as a Monitor that attaches to any set of nodes through the existing
+// nil-safe observation hooks (core.SetViewHook, core.SetOwnershipHook,
+// gcs.SetDeliveryHandler). The checker consumes it in Strict mode, where
+// state is unbounded and findings are byte-identical to the original
+// internal/check oracles; every other consumer — wackload traffic sweeps,
+// wacksim experiments, a live wackamole daemon — arms it in online mode,
+// where per-node and per-ring state is pre-sized and bounded so the hot
+// path (one callback per Agreed delivery) allocates nothing, the way the
+// Derecho runtime-checking work runs its predicates continuously in
+// production-shaped deployments rather than only under a checker.
+//
+// A Monitor is safe for concurrent hook callbacks: under the deterministic
+// simulator everything runs on one goroutine, but the realtime environment
+// drives each node from its own loop goroutine and the monitor is the one
+// piece of state they share.
+package invariant
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wackamole/internal/core"
+	"wackamole/internal/gcs"
+	"wackamole/internal/metrics"
+	"wackamole/internal/obs"
+)
+
+// Defaults for the online mode's bounded state.
+const (
+	// DefaultWindow is the per-ring cross-node origin-agreement window: how
+	// many recent (ring, seq) slots are retained for the delivery-order
+	// oracle. Deliveries more than a window behind the newest one on their
+	// ring fall out of the comparison (they can no longer conflict in a
+	// live system — every attached daemon has long moved past them).
+	DefaultWindow = 1024
+	// DefaultHistory is the per-node view-installation history retained for
+	// the cross-node view-order oracle.
+	DefaultHistory = 64
+	// DefaultMaxRings bounds how many rings keep an origin window; the
+	// least recently delivering ring is evicted first. Rings are created by
+	// membership changes, so the bound is generous for any real run.
+	DefaultMaxRings = 128
+	// DefaultMaxViews bounds the view-identity table (view ID → member
+	// list) in online mode; the oldest pinned view is forgotten first.
+	DefaultMaxViews = 1024
+	// maxShards bounds dynamically registered per-VIP-group shard state.
+	maxShards = 1024
+)
+
+// Node is the slice of a cluster member the monitor needs to attach its
+// hooks; *wackamole.Node satisfies it.
+type Node interface {
+	Engine() *core.Engine
+	Daemon() *gcs.Daemon
+	Member() core.MemberID
+}
+
+// Config parameterizes a Monitor.
+type Config struct {
+	// Nodes is the number of attachable node slots (required, >= 1).
+	Nodes int
+	// Strict selects the model checker's unbounded mode: full view
+	// histories, an unbounded origin table, and the batch CheckOrder sweep.
+	// Findings in strict mode are byte-identical to the PR-4 oracles. The
+	// default (online) mode bounds every structure (Window, History,
+	// MaxRings, MaxViews) and checks view order incrementally on each
+	// install, so steady-state events allocate nothing.
+	Strict bool
+	// Window, History, MaxRings and MaxViews size the online mode's
+	// bounded state; zero means the Default* constants.
+	Window   int
+	History  int
+	MaxRings int
+	MaxViews int
+	// Shards pre-registers per-VIP-group ownership state (one shard per
+	// group name). Groups observed at runtime but not listed here are
+	// registered on first sight, so listing is an allocation warm-up, not a
+	// requirement.
+	Shards []string
+	// Now stamps violations with an offset from the start of the run:
+	// virtual time under the simulator, wall time since New otherwise
+	// (nil). SetNow may replace it after construction.
+	Now func() time.Duration
+	// Metrics receives the invariant_* counter families (nil disables).
+	Metrics *metrics.Registry
+	// Tracer receives one invariant-violation event per detected violation
+	// and supplies the trace tail dumped next to a violation artifact (nil
+	// disables both).
+	Tracer *obs.Tracer
+	// ArtifactDir, when set, receives a replayable JSON artifact (plus the
+	// trace tail as NDJSON) on the first violation.
+	ArtifactDir string
+	// Name stems artifact file names and tags trace events; empty means
+	// "invariant".
+	Name string
+	// Meta annotates the violation artifact with enough context to re-run
+	// the workload that tripped it (seed, topology, fault, ...).
+	Meta map[string]string
+	// OnViolation, if set, runs once with the first violation (after the
+	// counters, trace event and artifact are recorded).
+	OnViolation func(*Violation)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.History <= 0 {
+		c.History = DefaultHistory
+	}
+	if c.MaxRings <= 0 {
+		c.MaxRings = DefaultMaxRings
+	}
+	if c.MaxViews <= 0 {
+		c.MaxViews = DefaultMaxViews
+	}
+	if c.Name == "" {
+		c.Name = "invariant"
+	}
+	return c
+}
+
+type delivKey struct {
+	ring gcs.RingID
+	seq  uint64
+}
+
+// originSlot is one retained (seq, origin) attribution in a ring's window.
+type originSlot struct {
+	seq    uint64
+	origin gcs.DaemonID
+	set    bool
+}
+
+// ringState is the online mode's bounded per-ring origin window.
+type ringState struct {
+	window []originSlot
+	touch  uint64 // monotone recency stamp for eviction
+}
+
+// Monitor validates the typed hook streams from every attached node
+// online. All exported methods are safe for concurrent use and are no-ops
+// on a nil receiver, mirroring the tracer/registry idiom.
+type Monitor struct {
+	mu   sync.Mutex
+	cfg  Config
+	now  func() time.Duration
+	step int
+
+	selfs       []core.MemberID
+	currentView []core.View
+	installs    uint64
+	delivers    uint64
+
+	// viewMembers pins the member list first seen for each view ID; in
+	// online mode viewEvict bounds it to MaxViews entries.
+	viewMembers  map[string][]core.MemberID
+	viewEvict    []string
+	viewEvictPos int
+
+	// Strict mode: full per-node installation history and unbounded
+	// (ring, seq) → origin table, exactly the PR-4 oracle state.
+	installsAll [][]core.View
+	origins     map[delivKey]gcs.DaemonID
+
+	// Online mode: bounded per-node view-history rings and per-ring origin
+	// windows.
+	hist      [][]string
+	histStart []int
+	histLen   []int
+	rings     map[gcs.RingID]*ringState
+	ringTick  uint64
+
+	// lastSeq is each daemon's last delivered seq per ring (both modes).
+	lastSeq []map[gcs.RingID]uint64
+
+	// Shard-aware ownership state: one claim bitmap per VIP group, so
+	// sharded ownership (ROADMAP item 1) is checked per shard rather than
+	// whole-table.
+	shardIdx    map[string]int
+	shardNames  []string
+	shardClaims [][]bool
+	shardCount  []int
+	multiOwner  int
+
+	violation         *Violation
+	violationReported bool
+
+	viewsC, delivC, ownC, violC *metrics.Counter
+	multiG                      *metrics.Gauge
+
+	artifactPath, tracePath string
+	artifactErr             error
+}
+
+// New builds a Monitor for cfg.Nodes attachable nodes.
+func New(cfg Config) *Monitor {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	m := &Monitor{
+		cfg:         cfg,
+		now:         cfg.Now,
+		selfs:       make([]core.MemberID, cfg.Nodes),
+		currentView: make([]core.View, cfg.Nodes),
+		viewMembers: make(map[string][]core.MemberID),
+		lastSeq:     make([]map[gcs.RingID]uint64, cfg.Nodes),
+		shardIdx:    make(map[string]int),
+	}
+	for i := range m.lastSeq {
+		m.lastSeq[i] = map[gcs.RingID]uint64{}
+	}
+	if m.now == nil {
+		start := time.Now()
+		m.now = func() time.Duration { return time.Since(start) }
+	}
+	if cfg.Strict {
+		m.installsAll = make([][]core.View, cfg.Nodes)
+		m.origins = map[delivKey]gcs.DaemonID{}
+	} else {
+		m.viewEvict = make([]string, 0, cfg.MaxViews)
+		m.hist = make([][]string, cfg.Nodes)
+		for i := range m.hist {
+			m.hist[i] = make([]string, cfg.History)
+		}
+		m.histStart = make([]int, cfg.Nodes)
+		m.histLen = make([]int, cfg.Nodes)
+		m.rings = make(map[gcs.RingID]*ringState, cfg.MaxRings)
+	}
+	for _, name := range cfg.Shards {
+		m.registerShardLocked(name)
+	}
+	// Counters are resolved once here so the per-event path is a single
+	// nil-safe atomic add.
+	reg := cfg.Metrics
+	m.viewsC = reg.Counter("invariant_view_events_total", "engine view installations observed by invariant monitors")
+	m.delivC = reg.Counter("invariant_delivery_events_total", "Agreed deliveries observed by invariant monitors")
+	m.ownC = reg.Counter("invariant_ownership_events_total", "ownership changes observed by invariant monitors")
+	m.violC = reg.Counter("invariant_violations_total", "protocol-invariant violations detected")
+	m.multiG = reg.Gauge("invariant_shard_multi_owner", "VIP-group shards currently claimed by more than one attached node")
+	return m
+}
+
+// SetNow replaces the violation timestamp source; harnesses point it at
+// virtual time once the simulation exists. Call before events flow.
+func (m *Monitor) SetNow(now func() time.Duration) {
+	if m == nil || now == nil {
+		return
+	}
+	m.mu.Lock()
+	m.now = now
+	m.mu.Unlock()
+}
+
+// Attach installs the monitor's observation hooks on node slot i. Call
+// after the node is built and before it starts, so no boot event is
+// missed; wackamole.ClusterOptions.Invariants does exactly that for every
+// simulated server.
+func (m *Monitor) Attach(i int, n Node) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.selfs[i] = n.Member()
+	m.mu.Unlock()
+	n.Engine().SetViewHook(func(v core.View) { m.OnView(i, v) })
+	n.Engine().SetOwnershipHook(func(g string, owned bool, viewID string) {
+		m.OnOwnership(i, g, owned, viewID)
+	})
+	n.Daemon().SetDeliveryHandler(func(r gcs.RingID, seq uint64, origin gcs.DaemonID) {
+		m.OnDelivery(i, r, seq, origin)
+	})
+}
+
+// SetSelf records node slot i's member identity without attaching hooks;
+// tests driving the event methods directly use it in place of Attach.
+func (m *Monitor) SetSelf(i int, self core.MemberID) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.selfs[i] = self
+	m.mu.Unlock()
+}
+
+// SetStep tags subsequent violations with the schedule step the checker is
+// executing; meaningless (and left at zero) outside the checker.
+func (m *Monitor) SetStep(step int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.step = step
+	m.mu.Unlock()
+}
+
+// Violation returns the first oracle failure observed, or nil.
+func (m *Monitor) Violation() *Violation {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.violation
+}
+
+// Installs totals engine view installations across the attached nodes; the
+// convergence oracle uses it to assert membership has stopped changing.
+func (m *Monitor) Installs() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int(m.installs)
+}
+
+// Deliveries totals Agreed deliveries observed across the attached nodes.
+func (m *Monitor) Deliveries() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.delivers
+}
+
+// Fail records a violation found outside the hook streams (the settled
+// checks); the first violation wins, later ones are ignored.
+func (m *Monitor) Fail(oracle, format string, args ...any) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.failLocked(oracle, format, args...)
+	v := m.takeNewViolationLocked()
+	m.mu.Unlock()
+	m.report(v)
+}
+
+// failLocked records the first violation; later ones are ignored so the
+// reported failure is always the earliest observable contradiction.
+func (m *Monitor) failLocked(oracle, format string, args ...any) *Violation {
+	if m.violation != nil {
+		return nil
+	}
+	m.violation = &Violation{
+		Oracle: oracle,
+		Detail: fmt.Sprintf(format, args...),
+		Step:   m.step,
+		At:     m.now(),
+	}
+	return m.violation
+}
+
+// report performs the first-violation side effects outside the monitor
+// lock: counter, trace event, artifact dump, callback.
+func (m *Monitor) report(v *Violation) {
+	if v == nil {
+		return
+	}
+	m.violC.Inc()
+	if m.cfg.Tracer.Enabled() {
+		m.cfg.Tracer.Emit(obs.Event{
+			Source: obs.SourceInvariant,
+			Kind:   obs.KindInvariantViolation,
+			Node:   m.cfg.Name,
+			Group:  v.Oracle,
+			Detail: v.Detail,
+		})
+	}
+	if m.cfg.ArtifactDir != "" {
+		m.dumpArtifact(v)
+	}
+	if m.cfg.OnViolation != nil {
+		m.cfg.OnViolation(v)
+	}
+}
+
+// OnView is the engine view hook for node slot i: the identity half of the
+// view-order oracle — the same view ID must always carry the same member
+// list — plus history upkeep for the cross-node half.
+func (m *Monitor) OnView(i int, v core.View) {
+	if m == nil {
+		return
+	}
+	m.viewsC.Inc()
+	m.mu.Lock()
+	m.installs++
+	if prev, ok := m.viewMembers[v.ID]; ok {
+		if !sameMembers(prev, v.Members) {
+			m.failLocked(OracleViewOrder,
+				"view %s installed with diverging member lists: %v vs %v (server %d)",
+				v.ID, prev, v.Members, i)
+		}
+	} else if m.cfg.Strict {
+		m.viewMembers[v.ID] = append([]core.MemberID(nil), v.Members...)
+	} else {
+		// The hook contract hands each node a fresh member-list copy, so
+		// pinning the slice directly allocates nothing here.
+		m.rememberViewLocked(v.ID, v.Members)
+	}
+	if m.cfg.Strict {
+		m.installsAll[i] = append(m.installsAll[i], v)
+		m.currentView[i] = v
+	} else {
+		// Engines install each view once; a re-observation of the current
+		// view is idempotent for ordering purposes and skips the history.
+		if v.ID != m.currentView[i].ID {
+			m.histAppendLocked(i, v.ID)
+			m.currentView[i] = v
+			m.orderCheckNodeLocked(i)
+		} else {
+			m.currentView[i] = v
+		}
+	}
+	viol := m.takeNewViolationLocked()
+	m.mu.Unlock()
+	m.report(viol)
+}
+
+// OnDelivery is the daemon delivery hook for node slot i: each daemon must
+// deliver a ring's sequence numbers in increasing order, and no two
+// daemons may attribute the same (ring, seq) to different origins —
+// together, prefix consistency of the Agreed total order.
+func (m *Monitor) OnDelivery(i int, ring gcs.RingID, seq uint64, origin gcs.DaemonID) {
+	if m == nil {
+		return
+	}
+	m.delivC.Inc()
+	m.mu.Lock()
+	m.delivers++
+	if last, ok := m.lastSeq[i][ring]; ok && seq <= last {
+		m.failLocked(OracleDeliveryOrder,
+			"server %d delivered ring %s seq %d after seq %d", i, ring, seq, last)
+	}
+	m.lastSeq[i][ring] = seq
+	if m.cfg.Strict {
+		key := delivKey{ring: ring, seq: seq}
+		if prev, ok := m.origins[key]; ok {
+			if prev != origin {
+				m.failLocked(OracleDeliveryOrder,
+					"ring %s seq %d delivered from origin %s at server %d but %s elsewhere",
+					ring, seq, origin, i, prev)
+			}
+		} else {
+			m.origins[key] = origin
+		}
+	} else {
+		rs := m.rings[ring]
+		if rs == nil {
+			rs = m.addRingLocked(ring)
+		}
+		m.ringTick++
+		rs.touch = m.ringTick
+		slot := &rs.window[seq%uint64(len(rs.window))]
+		switch {
+		case slot.set && slot.seq == seq:
+			if slot.origin != origin {
+				m.failLocked(OracleDeliveryOrder,
+					"ring %s seq %d delivered from origin %s at server %d but %s elsewhere",
+					ring, seq, origin, i, slot.origin)
+			}
+		case !slot.set || seq > slot.seq:
+			slot.seq, slot.origin, slot.set = seq, origin, true
+		default:
+			// seq fell behind the window: every attached daemon has moved
+			// past it, so it can no longer conflict.
+		}
+	}
+	viol := m.takeNewViolationLocked()
+	m.mu.Unlock()
+	m.report(viol)
+}
+
+// OnOwnership is the engine ownership hook for node slot i: the online
+// half of the foreign-claim oracle — an engine may only acquire while it
+// is a member of its installed view — plus per-shard claim upkeep.
+func (m *Monitor) OnOwnership(i int, group string, owned bool, viewID string) {
+	if m == nil {
+		return
+	}
+	m.ownC.Inc()
+	m.mu.Lock()
+	m.trackShardLocked(i, group, owned)
+	if !owned {
+		m.mu.Unlock()
+		return
+	}
+	v := m.currentView[i]
+	if v.ID == "" || v.ID != viewID {
+		m.failLocked(OracleForeignClaim,
+			"server %d acquired %s under view %q but last installed view is %q",
+			i, group, viewID, v.ID)
+	} else {
+		self := m.selfs[i]
+		member := false
+		for _, mm := range v.Members {
+			if mm == self {
+				member = true
+				break
+			}
+		}
+		if !member {
+			m.failLocked(OracleForeignClaim,
+				"server %d acquired %s outside its view %s (members %v)", i, group, v.ID, v.Members)
+		}
+	}
+	viol := m.takeNewViolationLocked()
+	m.mu.Unlock()
+	m.report(viol)
+}
+
+// CheckOrder validates the cross-node half of the view-order oracle: any
+// two engines must have installed their common views in the same relative
+// order. In strict mode this is the checker's O(nodes² × installs) batch
+// sweep over the full histories; online mode re-sweeps the bounded
+// histories (each install already checked incrementally, so this is a
+// consistency backstop for explicit callers).
+func (m *Monitor) CheckOrder() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.violation == nil {
+		if m.cfg.Strict {
+			m.checkOrderStrictLocked()
+		} else {
+			for i := 0; i < m.cfg.Nodes && m.violation == nil; i++ {
+				m.orderCheckNodeLocked(i)
+			}
+		}
+	}
+	viol := m.takeNewViolationLocked()
+	m.mu.Unlock()
+	m.report(viol)
+}
+
+func (m *Monitor) checkOrderStrictLocked() {
+	for a := 0; a < m.cfg.Nodes; a++ {
+		pos := make(map[string]int, len(m.installsAll[a]))
+		for idx, v := range m.installsAll[a] {
+			pos[v.ID] = idx
+		}
+		for b := a + 1; b < m.cfg.Nodes; b++ {
+			lastPos := -1
+			var lastID string
+			for _, v := range m.installsAll[b] {
+				p, ok := pos[v.ID]
+				if !ok {
+					continue
+				}
+				if p <= lastPos {
+					m.failLocked(OracleViewOrder,
+						"servers %d and %d installed views %s and %s in opposite orders",
+						a, b, lastID, v.ID)
+					return
+				}
+				lastPos, lastID = p, v.ID
+			}
+		}
+	}
+}
+
+// orderCheckNodeLocked runs the pairwise order check between node i and
+// every other node over the bounded histories, allocation-free.
+func (m *Monitor) orderCheckNodeLocked(i int) {
+	for j := 0; j < m.cfg.Nodes; j++ {
+		if j == i {
+			continue
+		}
+		a, b := i, j
+		if b < a {
+			a, b = b, a
+		}
+		if m.pairOrderLocked(a, b); m.violation != nil {
+			return
+		}
+	}
+}
+
+// pairOrderLocked checks one node pair: walk b's retained history and
+// demand that the positions (in a's history) of their common views are
+// strictly increasing — the same predicate as the strict batch sweep,
+// restricted to the bounded windows.
+func (m *Monitor) pairOrderLocked(a, b int) {
+	lastPos := -1
+	var lastID string
+	for bi := 0; bi < m.histLen[b]; bi++ {
+		id := m.histAtLocked(b, bi)
+		p := -1
+		for ai := m.histLen[a] - 1; ai >= 0; ai-- {
+			if m.histAtLocked(a, ai) == id {
+				p = ai
+				break
+			}
+		}
+		if p < 0 {
+			continue
+		}
+		if p <= lastPos {
+			m.failLocked(OracleViewOrder,
+				"servers %d and %d installed views %s and %s in opposite orders",
+				a, b, lastID, id)
+			return
+		}
+		lastPos, lastID = p, id
+	}
+}
+
+func (m *Monitor) histAtLocked(n, k int) string {
+	h := m.hist[n]
+	return h[(m.histStart[n]+k)%len(h)]
+}
+
+func (m *Monitor) histAppendLocked(i int, id string) {
+	h := m.hist[i]
+	if m.histLen[i] < len(h) {
+		h[(m.histStart[i]+m.histLen[i])%len(h)] = id
+		m.histLen[i]++
+	} else {
+		h[m.histStart[i]] = id
+		m.histStart[i] = (m.histStart[i] + 1) % len(h)
+	}
+}
+
+// rememberViewLocked pins a view's member list, evicting the oldest pinned
+// view once MaxViews are retained (online mode only).
+func (m *Monitor) rememberViewLocked(id string, members []core.MemberID) {
+	if len(m.viewEvict) < cap(m.viewEvict) {
+		m.viewEvict = append(m.viewEvict, id)
+	} else {
+		delete(m.viewMembers, m.viewEvict[m.viewEvictPos])
+		m.viewEvict[m.viewEvictPos] = id
+		m.viewEvictPos = (m.viewEvictPos + 1) % len(m.viewEvict)
+	}
+	m.viewMembers[id] = members
+}
+
+// addRingLocked creates a ring's origin window, evicting the least
+// recently delivering ring beyond MaxRings.
+func (m *Monitor) addRingLocked(ring gcs.RingID) *ringState {
+	if len(m.rings) >= m.cfg.MaxRings {
+		var oldest gcs.RingID
+		var oldestTouch uint64
+		first := true
+		for id, rs := range m.rings {
+			if first || rs.touch < oldestTouch {
+				oldest, oldestTouch, first = id, rs.touch, false
+			}
+		}
+		delete(m.rings, oldest)
+	}
+	rs := &ringState{window: make([]originSlot, m.cfg.Window)}
+	m.rings[ring] = rs
+	return rs
+}
+
+// registerShardLocked allocates claim state for one VIP group.
+func (m *Monitor) registerShardLocked(name string) int {
+	if idx, ok := m.shardIdx[name]; ok {
+		return idx
+	}
+	idx := len(m.shardNames)
+	m.shardIdx[name] = idx
+	m.shardNames = append(m.shardNames, name)
+	m.shardClaims = append(m.shardClaims, make([]bool, m.cfg.Nodes))
+	m.shardCount = append(m.shardCount, 0)
+	return idx
+}
+
+// trackShardLocked maintains the per-shard claim bitmaps and the
+// multi-owner gauge. Transient multi-ownership is legitimate during
+// partitions and handoffs, so it is surfaced as a gauge rather than a
+// violation; the settled exactly-once check is the hard oracle.
+func (m *Monitor) trackShardLocked(i int, group string, owned bool) {
+	idx, ok := m.shardIdx[group]
+	if !ok {
+		if len(m.shardNames) >= maxShards {
+			return
+		}
+		idx = m.registerShardLocked(group)
+	}
+	claims := m.shardClaims[idx]
+	if claims[i] == owned {
+		return
+	}
+	claims[i] = owned
+	before := m.shardCount[idx]
+	if owned {
+		m.shardCount[idx]++
+	} else {
+		m.shardCount[idx]--
+	}
+	after := m.shardCount[idx]
+	if before <= 1 && after > 1 {
+		m.multiOwner++
+		m.multiG.Set(int64(m.multiOwner))
+	} else if before > 1 && after <= 1 {
+		m.multiOwner--
+		m.multiG.Set(int64(m.multiOwner))
+	}
+}
+
+// ShardOwners reports how many attached nodes currently claim group (0 if
+// the group has produced no ownership event yet).
+func (m *Monitor) ShardOwners(group string) int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx, ok := m.shardIdx[group]; ok {
+		return m.shardCount[idx]
+	}
+	return 0
+}
+
+// takeNewViolationLocked hands the violation to the caller exactly once
+// for side-effect reporting.
+func (m *Monitor) takeNewViolationLocked() *Violation {
+	if m.violation != nil && !m.violationReported {
+		m.violationReported = true
+		return m.violation
+	}
+	return nil
+}
+
+func sameMembers(a, b []core.MemberID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,286 @@
+package invariant
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/core"
+	"wackamole/internal/gcs"
+	"wackamole/internal/metrics"
+	"wackamole/internal/obs"
+)
+
+func onlineMonitor(nodes int, cfg Config) *Monitor {
+	cfg.Nodes = nodes
+	if cfg.Now == nil {
+		cfg.Now = func() time.Duration { return 0 }
+	}
+	m := New(cfg)
+	for i := 0; i < nodes; i++ {
+		m.SetSelf(i, core.MemberID(string(rune('a'+i))))
+	}
+	return m
+}
+
+func view(id string, members ...core.MemberID) core.View {
+	return core.View{ID: id, Members: members}
+}
+
+// The hot path must not allocate once warmed up: steady-state re-observation
+// of the current view, in-window deliveries and ownership flips on a known
+// shard are the events an always-on production monitor sees millions of
+// times. This is the PR's allocation pin.
+func TestOnlineHotPathAllocationFree(t *testing.T) {
+	reg := metrics.New()
+	m := onlineMonitor(2, Config{Metrics: reg, Shards: []string{"web1"}})
+	v1 := view("v1", "a", "b")
+	ring := gcs.RingID{Coord: "10.0.0.1:4803", Epoch: 1}
+
+	// Warm-up: first sight of the view, the ring and the shard allocates
+	// (window, pinned member list, lastSeq entries); afterwards it must not.
+	m.OnView(0, v1)
+	m.OnView(1, v1)
+	var seq uint64
+	for k := 0; k < 8; k++ {
+		seq++
+		m.OnDelivery(0, ring, seq, "10.0.0.1:4803")
+		m.OnDelivery(1, ring, seq, "10.0.0.1:4803")
+	}
+	m.OnOwnership(0, "web1", true, "v1")
+
+	if avg := testing.AllocsPerRun(200, func() { m.OnView(0, v1) }); avg != 0 {
+		t.Errorf("OnView steady state allocates %v per event, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		seq++
+		m.OnDelivery(0, ring, seq, "10.0.0.1:4803")
+	}); avg != 0 {
+		t.Errorf("OnDelivery steady state allocates %v per event, want 0", avg)
+	}
+	owned := true
+	if avg := testing.AllocsPerRun(200, func() {
+		owned = !owned
+		m.OnOwnership(0, "web1", owned, "v1")
+	}); avg != 0 {
+		t.Errorf("OnOwnership steady state allocates %v per event, want 0", avg)
+	}
+	if v := m.Violation(); v != nil {
+		t.Fatalf("pin workload tripped an oracle: %v", v)
+	}
+	if got := reg.Counter("invariant_violations_total", "").Value(); got != 0 {
+		t.Fatalf("invariant_violations_total = %d, want 0", got)
+	}
+	if got := reg.Counter("invariant_delivery_events_total", "").Value(); got == 0 {
+		t.Fatal("invariant_delivery_events_total not exported")
+	}
+}
+
+func TestOnlineDeliveryRegression(t *testing.T) {
+	m := onlineMonitor(1, Config{})
+	ring := gcs.RingID{Coord: "c", Epoch: 1}
+	m.OnDelivery(0, ring, 5, "c")
+	m.OnDelivery(0, ring, 5, "c")
+	v := m.Violation()
+	if v == nil || v.Oracle != OracleDeliveryOrder {
+		t.Fatalf("violation = %v, want delivery-order", v)
+	}
+	if want := "server 0 delivered ring c/1 seq 5 after seq 5"; v.Detail != want {
+		t.Fatalf("detail = %q, want %q", v.Detail, want)
+	}
+}
+
+func TestOnlineOriginConflict(t *testing.T) {
+	m := onlineMonitor(2, Config{})
+	ring := gcs.RingID{Coord: "c", Epoch: 1}
+	m.OnDelivery(0, ring, 7, "x")
+	m.OnDelivery(1, ring, 7, "y")
+	v := m.Violation()
+	if v == nil || v.Oracle != OracleDeliveryOrder || !strings.Contains(v.Detail, "but x elsewhere") {
+		t.Fatalf("violation = %v, want origin conflict", v)
+	}
+}
+
+// A seq that has already fallen out of the window cannot conflict anymore;
+// the bounded monitor must stay silent rather than compare against a
+// recycled slot.
+func TestOnlineWindowForgetsOldSeqs(t *testing.T) {
+	m := onlineMonitor(2, Config{Window: 8})
+	ring := gcs.RingID{Coord: "c", Epoch: 1}
+	for seq := uint64(1); seq <= 20; seq++ {
+		m.OnDelivery(0, ring, seq, "x")
+	}
+	// Node 1 trails far behind the window with a different origin: stale,
+	// not a conflict.
+	m.OnDelivery(1, ring, 2, "y")
+	if v := m.Violation(); v != nil {
+		t.Fatalf("stale delivery outside the window tripped: %v", v)
+	}
+}
+
+func TestOnlineViewOrderIncremental(t *testing.T) {
+	m := onlineMonitor(2, Config{})
+	m.OnView(0, view("v1", "a"))
+	m.OnView(0, view("v2", "a", "b"))
+	m.OnView(1, view("v2", "a", "b"))
+	m.OnView(1, view("v1", "a"))
+	v := m.Violation()
+	if v == nil || v.Oracle != OracleViewOrder {
+		t.Fatalf("violation = %v, want view-order", v)
+	}
+	if want := "servers 0 and 1 installed views v2 and v1 in opposite orders"; v.Detail != want {
+		t.Fatalf("detail = %q, want %q", v.Detail, want)
+	}
+}
+
+func TestOnlineViewIdentity(t *testing.T) {
+	m := onlineMonitor(2, Config{})
+	m.OnView(0, view("v1", "a", "b"))
+	m.OnView(1, view("v1", "a"))
+	v := m.Violation()
+	if v == nil || v.Oracle != OracleViewOrder || !strings.Contains(v.Detail, "diverging member lists") {
+		t.Fatalf("violation = %v, want diverging member lists", v)
+	}
+}
+
+func TestOnlineForeignClaim(t *testing.T) {
+	t.Run("stale view", func(t *testing.T) {
+		m := onlineMonitor(1, Config{})
+		m.OnView(0, view("v2", "a"))
+		m.OnOwnership(0, "web1", true, "v1")
+		v := m.Violation()
+		if v == nil || v.Oracle != OracleForeignClaim {
+			t.Fatalf("violation = %v, want foreign-claim", v)
+		}
+	})
+	t.Run("not a member", func(t *testing.T) {
+		m := onlineMonitor(1, Config{})
+		m.SetSelf(0, "z")
+		m.OnView(0, view("v1", "a", "b"))
+		m.OnOwnership(0, "web1", true, "v1")
+		v := m.Violation()
+		if v == nil || v.Oracle != OracleForeignClaim || !strings.Contains(v.Detail, "outside its view") {
+			t.Fatalf("violation = %v, want outside-view claim", v)
+		}
+	})
+}
+
+func TestShardTracking(t *testing.T) {
+	reg := metrics.New()
+	m := onlineMonitor(3, Config{Metrics: reg, Shards: []string{"web1", "web2"}})
+	gauge := reg.Gauge("invariant_shard_multi_owner", "")
+	m.OnView(0, view("v1", "a", "b", "c"))
+	m.OnView(1, view("v1", "a", "b", "c"))
+	m.OnOwnership(0, "web1", true, "v1")
+	if got := m.ShardOwners("web1"); got != 1 {
+		t.Fatalf("ShardOwners(web1) = %d, want 1", got)
+	}
+	if gauge.Value() != 0 {
+		t.Fatalf("multi-owner gauge = %d, want 0", gauge.Value())
+	}
+	m.OnOwnership(1, "web1", true, "v1")
+	if got := m.ShardOwners("web1"); got != 2 {
+		t.Fatalf("ShardOwners(web1) = %d, want 2", got)
+	}
+	if gauge.Value() != 1 {
+		t.Fatalf("multi-owner gauge = %d, want 1", gauge.Value())
+	}
+	m.OnOwnership(0, "web1", false, "v1")
+	if gauge.Value() != 0 {
+		t.Fatalf("multi-owner gauge after release = %d, want 0", gauge.Value())
+	}
+	if got := m.ShardOwners("web3"); got != 0 {
+		t.Fatalf("ShardOwners(unseen) = %d, want 0", got)
+	}
+}
+
+func TestFirstViolationWins(t *testing.T) {
+	var calls []string
+	m := onlineMonitor(1, Config{OnViolation: func(v *Violation) { calls = append(calls, v.Detail) }})
+	m.Fail(OracleConvergence, "first")
+	m.Fail(OracleExactlyOnce, "second")
+	ring := gcs.RingID{Coord: "c", Epoch: 1}
+	m.OnDelivery(0, ring, 3, "c")
+	m.OnDelivery(0, ring, 3, "c") // would be a violation on its own
+	if v := m.Violation(); v == nil || v.Detail != "first" {
+		t.Fatalf("violation = %v, want the first failure", v)
+	}
+	if len(calls) != 1 || calls[0] != "first" {
+		t.Fatalf("OnViolation calls = %v, want exactly [first]", calls)
+	}
+}
+
+func TestArtifactDump(t *testing.T) {
+	dir := t.TempDir()
+	tracer := obs.New(64, nil)
+	m := onlineMonitor(1, Config{
+		Tracer:      tracer,
+		ArtifactDir: dir,
+		Name:        "unit",
+		Meta:        map[string]string{"seed": "7"},
+	})
+	m.OnView(0, view("v1", "a"))
+	m.Fail(OracleExactlyOnce, "deliberate")
+	artifact, trace, err := m.ArtifactPaths()
+	if err != nil {
+		t.Fatalf("artifact dump: %v", err)
+	}
+	if artifact != filepath.Join(dir, "unit-violation.json") {
+		t.Fatalf("artifact path = %q", artifact)
+	}
+	raw, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got MonitorArtifact
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("artifact not valid JSON: %v", err)
+	}
+	if got.Name != "unit" || got.Meta["seed"] != "7" || !got.Violation.Equal(m.Violation()) {
+		t.Fatalf("artifact round-trip mismatch: %+v", got)
+	}
+	if got.Installs != 1 {
+		t.Fatalf("artifact installs = %d, want 1", got.Installs)
+	}
+	if _, err := os.Stat(trace); err != nil {
+		t.Fatalf("trace tail missing: %v", err)
+	}
+	// The trace tail must include the invariant-violation event itself.
+	tail, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace tail unreadable: %v", err)
+	}
+	found := false
+	for _, line := range strings.Split(strings.TrimSpace(string(tail)), "\n") {
+		var e obs.Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("trace tail line %q: %v", line, err)
+		}
+		if e.Kind == obs.KindInvariantViolation && e.Group == OracleExactlyOnce {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("trace tail lacks the invariant-violation event")
+	}
+}
+
+// Every exported method must be a no-op on a nil monitor, so call sites can
+// arm monitors conditionally without branching.
+func TestNilMonitor(t *testing.T) {
+	var m *Monitor
+	m.OnView(0, view("v1", "a"))
+	m.OnDelivery(0, gcs.RingID{Coord: "c", Epoch: 1}, 1, "c")
+	m.OnOwnership(0, "web1", true, "v1")
+	m.CheckOrder()
+	m.SetStep(3)
+	m.SetNow(func() time.Duration { return 0 })
+	m.SetSelf(0, "a")
+	m.Fail(OracleConvergence, "x")
+	if m.Violation() != nil || m.Installs() != 0 || m.Deliveries() != 0 || m.ShardOwners("g") != 0 {
+		t.Fatal("nil monitor reported state")
+	}
+}

@@ -1,0 +1,97 @@
+package invariant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wackamole/internal/obs"
+)
+
+// MonitorArtifact is the replayable record a Monitor dumps on its first
+// violation: the violation itself plus the metadata a human (or harness)
+// needs to reconstruct the run that tripped it. It mirrors the checker's
+// artifact shape — the checker's own artifacts stay richer because they
+// embed the full fault schedule; a monitor observing an arbitrary workload
+// can only record what it was told via Config.Meta (seed, topology, fault
+// plan, CLI flags).
+type MonitorArtifact struct {
+	// Name is the monitor's Config.Name.
+	Name string `json:"name"`
+	// Meta is the caller-supplied run context (Config.Meta).
+	Meta map[string]string `json:"meta,omitempty"`
+	// Violation is the first oracle failure (same wire shape as checker
+	// artifacts, so wacktrace/wackcheck tooling reads it unchanged).
+	Violation *Violation `json:"violation"`
+	// Installs and Deliveries summarize how much protocol activity the
+	// monitor had observed when the violation fired.
+	Installs   uint64 `json:"installs"`
+	Deliveries uint64 `json:"deliveries"`
+}
+
+// dumpArtifact writes the violation artifact (and, when a tracer is
+// armed, the trace tail as NDJSON) into cfg.ArtifactDir. Called once, on
+// the first violation, outside the monitor lock.
+func (m *Monitor) dumpArtifact(v *Violation) {
+	m.mu.Lock()
+	art := MonitorArtifact{
+		Name:       m.cfg.Name,
+		Meta:       m.cfg.Meta,
+		Violation:  v,
+		Installs:   m.installs,
+		Deliveries: m.delivers,
+	}
+	m.mu.Unlock()
+
+	record := func(artifact, trace string, err error) {
+		m.mu.Lock()
+		m.artifactPath, m.tracePath, m.artifactErr = artifact, trace, err
+		m.mu.Unlock()
+	}
+
+	if err := os.MkdirAll(m.cfg.ArtifactDir, 0o755); err != nil {
+		record("", "", fmt.Errorf("invariant: artifact dir: %w", err))
+		return
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		record("", "", fmt.Errorf("invariant: marshal artifact: %w", err))
+		return
+	}
+	apath := filepath.Join(m.cfg.ArtifactDir, m.cfg.Name+"-violation.json")
+	if err := os.WriteFile(apath, append(data, '\n'), 0o644); err != nil {
+		record("", "", fmt.Errorf("invariant: write artifact: %w", err))
+		return
+	}
+
+	tpath := ""
+	if m.cfg.Tracer.Enabled() {
+		tpath = filepath.Join(m.cfg.ArtifactDir, m.cfg.Name+"-trace.ndjson")
+		f, err := os.Create(tpath)
+		if err != nil {
+			record(apath, "", fmt.Errorf("invariant: write trace: %w", err))
+			return
+		}
+		werr := obs.WriteNDJSON(f, m.cfg.Tracer.Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			record(apath, "", fmt.Errorf("invariant: write trace: %w", werr))
+			return
+		}
+	}
+	record(apath, tpath, nil)
+}
+
+// ArtifactPaths reports where the violation artifact and trace tail were
+// written ("" when not written), plus any write error.
+func (m *Monitor) ArtifactPaths() (artifact, trace string, err error) {
+	if m == nil {
+		return "", "", nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.artifactPath, m.tracePath, m.artifactErr
+}

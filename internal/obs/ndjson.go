@@ -47,12 +47,12 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	*e = Event{Seq: w.Seq, At: at, Node: w.Node, Group: w.Group, Addr: w.Addr, Detail: w.Detail}
-	for s := SourceGCS; s <= SourceWatchdog; s++ {
+	for s := SourceGCS; s <= SourceInvariant; s++ {
 		if s.String() == w.Source {
 			e.Source = s
 		}
 	}
-	for k := KindHeartbeatMiss; k <= KindWatchdogFire; k++ {
+	for k := KindHeartbeatMiss; k <= KindInvariantViolation; k++ {
 		if k.String() == w.Kind {
 			e.Kind = k
 		}

@@ -36,6 +36,9 @@ const (
 	SourceWatchdog
 	// SourceFlow: the connection-oriented traffic layer (internal/flow).
 	SourceFlow
+	// SourceInvariant: the always-on protocol-invariant monitor
+	// (internal/invariant).
+	SourceInvariant
 )
 
 // String names the source.
@@ -51,6 +54,8 @@ func (s Source) String() string {
 		return "watchdog"
 	case SourceFlow:
 		return "flow"
+	case SourceInvariant:
+		return "invariant"
 	default:
 		return fmt.Sprintf("source(%d)", uint8(s))
 	}
@@ -120,6 +125,10 @@ const (
 	KindFlowRetransmit
 	// KindFlowClose: a connection closed gracefully (FIN).
 	KindFlowClose
+
+	// KindInvariantViolation: a protocol-invariant monitor detected a
+	// violated oracle (Group carries the oracle name).
+	KindInvariantViolation
 )
 
 // String names the kind.
@@ -175,6 +184,8 @@ func (k Kind) String() string {
 		return "flow-retransmit"
 	case KindFlowClose:
 		return "flow-close"
+	case KindInvariantViolation:
+		return "invariant-violation"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -56,6 +56,10 @@ type Options struct {
 	ShareARP bool
 	// Port is the daemon's UDP port; zero means wackamole.DefaultPort.
 	Port uint16
+	// OnNode, if set, runs after the node is built but before Start, so
+	// observation hooks (invariant monitors) can attach without missing
+	// boot events.
+	OnNode func(n *wackamole.Node)
 }
 
 // PhysicalRouter is one member of a virtual router.
@@ -128,6 +132,9 @@ func New(opts Options) (*PhysicalRouter, error) {
 				ripProc.Stop()
 			}
 		})
+	}
+	if opts.OnNode != nil {
+		opts.OnNode(node)
 	}
 	return r, nil
 }
