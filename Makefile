@@ -3,7 +3,7 @@
 # Benchmarks committed with a PR. `make bench` reruns the three headline
 # benchmarks (simulation throughput, flow round-trip, Table 1 end-to-end)
 # with allocation counts and refreshes the JSON snapshot via cmd/benchjson.
-BENCH_OUT ?= BENCH_pr6.json
+BENCH_OUT ?= BENCH_pr7.json
 BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1)$$
 
 .PHONY: all build test race bench

@@ -4,6 +4,12 @@
 //	wackactl -control 127.0.0.1:4804 status
 //	wackactl -control 127.0.0.1:4804 balance
 //	wackactl -control 127.0.0.1:4804 leave
+//	wackactl -control 127.0.0.1:4804 dump
+//
+// dump spills a flight-recorder bundle (requires flight_dir in the daemon's
+// configuration) and prints the bundle directory; it is served off the
+// protocol loop, so it works even when the daemon is wedged. Merge bundles
+// from several nodes with cmd/wackrec.
 package main
 
 import (

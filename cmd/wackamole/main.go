@@ -30,6 +30,7 @@ import (
 	"wackamole/internal/ctl"
 	"wackamole/internal/env"
 	"wackamole/internal/env/realtime"
+	"wackamole/internal/gcs"
 	"wackamole/internal/invariant"
 	"wackamole/internal/ipmgr"
 	"wackamole/internal/metrics"
@@ -38,7 +39,9 @@ import (
 
 func main() {
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	// SIGQUIT is the classic black-box trigger: dump a flight bundle and
+	// keep running (when flight_dir is set; otherwise it stops the daemon).
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
 	os.Exit(run(os.Args[1:], sig, os.Stderr))
 }
 
@@ -101,14 +104,68 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 	}
 	var tracer *obs.Tracer
 	var registry *metrics.Registry
-	if cfg.Metrics != "" {
+	if cfg.Metrics != "" || cfg.FlightDir != "" {
 		// Wall-clock tracing feeds /debug/events; installed before Start so
 		// the bootstrap discovery is captured too. The registry upgrades
-		// /metrics to Prometheus text format with latency histograms.
+		// /metrics to Prometheus text format with latency histograms. The
+		// HLC makes this daemon's trace causally mergeable with its peers'
+		// (cmd/wackrec): wire messages carry the clock, events carry stamps,
+		// and observed clock skew lands on the obs_hlc_skew_ns gauge.
 		tracer = obs.New(4096, nil)
 		node.SetTracer(tracer)
 		registry = metrics.New()
 		node.SetMetrics(registry)
+		hlc := obs.NewHLCClock(nil, cfg.Bind)
+		hlc.SetMetrics(registry)
+		node.SetHLC(hlc)
+	}
+	legacyCounters := func() map[string]uint64 {
+		ds, es := node.Daemon().Stats(), node.Engine().Stats()
+		return map[string]uint64{
+			"gcs_memberships_installed": ds.MembershipsInstalled,
+			"gcs_reconfigurations":      ds.Reconfigurations,
+			"gcs_tokens_forwarded":      ds.TokensForwarded,
+			"gcs_data_sent":             ds.DataSent,
+			"gcs_data_retransmitted":    ds.DataRetransmitted,
+			"gcs_data_delivered":        ds.DataDelivered,
+			"gcs_recovery_flushes":      ds.RecoveryFlushes,
+			"core_acquires":             es.Acquires,
+			"core_releases":             es.Releases,
+			"core_announces":            es.Announces,
+			"obs_events_emitted":        tracer.Emitted(),
+			"obs_events_dropped":        tracer.Dropped(),
+		}
+	}
+	var recorder *obs.FlightRecorder
+	if cfg.FlightDir != "" {
+		// The black box: a bounded in-memory record of recent protocol life,
+		// spilled as an atomic bundle on SIGQUIT, `wackactl dump`, an
+		// invariant trip, or a failover slower than flight_threshold.
+		raw, rerr := os.ReadFile(*cfgPath)
+		if rerr != nil {
+			raw = []byte(fmt.Sprintf("# unreadable at dump time: %v\n", rerr))
+		}
+		recorder = obs.NewFlightRecorder(obs.FlightConfig{
+			Dir:                   cfg.FlightDir,
+			Node:                  cfg.Bind,
+			Tracer:                tracer,
+			Metrics:               legacyCounters,
+			Registry:              registry,
+			Config:                string(raw),
+			InterruptionThreshold: cfg.FlightThreshold,
+			Profile:               cfg.FlightProfile,
+			Log: func(format string, args ...any) {
+				fmt.Fprintf(notices, "wackamole: "+format+"\n", args...)
+			},
+		})
+		node.Daemon().AddMembershipHandler(func(ring gcs.RingID, members []gcs.DaemonID) {
+			ms := make([]string, len(members))
+			for i, m := range members {
+				ms[i] = string(m)
+			}
+			recorder.RecordView(ring.String(), ms)
+		})
+		fmt.Fprintf(notices, "wackamole: flight recorder armed, bundles under %s\n", cfg.FlightDir)
 	}
 	if cfg.Invariants {
 		// The always-on monitors watch this daemon's own hook streams. With
@@ -124,6 +181,9 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 			Meta:        map[string]string{"bind": cfg.Bind, "group": cfg.Group},
 			OnViolation: func(v *invariant.Violation) {
 				fmt.Fprintf(notices, "wackamole: invariant violation: %v\n", v)
+				// Off this goroutine: the violation hook runs on the
+				// protocol path and a dump is file I/O.
+				go recorder.Dump("invariant:" + v.Oracle)
 			},
 		})
 		mon.Attach(0, node)
@@ -143,23 +203,11 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 	if cfg.Metrics != "" {
 		// Stats() snapshots are atomic, so the handler reads them directly
 		// without posting to the loop.
-		obsSrv, err = obs.Serve(cfg.Metrics, func() map[string]uint64 {
-			ds, es := node.Daemon().Stats(), node.Engine().Stats()
-			return map[string]uint64{
-				"gcs_memberships_installed": ds.MembershipsInstalled,
-				"gcs_reconfigurations":      ds.Reconfigurations,
-				"gcs_tokens_forwarded":      ds.TokensForwarded,
-				"gcs_data_sent":             ds.DataSent,
-				"gcs_data_retransmitted":    ds.DataRetransmitted,
-				"gcs_data_delivered":        ds.DataDelivered,
-				"gcs_recovery_flushes":      ds.RecoveryFlushes,
-				"core_acquires":             es.Acquires,
-				"core_releases":             es.Releases,
-				"core_announces":            es.Announces,
-				"obs_events_emitted":        tracer.Emitted(),
-				"obs_events_dropped":        tracer.Dropped(),
-			}
-		}, tracer, registry)
+		h := obs.NewHandler(legacyCounters, tracer, registry)
+		if cfg.Pprof {
+			h.EnableProfiling()
+		}
+		obsSrv, err = obs.ServeHandler(cfg.Metrics, h)
 		if err != nil {
 			fmt.Fprintf(notices, "wackamole: %v\n", err)
 			loop.Post(node.Stop)
@@ -167,6 +215,9 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 			return 1
 		}
 		fmt.Fprintf(notices, "wackamole: metrics endpoint on http://%s/metrics\n", obsSrv.Addr())
+		if cfg.Pprof {
+			fmt.Fprintf(notices, "wackamole: profiling enabled on http://%s/debug/pprof/\n", obsSrv.Addr())
+		}
 	}
 
 	var ctlSrv *ctl.Server
@@ -178,10 +229,19 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 			loop.Close()
 			return 1
 		}
+		ctlSrv.SetRecorder(recorder)
 		fmt.Fprintf(notices, "wackamole: control channel on %s\n", ctlSrv.Addr())
 	}
 
-	<-stop
+	for s := range stop {
+		if s == syscall.SIGQUIT && recorder != nil {
+			if dir, derr := recorder.Dump("sigquit"); derr == nil {
+				fmt.Fprintf(notices, "wackamole: SIGQUIT flight bundle: %s\n", dir)
+			}
+			continue
+		}
+		break
+	}
 	fmt.Fprintln(notices, "wackamole: shutting down")
 	if obsSrv != nil {
 		if err := obsSrv.Close(); err != nil {

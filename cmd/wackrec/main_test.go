@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/forensics"
+	"wackamole/internal/obs"
+)
+
+var base = time.Unix(1_700_000_000, 0).UTC()
+
+func hlcAt(d time.Duration) obs.HLC {
+	return obs.HLC{Wall: base.Add(d).UnixNano()}
+}
+
+// writeCluster dumps a two-survivor failover scenario into dir and returns
+// the gaps.json path for it.
+func writeCluster(t *testing.T, dir string) string {
+	t.Helper()
+	dump := func(node string, events []obs.Event) {
+		tr := obs.New(256, func() time.Time { return base })
+		for _, ev := range events {
+			tr.Emit(ev)
+		}
+		f := obs.NewFlightRecorder(obs.FlightConfig{
+			Dir: dir, Node: node, Tracer: tr,
+			Now: func() time.Time { return base.Add(time.Hour) },
+		})
+		if _, err := f.Dump("test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump("a", []obs.Event{
+		{At: base.Add(200 * time.Millisecond), HLC: hlcAt(200 * time.Millisecond),
+			Source: obs.SourceGCS, Kind: obs.KindGatherEnter, Node: "a"},
+		{At: base.Add(500 * time.Millisecond), HLC: hlcAt(500 * time.Millisecond),
+			Source: obs.SourceGCS, Kind: obs.KindInstall, Node: "a"},
+		{At: base.Add(800 * time.Millisecond), HLC: hlcAt(800 * time.Millisecond),
+			Source: obs.SourceCore, Kind: obs.KindAcquire, Node: "a", Addr: "10.0.0.100"},
+	})
+	dump("c", []obs.Event{
+		{At: base.Add(250 * time.Millisecond), HLC: hlcAt(250 * time.Millisecond),
+			Source: obs.SourceGCS, Kind: obs.KindGatherEnter, Node: "c"},
+	})
+
+	gaps := []forensics.Gap{{Target: "10.0.0.100", Start: base, End: base.Add(900 * time.Millisecond)}}
+	raw, err := json.Marshal(gaps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "gaps.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReconstructsAndGates(t *testing.T) {
+	dir := t.TempDir()
+	gaps := writeCluster(t, dir)
+	merged := filepath.Join(t.TempDir(), "merged.ndjson")
+
+	var out, errW bytes.Buffer
+	code := run([]string{"-gaps", gaps, "-o", merged, "-require", "1", "-timelines", dir}, &out, &errW)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errW.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"2 bundles, 2 nodes, 4 events merged",
+		"detector=a acquirer=a",
+		"detection", "membership", "state-sync", "arp-takeover",
+		"10.0.0.100",
+		"all 1 failover(s) consistent",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+
+	first, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("merged timeline empty")
+	}
+	// Second run over the same bundles is byte-identical.
+	merged2 := filepath.Join(t.TempDir(), "merged2.ndjson")
+	if code := run([]string{"-gaps", gaps, "-o", merged2, dir}, &out, &errW); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, errW.String())
+	}
+	second, err := os.ReadFile(merged2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("repeated merge not byte-identical")
+	}
+}
+
+func TestRunRequireGateFails(t *testing.T) {
+	dir := t.TempDir()
+	gaps := writeCluster(t, dir)
+	var out, errW bytes.Buffer
+	if code := run([]string{"-gaps", gaps, "-require", "2", dir}, &out, &errW); code != 1 {
+		t.Fatalf("exit %d, want 1 (only one gap supplied)", code)
+	}
+	if !strings.Contains(errW.String(), "require 2") {
+		t.Fatalf("stderr: %s", errW.String())
+	}
+}
+
+func TestRunDetectGapsFallback(t *testing.T) {
+	dir := t.TempDir()
+	dump := func(node string, events []obs.Event) {
+		tr := obs.New(64, func() time.Time { return base })
+		for _, ev := range events {
+			tr.Emit(ev)
+		}
+		f := obs.NewFlightRecorder(obs.FlightConfig{
+			Dir: dir, Node: node, Tracer: tr, Now: func() time.Time { return base },
+		})
+		if _, err := f.Dump("test"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dump("a", []obs.Event{
+		{At: base, HLC: hlcAt(0), Source: obs.SourceCore, Kind: obs.KindAcquire, Node: "a", Addr: "10.0.0.100"},
+		{At: base.Add(time.Second), HLC: hlcAt(time.Second),
+			Source: obs.SourceCore, Kind: obs.KindRelease, Node: "a", Addr: "10.0.0.100"},
+	})
+	dump("b", []obs.Event{
+		{At: base.Add(1500 * time.Millisecond), HLC: hlcAt(1500 * time.Millisecond),
+			Source: obs.SourceCore, Kind: obs.KindAcquire, Node: "b", Addr: "10.0.0.100"},
+	})
+	var out, errW bytes.Buffer
+	code := run([]string{"-detect-gaps", "100ms", "-require", "1", dir}, &out, &errW)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errW.String())
+	}
+	if !strings.Contains(out.String(), "unreachable 500ms") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out, errW bytes.Buffer
+	if code := run(nil, &out, &errW); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{t.TempDir()}, &out, &errW); code != 2 {
+		t.Fatalf("empty dir: exit %d, want 2", code)
+	}
+}

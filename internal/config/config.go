@@ -24,6 +24,10 @@
 //	dry_run true
 //	invariants true           # arm the always-on protocol-invariant monitors
 //	invariant_artifacts /var/lib/wackamole/violations
+//	pprof true                # expose /debug/pprof + /debug/vars on the metrics listener
+//	flight_dir /var/lib/wackamole/flight   # arm the black-box flight recorder
+//	flight_threshold 2s       # auto-dump when a failover runs longer than this
+//	flight_profile true       # include a heap profile in each bundle
 //	vip web1 10.0.0.100
 //	vip vrouter 198.51.100.1 10.1.0.1
 package config
@@ -69,6 +73,21 @@ type File struct {
 	// InvariantArtifacts is the directory a violation's replayable artifact
 	// (and trace tail) is written into; empty disables artifact dumps.
 	InvariantArtifacts string
+	// Pprof enables the /debug/pprof/* and /debug/vars endpoints on the
+	// metrics listener. Off by default: profiles expose process memory and
+	// perturb protocol timing, so only enable on an access-controlled
+	// address.
+	Pprof bool
+	// FlightDir arms the flight recorder: post-mortem bundles (trace tail,
+	// metrics, view history, effective config) are spilled here on SIGQUIT,
+	// `wackactl dump`, an invariant trip, or a slow failover. Empty disables
+	// the recorder.
+	FlightDir string
+	// FlightThreshold is the reconfiguration duration above which the
+	// recorder dumps on its own; zero disables the automatic trigger.
+	FlightThreshold time.Duration
+	// FlightProfile includes a heap profile in every bundle.
+	FlightProfile bool
 
 	GCS            gcs.Config
 	BalanceTimeout time.Duration
@@ -152,6 +171,26 @@ func Parse(r io.Reader) (*File, error) {
 		case "invariant_artifacts":
 			if err = need(1); err == nil {
 				f.InvariantArtifacts = args[0]
+			}
+		case "pprof":
+			if err = need(1); err == nil {
+				f.Pprof, err = strconv.ParseBool(args[0])
+				if err != nil {
+					err = fail("pprof: %v", err)
+				}
+			}
+		case "flight_dir":
+			if err = need(1); err == nil {
+				f.FlightDir = args[0]
+			}
+		case "flight_threshold":
+			err = parseDur(args, &f.FlightThreshold, fail)
+		case "flight_profile":
+			if err = need(1); err == nil {
+				f.FlightProfile, err = strconv.ParseBool(args[0])
+				if err != nil {
+					err = fail("flight_profile: %v", err)
+				}
 			}
 		case "timeouts":
 			if err = need(1); err == nil {

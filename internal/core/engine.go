@@ -196,6 +196,33 @@ func (e *Engine) SetOwnershipHook(h func(group string, owned bool, viewID string
 	e.ownHook = h
 }
 
+// AddViewHook chains h after any previously registered view hook, so
+// independent observers (invariant monitor, flight recorder) can coexist
+// without clobbering each other. Call before Start.
+func (e *Engine) AddViewHook(h func(View)) {
+	if h == nil {
+		return
+	}
+	if prev := e.viewHook; prev != nil {
+		e.viewHook = func(v View) { prev(v); h(v) }
+		return
+	}
+	e.viewHook = h
+}
+
+// AddOwnershipHook chains h after any previously registered ownership hook.
+// Call before Start.
+func (e *Engine) AddOwnershipHook(h func(group string, owned bool, viewID string)) {
+	if h == nil {
+		return
+	}
+	if prev := e.ownHook; prev != nil {
+		e.ownHook = func(g string, owned bool, viewID string) { prev(g, owned, viewID); h(g, owned, viewID) }
+		return
+	}
+	e.ownHook = h
+}
+
 // SetNotifier replaces the ownership-change notifier. Applications that
 // need the daemon to exist before they can build their notifier (the §5.2
 // ARP-cache sharer) install it here after construction; call before Start.

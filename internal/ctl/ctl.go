@@ -14,6 +14,8 @@ import (
 
 	"wackamole"
 	"wackamole/internal/env/realtime"
+	"wackamole/internal/invariant"
+	"wackamole/internal/obs"
 )
 
 // Commands understood by the server.
@@ -21,16 +23,18 @@ const (
 	CmdStatus  = "status"
 	CmdBalance = "balance"
 	CmdLeave   = "leave"
+	CmdDump    = "dump"
 	CmdHelp    = "help"
 )
 
 // Server answers control commands, executing node operations on its loop so
 // the single-threaded protocol contract holds.
 type Server struct {
-	ln   net.Listener
-	loop *realtime.Loop
-	node *wackamole.Node
-	done chan struct{}
+	ln       net.Listener
+	loop     *realtime.Loop
+	node     *wackamole.Node
+	recorder *obs.FlightRecorder
+	done     chan struct{}
 }
 
 // Serve listens on addr (e.g. "127.0.0.1:4804").
@@ -43,6 +47,10 @@ func Serve(addr string, loop *realtime.Loop, node *wackamole.Node) (*Server, err
 	go s.acceptLoop()
 	return s, nil
 }
+
+// SetRecorder arms the dump command with the daemon's flight recorder; nil
+// (the default) makes dump report that no recorder is configured.
+func (s *Server) SetRecorder(f *obs.FlightRecorder) { s.recorder = f }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -81,6 +89,13 @@ func (s *Server) handle(conn net.Conn) {
 // Execute runs one command on the node's loop and returns its response.
 // Exposed for testing and for embedding in other frontends.
 func (s *Server) Execute(cmd string) string {
+	if cmd == CmdDump {
+		// Deliberately NOT posted to the node loop: a dump is file I/O
+		// (potentially slow disk) and the recorder is safe from any
+		// goroutine — the whole point of the flight recorder is to work
+		// when the protocol loop might be wedged.
+		return s.dump()
+	}
 	result := make(chan string, 1)
 	s.loop.Post(func() { result <- s.run(cmd) })
 	select {
@@ -89,6 +104,17 @@ func (s *Server) Execute(cmd string) string {
 	case <-time.After(5 * time.Second):
 		return "error: node loop unresponsive\n"
 	}
+}
+
+func (s *Server) dump() string {
+	if s.recorder == nil {
+		return "error: no flight recorder configured (set flight_dir)\n"
+	}
+	dir, err := s.recorder.Dump("wackactl")
+	if err != nil {
+		return fmt.Sprintf("error: dump failed: %v\n", err)
+	}
+	return fmt.Sprintf("dumped flight bundle: %s\n", dir)
 }
 
 func (s *Server) run(cmd string) string {
@@ -106,7 +132,7 @@ func (s *Server) run(cmd string) string {
 		}
 		return "left service; addresses released\n"
 	case CmdHelp, "":
-		return "commands: status | balance | leave | help\n"
+		return "commands: status | balance | leave | dump | help\n"
 	default:
 		return fmt.Sprintf("error: unknown command %q (try help)\n", cmd)
 	}
@@ -143,6 +169,23 @@ func FormatStatus(node *wackamole.Node) string {
 		if ret := snap.MergedHistogram("gcs_retransmits_per_reconfig"); ret.Count() > 0 {
 			fmt.Fprintf(&b, "repair:  retransmits/reconfig p50=%d p99=%d (%d reconfigs)\n",
 				ret.QuantileCount(0.50), ret.QuantileCount(0.99), ret.Count())
+		}
+		if fam := snap.Family("invariant_oracle_violations_total"); fam != nil {
+			byOracle := map[string]float64{}
+			var total float64
+			for _, ser := range fam.Series {
+				for _, l := range ser.Labels {
+					if l.Key == "oracle" {
+						byOracle[l.Value] += ser.Value
+					}
+				}
+				total += ser.Value
+			}
+			parts := make([]string, 0, len(invariant.Oracles))
+			for _, o := range invariant.Oracles {
+				parts = append(parts, fmt.Sprintf("%s=%d", o, int64(byOracle[o])))
+			}
+			fmt.Fprintf(&b, "invariants: violations=%d (%s)\n", int64(total), strings.Join(parts, " "))
 		}
 	}
 	names := make([]string, 0, len(st.Table))

@@ -106,6 +106,7 @@ type Daemon struct {
 	onMembership MembershipHandler
 	onDelivery   DeliveryHandler
 	tracer       *obs.Tracer
+	hlc          *obs.HLCClock
 	stats        daemonCounters
 
 	// Latency instruments (nil when no registry is installed; observing on a
@@ -296,6 +297,32 @@ func (d *Daemon) SetMembershipHandler(cb MembershipHandler) { d.onMembership = c
 // handler (the default) costs nothing on the delivery path.
 func (d *Daemon) SetDeliveryHandler(cb DeliveryHandler) { d.onDelivery = cb }
 
+// AddMembershipHandler chains cb after any previously registered membership
+// handler, letting independent observers coexist. Call before Start.
+func (d *Daemon) AddMembershipHandler(cb MembershipHandler) {
+	if cb == nil {
+		return
+	}
+	if prev := d.onMembership; prev != nil {
+		d.onMembership = func(ring RingID, members []DaemonID) { prev(ring, members); cb(ring, members) }
+		return
+	}
+	d.onMembership = cb
+}
+
+// AddDeliveryHandler chains cb after any previously registered delivery
+// handler. Call before Start.
+func (d *Daemon) AddDeliveryHandler(cb DeliveryHandler) {
+	if cb == nil {
+		return
+	}
+	if prev := d.onDelivery; prev != nil {
+		d.onDelivery = func(r RingID, seq uint64, origin DaemonID) { prev(r, seq, origin); cb(r, seq, origin) }
+		return
+	}
+	d.onDelivery = cb
+}
+
 // State returns the daemon's protocol state name (for tests and tooling).
 func (d *Daemon) State() string { return d.state.String() }
 
@@ -316,6 +343,12 @@ func (d *Daemon) Stats() Stats {
 // SetTracer installs a structured event tracer (nil disables tracing).
 // Call before Start.
 func (d *Daemon) SetTracer(t *obs.Tracer) { d.tracer = t }
+
+// SetHLC installs a hybrid-logical-clock (nil disables causal stamping).
+// Every outbound message is stamped with the clock at transmit time and
+// every inbound stamp is merged back, so traces on different daemons become
+// causally comparable. Call before Start.
+func (d *Daemon) SetHLC(c *obs.HLCClock) { d.hlc = c }
 
 // SetMetrics installs a latency-metrics registry (nil disables measurement;
 // every instrument then degrades to a no-op). Call before Start.
@@ -373,12 +406,18 @@ func (d *Daemon) cancelProtocolTimers() {
 }
 
 func (d *Daemon) broadcast(payload []byte) {
+	if d.hlc != nil {
+		stampHeader(payload, d.hlc.Now())
+	}
 	if err := d.env.Conn.Broadcast(payload); err != nil {
 		d.env.Log.Logf("gcs %s: broadcast: %v", d.id, err)
 	}
 }
 
 func (d *Daemon) sendTo(id DaemonID, payload []byte) {
+	if d.hlc != nil {
+		stampHeader(payload, d.hlc.Now())
+	}
 	if err := d.env.Conn.SendTo(addrOf(id), payload); err != nil {
 		d.env.Log.Logf("gcs %s: send to %s: %v", d.id, id, err)
 	}
@@ -395,6 +434,9 @@ func (d *Daemon) onPacket(from env.Addr, payload []byte) {
 	if err != nil {
 		d.env.Log.Logf("gcs %s: drop packet from %s: %v", d.id, from, err)
 		return
+	}
+	if d.hlc != nil {
+		d.hlc.Observe(headerHLC(payload))
 	}
 	switch t {
 	case mtAlive:

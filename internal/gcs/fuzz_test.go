@@ -22,7 +22,7 @@ func FuzzPacketDecode(f *testing.F) {
 	f.Add(recoverDataMsg{Ring: ring, OldRing: ring, Msg: dataMsg{Ring: ring, Seq: 1, Origin: "a:1"}}.encode())
 	f.Add(recoverDoneMsg{Ring: ring, Sender: "a:1"}.encode())
 	f.Add([]byte{})
-	f.Add([]byte{'W', 'G', 1, 255})
+	f.Add([]byte{'W', 'G', 2, 255, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := wire.NewReader(data)

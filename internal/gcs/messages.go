@@ -1,11 +1,13 @@
 package gcs
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/obs"
 	"wackamole/internal/wire"
 )
 
@@ -69,7 +71,17 @@ const (
 const (
 	protoMagicA uint8 = 'W'
 	protoMagicB uint8 = 'G'
-	protoVer    uint8 = 1
+	// protoVer 2 widened the header from 4 to 16 bytes: every message now
+	// carries a hybrid-logical-clock stamp (8-byte wall + 4-byte logical)
+	// so receivers can merge the sender's causal clock (internal/obs.HLC).
+	protoVer uint8 = 2
+
+	// hlcOffset is where the HLC stamp sits in the encoded message; encode
+	// leaves it zeroed and the daemon patches it at transmit time
+	// (stampHeader), so message structs stay free of clock plumbing.
+	hlcOffset = 4
+	// headerLen is the full v2 header: magic(2) ver(1) type(1) hlc(12).
+	headerLen = hlcOffset + 12
 )
 
 type aliveMsg struct {
@@ -139,6 +151,8 @@ func writeHeader(w *wire.Writer, t msgType) {
 	w.U8(protoMagicB)
 	w.U8(protoVer)
 	w.U8(uint8(t))
+	w.U64(0) // HLC wall, patched by stampHeader at transmit time
+	w.U32(0) // HLC logical
 }
 
 func readHeader(r *wire.Reader) (msgType, error) {
@@ -149,10 +163,35 @@ func readHeader(r *wire.Reader) (msgType, error) {
 		return 0, fmt.Errorf("gcs: unsupported protocol version %d", v)
 	}
 	t := msgType(r.U8())
+	r.U64() // HLC wall — readers use headerHLC on the raw payload instead
+	r.U32() // HLC logical
 	if err := r.Err(); err != nil {
 		return 0, err
 	}
 	return t, nil
+}
+
+// stampHeader patches ts into payload's header HLC slot in place. Stamping
+// at transmit time (rather than encode time) keeps the clock read as close
+// to the wire as possible and spares every message struct a clock field.
+func stampHeader(payload []byte, ts obs.HLC) {
+	if len(payload) < headerLen {
+		return
+	}
+	binary.BigEndian.PutUint64(payload[hlcOffset:], uint64(ts.Wall))
+	binary.BigEndian.PutUint32(payload[hlcOffset+8:], ts.Logical)
+}
+
+// headerHLC reads the sender's HLC stamp from an encoded message; the zero
+// HLC means the sender had no clock armed.
+func headerHLC(payload []byte) obs.HLC {
+	if len(payload) < headerLen {
+		return obs.HLC{}
+	}
+	return obs.HLC{
+		Wall:    int64(binary.BigEndian.Uint64(payload[hlcOffset:])),
+		Logical: binary.BigEndian.Uint32(payload[hlcOffset+8:]),
+	}
 }
 
 func writeRing(w *wire.Writer, r RingID) {

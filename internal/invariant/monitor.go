@@ -191,6 +191,7 @@ type Monitor struct {
 	violationReported bool
 
 	viewsC, delivC, ownC, violC *metrics.Counter
+	oracleC                     map[string]*metrics.Counter
 	multiG                      *metrics.Gauge
 
 	artifactPath, tracePath string
@@ -242,6 +243,14 @@ func New(cfg Config) *Monitor {
 	m.delivC = reg.Counter("invariant_delivery_events_total", "Agreed deliveries observed by invariant monitors")
 	m.ownC = reg.Counter("invariant_ownership_events_total", "ownership changes observed by invariant monitors")
 	m.violC = reg.Counter("invariant_violations_total", "protocol-invariant violations detected")
+	// Pre-registered per-oracle so /metrics (and wackactl's invariants
+	// line) always exposes every oracle at zero instead of materializing
+	// series only after the first trip.
+	m.oracleC = make(map[string]*metrics.Counter, len(Oracles))
+	for _, o := range Oracles {
+		m.oracleC[o] = reg.Counter("invariant_oracle_violations_total",
+			"protocol-invariant violations detected, by oracle", metrics.L("oracle", o))
+	}
 	m.multiG = reg.Gauge("invariant_shard_multi_owner", "VIP-group shards currently claimed by more than one attached node")
 	return m
 }
@@ -268,11 +277,11 @@ func (m *Monitor) Attach(i int, n Node) {
 	m.mu.Lock()
 	m.selfs[i] = n.Member()
 	m.mu.Unlock()
-	n.Engine().SetViewHook(func(v core.View) { m.OnView(i, v) })
-	n.Engine().SetOwnershipHook(func(g string, owned bool, viewID string) {
+	n.Engine().AddViewHook(func(v core.View) { m.OnView(i, v) })
+	n.Engine().AddOwnershipHook(func(g string, owned bool, viewID string) {
 		m.OnOwnership(i, g, owned, viewID)
 	})
-	n.Daemon().SetDeliveryHandler(func(r gcs.RingID, seq uint64, origin gcs.DaemonID) {
+	n.Daemon().AddDeliveryHandler(func(r gcs.RingID, seq uint64, origin gcs.DaemonID) {
 		m.OnDelivery(i, r, seq, origin)
 	})
 }
@@ -365,6 +374,7 @@ func (m *Monitor) report(v *Violation) {
 		return
 	}
 	m.violC.Inc()
+	m.oracleC[v.Oracle].Inc()
 	if m.cfg.Tracer.Enabled() {
 		m.cfg.Tracer.Emit(obs.Event{
 			Source: obs.SourceInvariant,

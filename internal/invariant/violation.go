@@ -16,6 +16,16 @@ const (
 	OracleForeignClaim  = "foreign-claim"
 )
 
+// Oracles lists every oracle name; the monitor pre-registers one labeled
+// violation counter per entry and tooling (wackactl status) iterates it.
+var Oracles = []string{
+	OracleExactlyOnce,
+	OracleConvergence,
+	OracleViewOrder,
+	OracleDeliveryOrder,
+	OracleForeignClaim,
+}
+
 // Violation is the first oracle failure observed during a run.
 type Violation struct {
 	// Oracle is one of the Oracle* constants.

@@ -2,9 +2,12 @@ package obs
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 
@@ -26,11 +29,13 @@ import (
 // snake_case and stable across releases.
 type MetricsFunc func() map[string]uint64
 
-// Handler serves /metrics and /debug/events.
+// Handler serves /metrics and /debug/events, plus (when profiling is
+// explicitly enabled) /debug/pprof/* and /debug/vars.
 type Handler struct {
-	metrics  MetricsFunc
-	tracer   *Tracer
-	registry *metrics.Registry
+	metrics   MetricsFunc
+	tracer    *Tracer
+	registry  *metrics.Registry
+	profiling bool
 }
 
 // NewHandler builds the observability handler; metrics may be nil (serves
@@ -40,8 +45,40 @@ func NewHandler(metricsFn MetricsFunc, tracer *Tracer, registry *metrics.Registr
 	return &Handler{metrics: metricsFn, tracer: tracer, registry: registry}
 }
 
-// ServeHTTP routes the two endpoints.
+// EnableProfiling turns on the /debug/pprof/* and /debug/vars endpoints
+// (net/http/pprof and expvar). They are off by default and must stay opt-in:
+// profiles expose memory contents and CPU profiling perturbs the protocol
+// timing the daemon exists to keep tight, so only enable them on a loopback
+// or otherwise access-controlled listener (the daemon's `pprof` config
+// directive).
+func (h *Handler) EnableProfiling() { h.profiling = true }
+
+// ServeHTTP routes the endpoints.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.profiling {
+		// Routed explicitly rather than importing pprof's init side effects
+		// into http.DefaultServeMux, which this server never serves from.
+		switch {
+		case r.URL.Path == "/debug/vars":
+			expvar.Handler().ServeHTTP(w, r)
+			return
+		case r.URL.Path == "/debug/pprof/cmdline":
+			pprof.Cmdline(w, r)
+			return
+		case r.URL.Path == "/debug/pprof/profile":
+			pprof.Profile(w, r)
+			return
+		case r.URL.Path == "/debug/pprof/symbol":
+			pprof.Symbol(w, r)
+			return
+		case r.URL.Path == "/debug/pprof/trace":
+			pprof.Trace(w, r)
+			return
+		case strings.HasPrefix(r.URL.Path, "/debug/pprof/"), r.URL.Path == "/debug/pprof":
+			pprof.Index(w, r)
+			return
+		}
+	}
 	switch r.URL.Path {
 	case "/metrics":
 		h.serveMetrics(w)
@@ -95,7 +132,23 @@ func legacyType(key string) string {
 // typed family is the better-specified of the two.
 func (h *Handler) servePrometheus(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", metrics.ContentType)
-	snap := h.registry.Snapshot()
+	// Errors mean the connection died mid-write; nothing recoverable.
+	_ = WriteMetricsProm(w, h.metrics, h.registry)
+}
+
+// WriteMetricsProm writes the full metrics surface — legacy counters as
+// typed families followed by the registry's families — in Prometheus text
+// exposition format 0.0.4. It is the body of the /metrics endpoint, shared
+// with the flight recorder's metrics.prom bundle file. A legacy key that
+// collides with a registry family name (or a histogram's derived
+// _bucket/_sum/_count sample names) is skipped — emitting both would yield
+// duplicate TYPE/sample lines, which strict parsers reject; the registry's
+// typed family is the better-specified of the two.
+func WriteMetricsProm(w io.Writer, metricsFn MetricsFunc, registry *metrics.Registry) error {
+	var snap metrics.Snapshot
+	if registry.Enabled() {
+		snap = registry.Snapshot()
+	}
 	reserved := map[string]bool{}
 	for _, f := range snap.Families {
 		reserved[f.Name] = true
@@ -105,17 +158,24 @@ func (h *Handler) servePrometheus(w http.ResponseWriter) {
 			reserved[f.Name+"_count"] = true
 		}
 	}
-	vals, keys := h.sortedCounters()
+	vals := map[string]uint64{}
+	if metricsFn != nil {
+		vals = metricsFn()
+	}
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	for _, k := range keys {
 		if reserved[k] {
 			continue
 		}
-		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", k, legacyType(k), k, vals[k])
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", k, legacyType(k), k, vals[k]); err != nil {
+			return err
+		}
 	}
-	if err := metrics.WritePrometheus(w, snap); err != nil {
-		// The connection died mid-write; nothing recoverable.
-		return
-	}
+	return metrics.WritePrometheus(w, snap)
 }
 
 // serveLegacyJSON writes the counters as one sorted, indented JSON object,
@@ -156,11 +216,17 @@ type Server struct {
 // "127.0.0.1:4804"); it returns once the listener is bound. registry may be
 // nil, keeping /metrics in the legacy JSON dialect.
 func Serve(addr string, metricsFn MetricsFunc, tracer *Tracer, registry *metrics.Registry) (*Server, error) {
+	return ServeHandler(addr, NewHandler(metricsFn, tracer, registry))
+}
+
+// ServeHandler starts serving a pre-built Handler on addr; callers use it
+// when they need to configure the handler first (EnableProfiling).
+func ServeHandler(addr string, h *Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewHandler(metricsFn, tracer, registry)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
 }

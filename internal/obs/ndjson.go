@@ -10,27 +10,31 @@ import (
 // RFC 3339 timestamps, empty fields elided. One object per line makes the
 // stream greppable and ingestible by any NDJSON tooling.
 type eventJSON struct {
-	Seq    uint64 `json:"seq"`
-	At     string `json:"at"`
-	Source string `json:"source"`
-	Kind   string `json:"kind"`
-	Node   string `json:"node,omitempty"`
-	Group  string `json:"group,omitempty"`
-	Addr   string `json:"addr,omitempty"`
-	Detail string `json:"detail,omitempty"`
+	Seq        uint64 `json:"seq"`
+	At         string `json:"at"`
+	HLCWall    int64  `json:"hlc_wall,omitempty"`
+	HLCLogical uint32 `json:"hlc_logical,omitempty"`
+	Source     string `json:"source"`
+	Kind       string `json:"kind"`
+	Node       string `json:"node,omitempty"`
+	Group      string `json:"group,omitempty"`
+	Addr       string `json:"addr,omitempty"`
+	Detail     string `json:"detail,omitempty"`
 }
 
 // MarshalJSON renders the event in its NDJSON wire shape.
 func (e Event) MarshalJSON() ([]byte, error) {
 	return json.Marshal(eventJSON{
-		Seq:    e.Seq,
-		At:     e.At.Format(time.RFC3339Nano),
-		Source: e.Source.String(),
-		Kind:   e.Kind.String(),
-		Node:   e.Node,
-		Group:  e.Group,
-		Addr:   e.Addr,
-		Detail: e.Detail,
+		Seq:        e.Seq,
+		At:         e.At.Format(time.RFC3339Nano),
+		HLCWall:    e.HLC.Wall,
+		HLCLogical: e.HLC.Logical,
+		Source:     e.Source.String(),
+		Kind:       e.Kind.String(),
+		Node:       e.Node,
+		Group:      e.Group,
+		Addr:       e.Addr,
+		Detail:     e.Detail,
 	})
 }
 
@@ -46,7 +50,11 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return err
 	}
-	*e = Event{Seq: w.Seq, At: at, Node: w.Node, Group: w.Group, Addr: w.Addr, Detail: w.Detail}
+	*e = Event{
+		Seq: w.Seq, At: at,
+		HLC:  HLC{Wall: w.HLCWall, Logical: w.HLCLogical},
+		Node: w.Node, Group: w.Group, Addr: w.Addr, Detail: w.Detail,
+	}
 	for s := SourceGCS; s <= SourceInvariant; s++ {
 		if s.String() == w.Source {
 			e.Source = s

@@ -199,6 +199,10 @@ type Event struct {
 	// At is the emission instant: virtual time under the simulator, wall
 	// time in the real daemon.
 	At time.Time
+	// HLC is the hybrid-logical-clock stamp, set when the tracer has an
+	// HLCClock armed. Zero under the simulator (one virtual clock already
+	// orders everything) and on nodes without forensics enabled.
+	HLC HLC
 	// Source and Kind type the event.
 	Source Source
 	Kind   Kind
@@ -231,6 +235,7 @@ const DefaultCapacity = 1 << 15
 type Tracer struct {
 	mu      sync.Mutex
 	now     func() time.Time
+	hlc     *HLCClock
 	buf     []Event
 	start   int // index of the oldest live event
 	n       int // live events in buf
@@ -260,6 +265,29 @@ func (t *Tracer) SetNow(now func() time.Time) {
 	t.mu.Unlock()
 }
 
+// SetHLC arms hybrid-logical-clock stamping: every subsequently emitted
+// event carries c.Now() in its HLC field, making this node's trace mergeable
+// into a causally consistent cluster-wide timeline (cmd/wackrec). Nil
+// disables stamping.
+func (t *Tracer) SetHLC(c *HLCClock) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hlc = c
+	t.mu.Unlock()
+}
+
+// HLC returns the armed hybrid-logical-clock, nil when stamping is off.
+func (t *Tracer) HLC() *HLCClock {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hlc
+}
+
 // Enabled reports whether events are being recorded. Call sites use it to
 // skip building event details that would allocate.
 func (t *Tracer) Enabled() bool { return t != nil }
@@ -275,6 +303,9 @@ func (t *Tracer) Emit(ev Event) {
 	ev.Seq = t.emitted
 	if ev.At.IsZero() {
 		ev.At = t.now()
+	}
+	if t.hlc != nil && ev.HLC.IsZero() {
+		ev.HLC = t.hlc.Now()
 	}
 	if t.n < len(t.buf) {
 		t.buf[(t.start+t.n)%len(t.buf)] = ev

@@ -84,6 +84,7 @@ type Node struct {
 	ips     *ipmgr.Manager
 	tracer  *obs.Tracer
 	metrics *metrics.Registry
+	hlc     *obs.HLCClock
 	started bool
 	stopped bool
 }
@@ -112,6 +113,21 @@ func (n *Node) SetMetrics(r *metrics.Registry) {
 // Metrics returns the node's installed registry; nil (a valid, disabled
 // registry) when none was set.
 func (n *Node) Metrics() *metrics.Registry { return n.metrics }
+
+// SetHLC installs a hybrid-logical-clock: the daemon stamps every outbound
+// wire message with it and merges inbound stamps, and the node's tracer (if
+// any) stamps every emitted event, so traces from different nodes can be
+// merged into one causally consistent timeline (cmd/wackrec). Call before
+// Start, after SetTracer. Nil disables stamping.
+func (n *Node) SetHLC(c *obs.HLCClock) {
+	n.hlc = c
+	n.daemon.SetHLC(c)
+	n.tracer.SetHLC(c)
+}
+
+// HLC returns the node's installed clock; nil (a valid, disabled clock)
+// when none was set.
+func (n *Node) HLC() *obs.HLCClock { return n.hlc }
 
 // NewNode builds a Node on e. backend performs the platform-specific
 // address manipulation; notify announces ownership changes (nil disables
