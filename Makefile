@@ -1,10 +1,13 @@
 # Convenience targets; everything here is plain `go` — no extra tooling.
 
-# Benchmarks committed with a PR. `make bench` reruns the three headline
-# benchmarks (simulation throughput, flow round-trip, Table 1 end-to-end)
-# with allocation counts and refreshes the JSON snapshot via cmd/benchjson.
-BENCH_OUT ?= BENCH_pr7.json
-BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1)$$
+# Benchmarks committed with a PR. `make bench` reruns the headline
+# benchmarks (simulation throughput, flow round-trip, Table 1 end-to-end,
+# plus the health plane's observe and frame-encode hot paths, which must
+# stay allocation-free) with allocation counts and refreshes the JSON
+# snapshot via cmd/benchjson. The health benchmarks live in
+# ./internal/health, hence the second package on the command line.
+BENCH_OUT ?= BENCH_pr8.json
+BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1|BenchmarkHealthObserve|BenchmarkTelemetryFrame)$$
 
 .PHONY: all build test race bench
 
@@ -20,7 +23,8 @@ race:
 	go test -race ./...
 
 bench:
-	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 . \
+	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 \
+		. ./internal/health \
 		| tee /dev/stderr \
 		| go run ./cmd/benchjson -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"

@@ -31,6 +31,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/env/realtime"
 	"wackamole/internal/gcs"
+	"wackamole/internal/health"
 	"wackamole/internal/invariant"
 	"wackamole/internal/ipmgr"
 	"wackamole/internal/metrics"
@@ -104,7 +105,7 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 	}
 	var tracer *obs.Tracer
 	var registry *metrics.Registry
-	if cfg.Metrics != "" || cfg.FlightDir != "" {
+	if cfg.Metrics != "" || cfg.FlightDir != "" || len(cfg.Telemetry) > 0 {
 		// Wall-clock tracing feeds /debug/events; installed before Start so
 		// the bootstrap discovery is captured too. The registry upgrades
 		// /metrics to Prometheus text format with latency histograms. The
@@ -118,6 +119,15 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 		hlc := obs.NewHLCClock(nil, cfg.Bind)
 		hlc.SetMetrics(registry)
 		node.SetHLC(hlc)
+		// The live health plane rides on the same instruments: the
+		// observe-only phi-accrual monitor shadows the fixed T/H detectors
+		// (health_phi, health_interarrival_ns, phi-suspect trace events)
+		// without influencing them.
+		node.SetHealth(health.NewMonitor(health.Options{
+			Node:    cfg.Bind,
+			Metrics: registry,
+			Tracer:  tracer,
+		}))
 	}
 	legacyCounters := func() map[string]uint64 {
 		ds, es := node.Daemon().Stats(), node.Engine().Stats()
@@ -198,6 +208,12 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 	}
 	fmt.Fprintf(notices, "wackamole: daemon %s up (%d peers, %d vip groups, dry_run=%v)\n",
 		cfg.Bind, len(cfg.Peers), len(cfg.Groups), cfg.DryRun)
+	if len(cfg.Telemetry) > 0 {
+		loop.Post(func() {
+			node.StartTelemetry(cfg.TelemetryInterval, cfg.Telemetry)
+		})
+		fmt.Fprintf(notices, "wackamole: health telemetry streaming to %v\n", cfg.Telemetry)
+	}
 
 	var obsSrv *obs.Server
 	if cfg.Metrics != "" {

@@ -18,6 +18,8 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +28,7 @@ import (
 
 	"wackamole/internal/experiment"
 	"wackamole/internal/experiment/runner"
+	"wackamole/internal/health"
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
 )
@@ -52,6 +55,7 @@ func run(args []string, out io.Writer) int {
 	invariants := fs.Bool("invariants", false, "arm the always-on protocol-invariant monitors on every trial (violations exit nonzero)")
 	invariantDir := fs.String("invariant-artifacts", "", "directory for replayable violation artifacts (implies -invariants)")
 	tracePath := fs.String("trace", "", "capture per-trial structured event streams into this NDJSON file")
+	telemetryPath := fs.String("telemetry", "", "arm the live health plane and write every captured telemetry frame into this NDJSON file (web topology)")
 	promPath := fs.String("prom", "", "write the shared metrics registry in Prometheus exposition format (- for stdout)")
 	progress := fs.Bool("progress", false, "report per-trial progress on stderr")
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +95,7 @@ func run(args []string, out io.Writer) int {
 		Invariants:         *invariants || *invariantDir != "",
 		InvariantArtifacts: *invariantDir,
 		Metrics:            reg,
+		Telemetry:          *telemetryPath != "",
 	}
 	opts := []experiment.Option{experiment.Parallel(*parallel)}
 	if *tracePath != "" {
@@ -127,6 +132,14 @@ func run(args []string, out io.Writer) int {
 			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
 			return 1
 		}
+	}
+	if *telemetryPath != "" {
+		frames, err := writeTelemetry(*telemetryPath, row)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wackload: %d telemetry frames -> %s\n", frames, *telemetryPath)
 	}
 	if *promPath != "" {
 		w := out
@@ -176,4 +189,37 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintln(out, "\ninvariants: all oracles held")
 	}
 	return 0
+}
+
+// writeTelemetry dumps every trial's captured health frames as NDJSON, one
+// seed-annotated frame per line — the offline counterpart of pointing
+// `wackmon -subscribe` at a live cluster.
+func writeTelemetry(path string, row experiment.AvailabilityRow) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w := bufio.NewWriter(f)
+	enc := json.NewEncoder(w)
+	frames := 0
+	for _, r := range row.Results {
+		if r == nil {
+			continue
+		}
+		for i := range r.Frames {
+			if err := enc.Encode(struct {
+				Seed int64 `json:"seed"`
+				health.Frame
+			}{r.Seed, r.Frames[i]}); err != nil {
+				f.Close()
+				return 0, err
+			}
+			frames++
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	return frames, f.Close()
 }

@@ -1,0 +1,242 @@
+// Dashboard mode: instead of joining the ring as an observer daemon,
+// wackmon -subscribe listens for the health telemetry frames every daemon
+// publishes (see internal/health) and renders a live cluster dashboard —
+// per-node status, the VIP ownership map with a multi-owner cross-check,
+// and the full N×N suspicion matrix. The matrix shows every observer's phi
+// against every peer; an asymmetric entry (a suspects b, b does not
+// suspect a) is the signature of a gray failure a single node's view can
+// never expose.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"wackamole/internal/health"
+)
+
+// nodeView is the freshest frame received from one publisher and when it
+// arrived on the monitor's clock.
+type nodeView struct {
+	frame  health.Frame
+	recvAt time.Time
+}
+
+// clusterState accumulates telemetry frames from every publisher. It is
+// owned by the subscribe loop's goroutine; rendering is a pure function of
+// this state so it can be golden-tested.
+type clusterState struct {
+	nodes  map[string]*nodeView
+	frames uint64 // frames accepted
+	bad    uint64 // packets that failed to decode
+}
+
+func newClusterState() *clusterState {
+	return &clusterState{nodes: make(map[string]*nodeView)}
+}
+
+// apply folds one decoded frame into the state. UDP reorders: a frame with
+// an older sequence number than the one already held is dropped, unless the
+// gap is so large that the publisher evidently restarted its numbering.
+func (st *clusterState) apply(f health.Frame, now time.Time) {
+	nv := st.nodes[f.Node]
+	if nv == nil {
+		nv = &nodeView{}
+		st.nodes[f.Node] = nv
+	}
+	if f.Seq < nv.frame.Seq && nv.frame.Seq-f.Seq < 1024 {
+		return // reordered stale frame
+	}
+	nv.frame = f
+	nv.recvAt = now
+	st.frames++
+}
+
+// renderDashboard writes one full dashboard refresh. All output is derived
+// from st, now and staleAfter alone — no hidden clock reads — keeping the
+// rendering deterministic for the golden test.
+func renderDashboard(w io.Writer, st *clusterState, now time.Time, staleAfter time.Duration) {
+	names := make([]string, 0, len(st.nodes))
+	for n := range st.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "wackmon %s | %d nodes, %d frames", now.Format("15:04:05.000"), len(names), st.frames)
+	if st.bad > 0 {
+		fmt.Fprintf(w, ", %d bad packets", st.bad)
+	}
+	fmt.Fprintln(w)
+	if len(names) == 0 {
+		fmt.Fprintln(w, "  (no frames yet)")
+		return
+	}
+
+	// Per-node status table.
+	fmt.Fprintf(w, "  %-4s %-21s %-5s %3s %5s %3s %-3s %9s %9s %s\n",
+		"", "node", "state", "gen", "seq", "mem", "mat", "skew", "pub/drop", "vips")
+	for i, name := range names {
+		nv := st.nodes[name]
+		f := &nv.frame
+		mat := "no"
+		if f.Mature {
+			mat = "yes"
+		}
+		vips := strings.Join(f.Owned, ",")
+		if vips == "" {
+			vips = "-"
+		}
+		line := fmt.Sprintf("  [%d]  %-21s %-5s %3d %5d %3d %-3s %9s %4d/%-4d %s",
+			i, name, f.State, f.Generation, f.Seq, len(f.Members), mat,
+			time.Duration(f.SkewNS).Round(time.Microsecond),
+			f.FramesPublished, f.FramesDropped, vips)
+		if age := now.Sub(nv.recvAt); age > staleAfter {
+			line += fmt.Sprintf("  STALE %s", age.Round(time.Millisecond))
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	// Ownership map: the union of every node's owned set, cross-checked.
+	// Two publishers claiming the same VIP is the split-brain the paper's
+	// §4.2 protocol exists to prevent — flag it loudly.
+	owners := make(map[string][]string)
+	for _, name := range names {
+		for _, v := range st.nodes[name].frame.Owned {
+			owners[v] = append(owners[v], name)
+		}
+	}
+	vips := make([]string, 0, len(owners))
+	for v := range owners {
+		vips = append(vips, v)
+	}
+	sort.Strings(vips)
+	fmt.Fprintln(w, "  ownership:")
+	if len(vips) == 0 {
+		fmt.Fprintln(w, "    (no owned addresses reported)")
+	}
+	for _, v := range vips {
+		line := fmt.Sprintf("    %-12s -> %s", v, strings.Join(owners[v], " "))
+		if len(owners[v]) > 1 {
+			line += "  ** MULTI-OWNER **"
+		}
+		fmt.Fprintln(w, line)
+	}
+
+	// N×N suspicion matrix: row i's frame reports phi against column j.
+	fmt.Fprintln(w, "  suspicion phi (row observes column, '!' = suspected):")
+	fmt.Fprintf(w, "    %-4s", "")
+	for i := range names {
+		fmt.Fprintf(w, " %6s", "["+strconv.Itoa(i)+"]")
+	}
+	fmt.Fprintln(w)
+	for i, observer := range names {
+		fmt.Fprintf(w, "    [%d] ", i)
+		for j, target := range names {
+			cell := "-"
+			if i == j {
+				cell = "."
+			} else if p := peerRow(&st.nodes[observer].frame, target); p != nil {
+				cell = strconv.FormatFloat(p.Phi(), 'f', 1, 64)
+				if p.Suspected {
+					cell += "!"
+				}
+			}
+			fmt.Fprintf(w, " %6s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Asymmetric suspicion: a suspects b while b, still publishing and
+	// tracking a, does not reciprocate — visible only across feeds.
+	for _, a := range names {
+		for _, b := range names {
+			if a == b {
+				continue
+			}
+			ab := peerRow(&st.nodes[a].frame, b)
+			ba := peerRow(&st.nodes[b].frame, a)
+			if ab != nil && ab.Suspected && ba != nil && !ba.Suspected {
+				fmt.Fprintf(w, "  asymmetry: %s suspects %s, not reciprocated (gray failure?)\n", a, b)
+			}
+		}
+	}
+}
+
+// peerRow finds target's row in the frame's suspicion vector.
+func peerRow(f *health.Frame, target string) *health.PeerStatus {
+	for i := range f.Peers {
+		if f.Peers[i].Peer == target {
+			return &f.Peers[i]
+		}
+	}
+	return nil
+}
+
+// recvMsg carries one packet's decode outcome from the reader goroutine.
+type recvMsg struct {
+	frame health.Frame
+	ok    bool
+}
+
+// runSubscribe is wackmon's dashboard mode: listen on addr for telemetry
+// frames and redraw the dashboard every refresh interval. Output is flushed
+// at every frame boundary so a piped terminal tracks the cluster live.
+func runSubscribe(addr string, refresh, staleAfter time.Duration, stop <-chan os.Signal, out io.Writer) int {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		fmt.Fprintf(out, "wackmon: %v\n", err)
+		return 1
+	}
+	defer pc.Close()
+	fmt.Fprintf(out, "wackmon: subscribed on %s (refresh %s)\n", pc.LocalAddr(), refresh)
+	flush(out)
+
+	msgs := make(chan recvMsg, 256)
+	go func() {
+		defer close(msgs)
+		buf := make([]byte, 64*1024)
+		for {
+			n, _, err := pc.ReadFrom(buf)
+			if err != nil {
+				return // closed
+			}
+			f, err := health.DecodeFrame(buf[:n])
+			msgs <- recvMsg{frame: f, ok: err == nil}
+		}
+	}()
+
+	st := newClusterState()
+	ticker := time.NewTicker(refresh)
+	defer ticker.Stop()
+	dirty := false
+	for {
+		select {
+		case m := <-msgs:
+			if m.ok {
+				st.apply(m.frame, time.Now())
+				dirty = true
+			} else {
+				st.bad++
+			}
+		case <-ticker.C:
+			// Redraw when new frames arrived, and also on an idle tick so
+			// staleness markers appear even when every publisher is silent.
+			if dirty || len(st.nodes) > 0 {
+				renderDashboard(out, st, time.Now(), staleAfter)
+				flush(out)
+				dirty = false
+			}
+		case <-stop:
+			fmt.Fprintln(out, "wackmon: leaving")
+			renderDashboard(out, st, time.Now(), staleAfter)
+			flush(out)
+			return 0
+		}
+	}
+}

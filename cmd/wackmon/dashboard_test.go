@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/health"
+)
+
+// goldenFrames builds the three-node fixture: node 0 suspects node 2
+// (unreciprocated — a gray-failure asymmetry), node 2's feed is stale, and
+// web3 is claimed by two publishers at once.
+func goldenFrames(now time.Time, st *clusterState) {
+	st.apply(health.Frame{
+		Node: "10.0.0.10:4803", Seq: 12, State: "run", Mature: true, Generation: 3,
+		Members: []string{"a", "b", "c"}, Owned: []string{"web1", "web3"},
+		SkewNS: -250000, FramesPublished: 12,
+		Peers: []health.PeerStatus{
+			{Peer: "10.0.0.11:4803", PhiMilli: 300, Samples: 40},
+			{Peer: "10.0.0.12:4803", PhiMilli: 12400, Samples: 40, Suspected: true},
+		},
+	}, now.Add(-200*time.Millisecond))
+	st.apply(health.Frame{
+		Node: "10.0.0.11:4803", Seq: 11, State: "run", Mature: true, Generation: 3,
+		Members: []string{"a", "b", "c"}, Owned: []string{"web2"},
+		SkewNS: 120000, FramesPublished: 11,
+		Peers: []health.PeerStatus{
+			{Peer: "10.0.0.10:4803", PhiMilli: 200, Samples: 40},
+			{Peer: "10.0.0.12:4803", PhiMilli: 700, Samples: 40},
+		},
+	}, now.Add(-100*time.Millisecond))
+	st.apply(health.Frame{
+		Node: "10.0.0.12:4803", Seq: 9, State: "run", Mature: true, Generation: 3,
+		Members: []string{"a", "b", "c"}, Owned: []string{"web3", "web4"},
+		SkewNS: 0, FramesPublished: 9, FramesDropped: 2,
+		Peers: []health.PeerStatus{
+			{Peer: "10.0.0.10:4803", PhiMilli: 100, Samples: 40},
+			{Peer: "10.0.0.11:4803", PhiMilli: 400, Samples: 40},
+		},
+	}, now.Add(-5*time.Second))
+}
+
+// TestRenderDashboardGolden pins the rendered dashboard byte-for-byte: the
+// node table with the staleness marker, the ownership map with the
+// multi-owner flag, the N×N matrix and the asymmetry note.
+func TestRenderDashboardGolden(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 678000000, time.UTC)
+	st := newClusterState()
+	goldenFrames(now, st)
+	var buf bytes.Buffer
+	renderDashboard(&buf, st, now, 3*time.Second)
+	want := strings.Join([]string{
+		"wackmon 03:04:05.678 | 3 nodes, 3 frames",
+		"       node                  state gen   seq mem mat      skew  pub/drop vips",
+		"  [0]  10.0.0.10:4803        run     3    12   3 yes    -250µs   12/0    web1,web3",
+		"  [1]  10.0.0.11:4803        run     3    11   3 yes     120µs   11/0    web2",
+		"  [2]  10.0.0.12:4803        run     3     9   3 yes        0s    9/2    web3,web4  STALE 5s",
+		"  ownership:",
+		"    web1         -> 10.0.0.10:4803",
+		"    web2         -> 10.0.0.11:4803",
+		"    web3         -> 10.0.0.10:4803 10.0.0.12:4803  ** MULTI-OWNER **",
+		"    web4         -> 10.0.0.12:4803",
+		"  suspicion phi (row observes column, '!' = suspected):",
+		"            [0]    [1]    [2]",
+		"    [0]       .    0.3  12.4!",
+		"    [1]     0.2      .    0.7",
+		"    [2]     0.1    0.4      .",
+		"  asymmetry: 10.0.0.10:4803 suspects 10.0.0.12:4803, not reciprocated (gray failure?)",
+	}, "\n") + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("dashboard mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderDashboardEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	renderDashboard(&buf, newClusterState(), time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), time.Second)
+	if out := buf.String(); !strings.Contains(out, "(no frames yet)") {
+		t.Fatalf("empty-state render: %q", out)
+	}
+}
+
+// TestClusterStateReorder: UDP reordering must not roll a node's view back,
+// but a publisher restart (sequence reset) must be accepted.
+func TestClusterStateReorder(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	st := newClusterState()
+	st.apply(health.Frame{Node: "a", Seq: 10, View: "new"}, now)
+	st.apply(health.Frame{Node: "a", Seq: 9, View: "old"}, now)
+	if st.nodes["a"].frame.View != "new" || st.frames != 1 {
+		t.Fatalf("reordered frame applied: %+v", st.nodes["a"].frame)
+	}
+	st.apply(health.Frame{Node: "a", Seq: 10000, View: "ahead"}, now)
+	st.apply(health.Frame{Node: "a", Seq: 1, View: "restarted"}, now)
+	if st.nodes["a"].frame.View != "restarted" {
+		t.Fatalf("publisher restart rejected: %+v", st.nodes["a"].frame)
+	}
+}
+
+// TestSubscribeEndToEnd drives the dashboard mode over real loopback UDP:
+// frames (and one garbage packet) go in, a rendered dashboard with both
+// nodes comes out, and the stop signal produces a final render and exit 0.
+func TestSubscribeEndToEnd(t *testing.T) {
+	stop := make(chan os.Signal)
+	var buf flushBuilder
+	done := make(chan int, 1)
+	go func() {
+		done <- runSubscribe("127.0.0.1:0", 50*time.Millisecond, time.Second, stop, &buf)
+	}()
+
+	// The listener reports its actual port in the first flushed line.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("no subscription banner:\n%s", buf.Flushed())
+		}
+		for _, line := range strings.Split(buf.Flushed(), "\n") {
+			if strings.HasPrefix(line, "wackmon: subscribed on ") {
+				addr = strings.Fields(line)[3]
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for seq := uint64(1); seq <= 3; seq++ {
+		for _, node := range []string{"n1", "n2"} {
+			f := health.Frame{
+				Node: node, Seq: seq, State: "run", Mature: true,
+				Owned: []string{"web-" + node},
+				Peers: []health.PeerStatus{{Peer: "other", PhiMilli: 500, Samples: 9}},
+			}
+			if _, err := conn.Write(health.AppendFrame(nil, &f)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if _, err := conn.Write([]byte("not a frame")); err != nil {
+		t.Fatal(err)
+	}
+
+	for {
+		out := buf.Flushed()
+		if strings.Contains(out, "web-n1") && strings.Contains(out, "web-n2") &&
+			strings.Contains(out, "bad packets") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dashboard never showed both nodes:\n%s", out)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	close(stop)
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit = %d", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscribe mode did not exit")
+	}
+	if out := buf.Flushed(); !strings.Contains(out, "wackmon: leaving") {
+		t.Fatalf("no final render:\n%s", out)
+	}
+	if pending := buf.Pending(); pending != "" {
+		t.Fatalf("output still buffered after exit: %q", pending)
+	}
+}

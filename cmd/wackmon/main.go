@@ -11,6 +11,14 @@
 // UDP deployments every daemon's `peers` list must include the monitor's
 // address (broadcast is a static unicast fan-out).
 //
+// With -subscribe the monitor does not join the ring at all: it listens
+// for the health telemetry frames each daemon publishes (`telemetry`
+// directive) and renders a live dashboard — per-node health, the VIP
+// ownership map with a multi-owner cross-check, and the full N×N
+// suspicion matrix whose asymmetries make gray failures visible:
+//
+//	wackmon -subscribe 127.0.0.1:4810 -refresh 1s
+//
 // Note that a monitor daemon joining or leaving triggers a daemon-level
 // reconfiguration (§4.1), which pauses — but does not move — the address
 // allocation for one discovery round.
@@ -53,8 +61,14 @@ func run(args []string, stop <-chan os.Signal, out io.Writer) int {
 	cfgPath := fs.String("config", "wackamole.conf", "cluster configuration file")
 	bind := fs.String("bind", "", "monitor's own address (overrides the config's bind)")
 	interval := fs.Duration("interval", time.Second, "status polling interval")
+	subscribe := fs.String("subscribe", "", "dashboard mode: listen for telemetry frames on this UDP address instead of joining the ring")
+	refresh := fs.Duration("refresh", time.Second, "dashboard redraw interval (with -subscribe)")
+	stale := fs.Duration("stale", 3*time.Second, "mark a node stale after this long without a frame (with -subscribe)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *subscribe != "" {
+		return runSubscribe(*subscribe, *refresh, *stale, stop, out)
 	}
 	cfg, err := config.ParseFile(*cfgPath)
 	if err != nil {

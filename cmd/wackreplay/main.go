@@ -1,0 +1,97 @@
+// Command wackreplay re-publishes a captured health telemetry frame log
+// over UDP, so a frame stream archived by the live test (or by
+// `wackload -telemetry`) can be replayed into `wackmon -subscribe` for
+// offline dashboard debugging:
+//
+//	wackreplay -interval 50ms artifacts/health/frames.ndjson 127.0.0.1:24970
+//
+// Rows are NDJSON-encoded health.Frame values; unknown fields (such as the
+// seed annotation wackload adds) are ignored, so both artifact formats
+// replay as-is. Frames are re-encoded with the wire codec, preserving
+// whatever ordering the log has — wackmon's reorder handling applies just
+// as it would live.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"wackamole/internal/health"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+func run(args []string, errOut io.Writer) int {
+	fs := flag.NewFlagSet("wackreplay", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	interval := fs.Duration("interval", 20*time.Millisecond, "delay between frames")
+	fs.Usage = func() {
+		fmt.Fprintf(errOut, "usage: wackreplay [flags] <frames.ndjson> <host:port>\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	n, err := replay(fs.Arg(0), fs.Arg(1), *interval)
+	if err != nil {
+		fmt.Fprintf(errOut, "wackreplay: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(errOut, "wackreplay: %d frames -> %s\n", n, fs.Arg(1))
+	return 0
+}
+
+// replay streams every frame in the log to addr, returning how many were
+// sent. Unparseable rows abort: a frame log that does not decode is a bug
+// worth surfacing, not skipping.
+func replay(path, addr string, interval time.Duration) (int, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer in.Close()
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return 0, err
+	}
+	defer conn.Close()
+
+	var buf []byte
+	sent := 0
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var f health.Frame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return sent, fmt.Errorf("row %d: %w", sent+1, err)
+		}
+		buf = health.AppendFrame(buf[:0], &f)
+		if _, err := conn.Write(buf); err != nil {
+			return sent, err
+		}
+		sent++
+		if interval > 0 {
+			time.Sleep(interval)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sent, err
+	}
+	return sent, nil
+}

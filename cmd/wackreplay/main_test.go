@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/health"
+	"wackamole/internal/obs"
+)
+
+func TestReplayRoundTrip(t *testing.T) {
+	// A two-row log: one plain frame, one seed-annotated the way
+	// `wackload -telemetry` writes them.
+	frames := []health.Frame{
+		{
+			Node: "10.0.0.1:4803", Seq: 7, HLC: obs.HLC{Wall: 1000, Logical: 2},
+			View: "abc", State: "run", Mature: true, Generation: 3,
+			Members: []string{"10.0.0.1:4803", "10.0.0.2:4803"},
+			Owned:   []string{"web1"},
+			Peers: []health.PeerStatus{
+				{Peer: "10.0.0.2:4803", PhiMilli: 1234, LastHeardNS: 5_000_000, Samples: 9},
+			},
+		},
+		{Node: "10.0.0.2:4803", Seq: 8, State: "run"},
+	}
+	path := filepath.Join(t.TempDir(), "frames.ndjson")
+	var log bytes.Buffer
+	enc := json.NewEncoder(&log)
+	if err := enc.Encode(&frames[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(struct {
+		Seed int64 `json:"seed"`
+		health.Frame
+	}{42, frames[1]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, log.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sub, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	got := make(chan health.Frame, 4)
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, _, err := sub.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			f, err := health.DecodeFrame(buf[:n])
+			if err != nil {
+				continue
+			}
+			got <- f
+		}
+	}()
+
+	n, err := replay(path, sub.LocalAddr().String(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("sent %d frames, want 2", n)
+	}
+	for i := range frames {
+		select {
+		case f := <-got:
+			if f.Node != frames[i].Node || f.Seq != frames[i].Seq {
+				t.Fatalf("frame %d: got %s/%d, want %s/%d",
+					i, f.Node, f.Seq, frames[i].Node, frames[i].Seq)
+			}
+			if i == 0 && (len(f.Peers) != 1 || f.Peers[0].PhiMilli != 1234) {
+				t.Fatalf("frame 0 peers did not survive the round trip: %+v", f.Peers)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := run(nil, &out); code != 2 {
+		t.Fatalf("no args: exit %d, want 2", code)
+	}
+	if !strings.Contains(out.String(), "usage:") {
+		t.Fatalf("usage not printed:\n%s", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"/nonexistent.ndjson", "127.0.0.1:1"}, &out); code != 1 {
+		t.Fatalf("missing log: exit %d, want 1", code)
+	}
+
+	// A corrupt row aborts rather than silently skipping.
+	path := filepath.Join(t.TempDir(), "bad.ndjson")
+	if err := os.WriteFile(path, []byte("{not json}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{path, "127.0.0.1:9"}, &out); code != 1 {
+		t.Fatalf("corrupt log: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "row 1") {
+		t.Fatalf("error does not locate the corrupt row:\n%s", out.String())
+	}
+}

@@ -28,6 +28,8 @@
 //	flight_dir /var/lib/wackamole/flight   # arm the black-box flight recorder
 //	flight_threshold 2s       # auto-dump when a failover runs longer than this
 //	flight_profile true       # include a heap profile in each bundle
+//	telemetry 127.0.0.1:4810  # stream health frames to these subscribers
+//	telemetry_interval 250ms  # publishing period
 //	vip web1 10.0.0.100
 //	vip vrouter 198.51.100.1 10.1.0.1
 package config
@@ -88,6 +90,13 @@ type File struct {
 	FlightThreshold time.Duration
 	// FlightProfile includes a heap profile in every bundle.
 	FlightProfile bool
+	// Telemetry lists subscriber addresses for the live health plane: the
+	// daemon arms the observe-only phi-accrual monitor and streams one
+	// health frame per interval to each address (cmd/wackmon -subscribe).
+	// Empty disables telemetry.
+	Telemetry []string
+	// TelemetryInterval is the frame publishing period; zero means 250ms.
+	TelemetryInterval time.Duration
 
 	GCS            gcs.Config
 	BalanceTimeout time.Duration
@@ -185,6 +194,13 @@ func Parse(r io.Reader) (*File, error) {
 			}
 		case "flight_threshold":
 			err = parseDur(args, &f.FlightThreshold, fail)
+		case "telemetry":
+			if len(args) == 0 {
+				err = fail("telemetry needs at least one subscriber address")
+			}
+			f.Telemetry = append(f.Telemetry, args...)
+		case "telemetry_interval":
+			err = parseDur(args, &f.TelemetryInterval, fail)
 		case "flight_profile":
 			if err = need(1); err == nil {
 				f.FlightProfile, err = strconv.ParseBool(args[0])

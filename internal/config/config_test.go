@@ -126,6 +126,26 @@ func TestRepresentativeDecisionsDirective(t *testing.T) {
 	}
 }
 
+func TestTelemetryDirectives(t *testing.T) {
+	cfg := "bind a:1\npeers a:1\ntelemetry 127.0.0.1:4810 127.0.0.1:4811\ntelemetry_interval 100ms\nvip v 10.0.0.1\n"
+	f, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Telemetry) != 2 || f.Telemetry[0] != "127.0.0.1:4810" {
+		t.Fatalf("telemetry: %+v", f.Telemetry)
+	}
+	if f.TelemetryInterval != 100*time.Millisecond {
+		t.Fatalf("telemetry_interval: %v", f.TelemetryInterval)
+	}
+	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\ntelemetry\nvip v 10.0.0.1\n")); err == nil {
+		t.Fatal("telemetry with no subscribers accepted")
+	}
+	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\ntelemetry_interval soon\nvip v 10.0.0.1\n")); err == nil {
+		t.Fatal("bad telemetry_interval accepted")
+	}
+}
+
 func TestParseFileMissing(t *testing.T) {
 	if _, err := ParseFile("/nonexistent/wackamole.conf"); err == nil {
 		t.Fatal("missing file accepted")

@@ -188,6 +188,19 @@ func FormatStatus(node *wackamole.Node) string {
 			fmt.Fprintf(&b, "invariants: violations=%d (%s)\n", int64(total), strings.Join(parts, " "))
 		}
 	}
+	if h := node.Health(); h != nil {
+		parts := []string{}
+		for _, ph := range h.Snapshot(time.Now()) {
+			parts = append(parts, fmt.Sprintf("%s phi=%.2f last=%s",
+				ph.Peer, ph.Phi, ph.LastHeard.Round(time.Millisecond)))
+		}
+		line := strings.Join(parts, " | ")
+		if line == "" {
+			line = "(no peers)"
+		}
+		fmt.Fprintf(&b, "health:  %s frames pub=%d drop=%d\n",
+			line, node.Telemetry().Published(), node.Telemetry().Dropped())
+	}
 	names := make([]string, 0, len(st.Table))
 	for g := range st.Table {
 		names = append(names, g)

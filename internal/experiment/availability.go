@@ -12,6 +12,7 @@ import (
 	"wackamole/internal/experiment/runner"
 	"wackamole/internal/flow"
 	"wackamole/internal/gcs"
+	"wackamole/internal/health"
 	"wackamole/internal/invariant"
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
@@ -127,6 +128,13 @@ type AvailabilityConfig struct {
 	// disables. With Invariants set it also receives the invariant_*
 	// families.
 	Metrics *metrics.Registry
+	// Telemetry arms the live health plane on every server: per-peer phi
+	// monitors plus the streaming frame publisher, collected in-simulation
+	// and returned on AvailabilityResult.Frames. Web topology only (the
+	// router scenario has no wackamole.Cluster to host the collector). The
+	// publish interval is half the heartbeat interval, so every frame
+	// window sees fresh arrivals.
+	Telemetry bool
 }
 
 func (c AvailabilityConfig) withDefaults() AvailabilityConfig {
@@ -210,6 +218,9 @@ type AvailabilityResult struct {
 	// Violation is the first invariant violation the trial's monitor
 	// observed (nil when monitoring was off or every oracle held).
 	Violation *invariant.Violation
+	// Frames is the health telemetry stream captured in-simulation (empty
+	// unless AvailabilityConfig.Telemetry was set).
+	Frames []health.Frame
 }
 
 // AvailabilityTrial runs one seeded trial and returns the runner sample
@@ -220,6 +231,9 @@ func AvailabilityTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *Avai
 	case TopologyWeb:
 		return availabilityWebTrial(seed, cfg)
 	case TopologyRouter:
+		if cfg.Telemetry {
+			return runner.Sample{}, nil, fmt.Errorf("experiment: telemetry capture requires the web topology")
+		}
 		return availabilityRouterTrial(seed, cfg)
 	default:
 		return runner.Sample{}, nil, fmt.Errorf("experiment: unknown topology %q", cfg.Topology)
@@ -241,6 +255,11 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 	mon := availabilityMonitor(seed, cfg, tr)
 	if mon != nil {
 		mods = append(mods, func(o *wackamole.ClusterOptions) { o.Invariants = mon })
+	}
+	if cfg.Telemetry {
+		mods = append(mods, func(o *wackamole.ClusterOptions) {
+			o.TelemetryInterval = cfg.GCS.HeartbeatInterval / 2
+		})
 	}
 	wc, err := NewWebCluster(seed, cfg.Servers, cfg.GCS, mods...)
 	if err != nil {
@@ -300,6 +319,7 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 
 	res := summarizeTrial(seed, engine, faultAt)
 	engine.Stop()
+	res.Frames = wc.TelemetryFrames
 	sample := runner.Sample{Value: res.Interruption, Metrics: clusterMetrics(wc.Cluster)}
 	attachTrace(&sample, tr, traceReg, res, wc.Target.String())
 	if mon != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wackamole/internal/env"
+	"wackamole/internal/health"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
 	"wackamole/internal/wire"
@@ -107,6 +108,7 @@ type Daemon struct {
 	onDelivery   DeliveryHandler
 	tracer       *obs.Tracer
 	hlc          *obs.HLCClock
+	health       *health.Monitor
 	stats        daemonCounters
 
 	// Latency instruments (nil when no registry is installed; observing on a
@@ -350,6 +352,18 @@ func (d *Daemon) SetTracer(t *obs.Tracer) { d.tracer = t }
 // causally comparable. Call before Start.
 func (d *Daemon) SetHLC(c *obs.HLCClock) { d.hlc = c }
 
+// SetHealth installs a detection-quality monitor (nil disables it). The
+// daemon feeds it every heartbeat and token arrival, resets its peer set on
+// each membership install, and notifies it when the fixed fault-detection
+// timeout declares a member dead — all observe-only; the monitor never
+// influences detection. Call before Start.
+func (d *Daemon) SetHealth(m *health.Monitor) {
+	// The monitor must not model the peer faster than the cadence it is
+	// guaranteed: heartbeats. Token passes still sharpen recency.
+	m.SetMinMean(d.cfg.HeartbeatInterval)
+	d.health = m
+}
+
 // SetMetrics installs a latency-metrics registry (nil disables measurement;
 // every instrument then degrades to a no-op). Call before Start.
 func (d *Daemon) SetMetrics(r *metrics.Registry) {
@@ -518,6 +532,9 @@ func (d *Daemon) armFaultTimer(m DaemonID) {
 			return
 		}
 		d.env.Log.Logf("gcs %s: member %s silent beyond fault-detection timeout", d.id, m)
+		// Health first: if shadow phi crosses only now, its suspect event
+		// must HLC-order before the heartbeat-miss it is measured against.
+		d.health.Detected(string(m), d.env.Clock.Now())
 		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindHeartbeatMiss, Node: string(d.id), Detail: string(m)})
 		d.enterGather("fault:"+string(m), 0)
 	})
@@ -528,6 +545,7 @@ func (d *Daemon) onAlive(m aliveMsg) {
 		return
 	}
 	if m.Ring == d.ring.id && d.ring.contains(m.Sender) {
+		d.health.Observe(string(m.Sender), d.env.Clock.Now())
 		d.armFaultTimer(m.Sender)
 		return
 	}
@@ -998,6 +1016,15 @@ func (d *Daemon) install(form formMsg) {
 	// must not be measured against the previous ring's last token.
 	d.lastTokenAt = time.Time{}
 	d.env.Log.Logf("gcs %s: installed ring %s members=%v", d.id, form.Ring, form.Members)
+	if d.health != nil {
+		peers := make([]string, 0, len(form.Members)-1)
+		for _, m := range form.Members {
+			if m != d.id {
+				peers = append(peers, string(m))
+			}
+		}
+		d.health.SetPeers(form.Ring.Epoch, peers, d.lastRingActivity)
+	}
 	if d.tracer.Enabled() {
 		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindInstall, Node: string(d.id),
 			Group: form.Ring.String(), Detail: fmt.Sprintf("members=%d", len(form.Members))})
@@ -1064,6 +1091,13 @@ func (d *Daemon) onToken(tok tokenMsg) {
 		d.mTokenRotation.ObserveDuration(d.lastRingActivity.Sub(d.lastTokenAt))
 	}
 	d.lastTokenAt = d.lastRingActivity
+	// A token arrival is a liveness signal from the ring predecessor that
+	// forwarded it; heartbeats alone would halve the health plane's signal
+	// rate on small rings.
+	if d.health != nil && len(d.ring.members) > 1 {
+		pred := d.ring.members[(d.ring.selfIdx-1+len(d.ring.members))%len(d.ring.members)]
+		d.health.Observe(string(pred), d.lastRingActivity)
+	}
 
 	// Serve retransmission requests we can satisfy; keep the rest.
 	var rtr []uint64

@@ -1,0 +1,522 @@
+// Package health is the live cluster health plane: per-peer
+// detection-quality instrumentation (inter-arrival histograms, last-heard
+// ages, observe-only phi-accrual suspicion) and a streaming telemetry
+// publisher that ships each daemon's view of the cluster to subscribers
+// such as cmd/wackmon.
+//
+// The phi-accrual estimator (Hayashibara et al., after the Cassandra GMS
+// lineage) is strictly observational in this layer: it runs beside the
+// paper's fixed T/H timeouts (§3, Table 1) and records how much earlier an
+// adaptive detector would have suspected a dead peer, without changing
+// detection behavior. ROADMAP item 4 can later flip it from shadow to
+// authoritative.
+//
+// Like the tracer and the metrics registry, a nil *Monitor and a nil
+// *Publisher are valid disabled instruments: every method is a cheap no-op.
+package health
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"time"
+
+	"wackamole/internal/metrics"
+	"wackamole/internal/obs"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultWindow     = 64
+	DefaultThreshold  = 8.0
+	DefaultMinSamples = 3
+	DefaultMinStdDev  = 10 * time.Millisecond
+
+	// maxPhi caps the suspicion level once the tail probability underflows
+	// float64 (erfc ≈ 0); it also bounds the milli-phi gauge.
+	maxPhi = 300.0
+
+	// HistBuckets is the number of log2 inter-arrival buckets per peer:
+	// bucket i counts intervals with bits.Len64(ns) == i, spanning 1ns to
+	// ~9.2s and beyond (the last bucket absorbs the tail).
+	HistBuckets = 40
+)
+
+// Options configures a Monitor.
+type Options struct {
+	// Node names the observer in metrics labels and trace events.
+	Node string
+	// Window is the number of recent inter-arrival samples kept per peer
+	// (default DefaultWindow).
+	Window int
+	// Threshold is the phi level at which a peer becomes suspected
+	// (default DefaultThreshold). Observe-only: nothing is evicted.
+	Threshold float64
+	// MinStdDev floors the estimator's standard deviation so that perfectly
+	// regular arrivals (the simulator's) don't make phi explode on the first
+	// microsecond of jitter (default DefaultMinStdDev).
+	MinStdDev time.Duration
+	// MinSamples is the number of inter-arrival samples required before phi
+	// is computed at all (default DefaultMinSamples).
+	MinSamples int
+	// Metrics receives the health_* families; nil disables metric export.
+	Metrics *metrics.Registry
+	// Tracer receives phi-suspect/clear events; nil disables tracing.
+	Tracer *obs.Tracer
+}
+
+// PeerHealth is one peer's row in a Monitor snapshot.
+type PeerHealth struct {
+	// Peer is the observed daemon's identity ("ip:port").
+	Peer string
+	// Phi is the current suspicion level (0 when under MinSamples).
+	Phi float64
+	// LastHeard is the age of the most recent signal from the peer (zero if
+	// never heard).
+	LastHeard time.Duration
+	// Samples is the number of inter-arrival samples in the window.
+	Samples int
+	// MeanInterval is the window's mean inter-arrival time.
+	MeanInterval time.Duration
+	// Suspected reports whether phi has crossed the threshold without a
+	// subsequent arrival clearing it.
+	Suspected bool
+	// Hist is the log2 inter-arrival histogram (bucket i counts intervals
+	// whose nanosecond value has bit-length i).
+	Hist [HistBuckets]uint64
+}
+
+type peerState struct {
+	samples   []int64 // ring buffer of inter-arrival nanoseconds
+	n, idx    int
+	lastHeard time.Time
+	suspected bool
+	// suspectedAt is the instant phi first crossed the threshold for the
+	// current suspicion episode; Detected turns it into a lead time.
+	suspectedAt time.Time
+	hist        [HistBuckets]uint64
+
+	gPhi     *metrics.Gauge
+	gInter   *metrics.Gauge
+	cSuspect *metrics.Counter
+}
+
+// Monitor tracks detection quality for every peer of one observer. All
+// methods are safe for concurrent use and safe on a nil receiver.
+type Monitor struct {
+	mu         sync.Mutex
+	node       string
+	window     int
+	threshold  float64
+	minStdNs   float64
+	minMeanNs  float64
+	minSamples int
+	tracer     *obs.Tracer
+	reg        *metrics.Registry
+	generation uint64
+	peers      map[string]*peerState
+	order      []string // sorted peer names for deterministic snapshots
+
+	cObserve *metrics.Counter
+	hLead    *metrics.Histogram
+	cMissed  *metrics.Counter
+}
+
+// NewMonitor returns a Monitor with no peers; call SetPeers to populate it.
+func NewMonitor(o Options) *Monitor {
+	if o.Window <= 0 {
+		o.Window = DefaultWindow
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = DefaultThreshold
+	}
+	if o.MinStdDev <= 0 {
+		o.MinStdDev = DefaultMinStdDev
+	}
+	if o.MinSamples <= 0 {
+		o.MinSamples = DefaultMinSamples
+	}
+	m := &Monitor{
+		node:       o.Node,
+		window:     o.Window,
+		threshold:  o.Threshold,
+		minStdNs:   float64(o.MinStdDev.Nanoseconds()),
+		minSamples: o.MinSamples,
+		tracer:     o.Tracer,
+		reg:        o.Metrics,
+		peers:      make(map[string]*peerState),
+	}
+	m.cObserve = o.Metrics.Counter("health_observations_total",
+		"peer signals (heartbeats, tokens) observed by the health monitor",
+		metrics.L("node", o.Node))
+	m.hLead = o.Metrics.Histogram("health_detection_lead_seconds",
+		"time by which shadow phi suspicion preceded the fixed T-timeout detection",
+		metrics.L("node", o.Node))
+	m.cMissed = o.Metrics.Counter("health_detections_unsuspected_total",
+		"T-timeout detections that fired before shadow phi crossed its threshold",
+		metrics.L("node", o.Node))
+	return m
+}
+
+// Node returns the observer identity the monitor was built with.
+func (m *Monitor) Node() string {
+	if m == nil {
+		return ""
+	}
+	return m.node
+}
+
+// Threshold returns the phi suspicion threshold.
+func (m *Monitor) Threshold() float64 {
+	if m == nil {
+		return DefaultThreshold
+	}
+	return m.threshold
+}
+
+// SetMinMean floors the modeled mean inter-arrival time. A daemon observes
+// both its guaranteed cadence (heartbeats) and opportunistic extras (token
+// passes, often orders of magnitude faster); without a floor a
+// token-dominated window models the peer as a kilohertz emitter and any
+// token stall a few dozen milliseconds long crosses the threshold. Flooring
+// the mean at the heartbeat interval keeps opportunistic signals sharpening
+// recency (lastHeard) without tightening the model below the cadence the
+// peer is actually obligated to meet. gcs.Daemon.SetHealth wires this to
+// its configured heartbeat interval automatically.
+func (m *Monitor) SetMinMean(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.minMeanNs = float64(d.Nanoseconds())
+	m.mu.Unlock()
+}
+
+// Generation returns the membership generation of the current peer set.
+func (m *Monitor) Generation() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.generation
+}
+
+// SetPeers resets the monitor for a freshly installed membership: the peer
+// set becomes exactly peers (the observer itself excluded by the caller),
+// every window is cleared, and every peer counts as heard at now. A restart
+// or any reconfiguration therefore never carries stale suspicion across
+// generations — the Cassandra GMS "generation" reset.
+func (m *Monitor) SetPeers(generation uint64, peers []string, now time.Time) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.generation = generation
+	old := m.peers
+	m.peers = make(map[string]*peerState, len(peers))
+	m.order = m.order[:0]
+	for _, p := range peers {
+		ps := old[p]
+		if ps == nil {
+			ps = &peerState{
+				samples: make([]int64, m.window),
+				gPhi: m.reg.Gauge("health_phi",
+					"observe-only phi-accrual suspicion level, in milli-phi",
+					metrics.L("node", m.node), metrics.L("peer", p)),
+				gInter: m.reg.Gauge("health_interarrival_ns",
+					"most recent inter-arrival gap between signals from the peer",
+					metrics.L("node", m.node), metrics.L("peer", p)),
+				cSuspect: m.reg.Counter("health_suspicions_total",
+					"shadow phi threshold crossings against the peer",
+					metrics.L("node", m.node), metrics.L("peer", p)),
+			}
+		}
+		// Reset regardless of whether the peer carries over: the new
+		// configuration restarts its signal stream.
+		for i := range ps.samples {
+			ps.samples[i] = 0
+		}
+		ps.n, ps.idx = 0, 0
+		ps.lastHeard = now
+		ps.suspected = false
+		ps.suspectedAt = time.Time{}
+		ps.gPhi.Set(0)
+		m.peers[p] = ps
+		m.order = append(m.order, p)
+	}
+	for p, ps := range old {
+		if m.peers[p] == nil {
+			ps.gPhi.Set(0)
+		}
+	}
+	sortStrings(m.order)
+	m.mu.Unlock()
+}
+
+// Observe records a signal (heartbeat, token) from peer at now. It is the
+// steady-state hot path and performs no allocation for known peers; unknown
+// peers are ignored.
+func (m *Monitor) Observe(peer string, now time.Time) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	ps := m.peers[peer]
+	if ps == nil {
+		m.mu.Unlock()
+		return
+	}
+	if !ps.lastHeard.IsZero() {
+		if d := now.Sub(ps.lastHeard); d > 0 {
+			ns := int64(d)
+			ps.samples[ps.idx] = ns
+			ps.idx++
+			if ps.idx == len(ps.samples) {
+				ps.idx = 0
+			}
+			if ps.n < len(ps.samples) {
+				ps.n++
+			}
+			ps.hist[histBucket(uint64(ns))]++
+			ps.gInter.Set(ns)
+		}
+	}
+	ps.lastHeard = now
+	cleared := ps.suspected
+	if cleared {
+		ps.suspected = false
+		ps.suspectedAt = time.Time{}
+		ps.gPhi.Set(0)
+	}
+	m.mu.Unlock()
+	m.cObserve.Inc()
+	if cleared && m.tracer.Enabled() {
+		m.tracer.Emit(obs.Event{
+			Source: obs.SourceHealth, Kind: obs.KindPhiClear,
+			Node: m.node, Detail: peer,
+		})
+	}
+}
+
+// Phi returns the current suspicion level against peer, or 0 for unknown
+// peers and under-sampled windows.
+func (m *Monitor) Phi(peer string, now time.Time) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps := m.peers[peer]
+	if ps == nil {
+		return 0
+	}
+	return m.phiLocked(ps, now)
+}
+
+// Snapshot evaluates every peer at now and returns one row per peer, sorted
+// by peer name. Evaluation updates the health_phi gauges and emits a
+// phi-suspect trace event on each upward threshold crossing; this is the
+// periodic evaluation point (telemetry ticks, status queries).
+func (m *Monitor) Snapshot(now time.Time) []PeerHealth {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	out := make([]PeerHealth, 0, len(m.order))
+	var crossed []string
+	for _, name := range m.order {
+		ps := m.peers[name]
+		phi := m.phiLocked(ps, now)
+		ps.gPhi.Set(int64(phi * 1000))
+		if phi >= m.threshold && !ps.suspected {
+			ps.suspected = true
+			ps.suspectedAt = now
+			ps.cSuspect.Inc()
+			crossed = append(crossed, name)
+		}
+		ph := PeerHealth{
+			Peer:      name,
+			Phi:       phi,
+			Samples:   ps.n,
+			Suspected: ps.suspected,
+			Hist:      ps.hist,
+		}
+		if !ps.lastHeard.IsZero() {
+			ph.LastHeard = now.Sub(ps.lastHeard)
+		}
+		if mean := m.meanLocked(ps); mean > 0 {
+			ph.MeanInterval = time.Duration(mean)
+		}
+		out = append(out, ph)
+	}
+	m.mu.Unlock()
+	for _, name := range crossed {
+		m.emitSuspect(name)
+	}
+	return out
+}
+
+// Detected tells the monitor that the fixed T-timeout detector declared peer
+// dead at now. Call it before emitting the heartbeat-miss event so the
+// phi-suspect trace event (if the crossing happens only now) HLC-orders
+// before the miss. It records the shadow detector's lead time — how much
+// earlier phi suspected the peer — or counts a miss if phi had not crossed.
+func (m *Monitor) Detected(peer string, now time.Time) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	ps := m.peers[peer]
+	if ps == nil {
+		m.mu.Unlock()
+		return
+	}
+	if ps.n < m.minSamples && !ps.suspected {
+		// Under-sampled window: phi is undefined here, so the shadow
+		// detector abstains — a miss counted against a detector that never
+		// had data (transient boot-time rings) would be noise.
+		m.mu.Unlock()
+		return
+	}
+	crossedNow := false
+	if !ps.suspected {
+		if phi := m.phiLocked(ps, now); phi >= m.threshold {
+			ps.suspected = true
+			ps.suspectedAt = now
+			ps.cSuspect.Inc()
+			ps.gPhi.Set(int64(phi * 1000))
+			crossedNow = true
+		}
+	}
+	led := ps.suspected
+	var lead time.Duration
+	if led {
+		lead = now.Sub(ps.suspectedAt)
+	}
+	m.mu.Unlock()
+	if crossedNow {
+		m.emitSuspect(peer)
+	}
+	if led {
+		m.hLead.ObserveDuration(lead)
+	} else {
+		m.cMissed.Inc()
+	}
+}
+
+func (m *Monitor) emitSuspect(peer string) {
+	if m.tracer.Enabled() {
+		m.tracer.Emit(obs.Event{
+			Source: obs.SourceHealth, Kind: obs.KindPhiSuspect,
+			Node: m.node, Detail: peer,
+		})
+	}
+}
+
+// meanLocked returns the mean inter-arrival time in nanoseconds, 0 when the
+// window is empty.
+func (m *Monitor) meanLocked(ps *peerState) float64 {
+	if ps.n == 0 {
+		return 0
+	}
+	var sum float64
+	for i := 0; i < ps.n; i++ {
+		sum += float64(ps.samples[i])
+	}
+	return sum / float64(ps.n)
+}
+
+// phiLocked computes the phi-accrual suspicion level for ps at now.
+//
+// phi(t) = -log10(P(interval > t)) under a normal model of the window's
+// inter-arrival distribution, with two production guards (the Akka/Cassandra
+// refinements of the original paper): the mean is inflated by 50% as an
+// acceptable-pause allowance, and the standard deviation is floored at
+// max(mean/4, MinStdDev) so regular traffic doesn't hair-trigger. With the
+// tuned Table 1 heartbeat of 200ms this crosses the default threshold 8
+// around 580ms of silence — ahead of the 800ms T timeout — while a single
+// lost heartbeat stays near phi ≈ 1.6.
+func (m *Monitor) phiLocked(ps *peerState, now time.Time) float64 {
+	if ps.n < m.minSamples || ps.lastHeard.IsZero() {
+		return 0
+	}
+	elapsed := float64(now.Sub(ps.lastHeard))
+	if elapsed <= 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for i := 0; i < ps.n; i++ {
+		v := float64(ps.samples[i])
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(ps.n)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	// Model no faster than the guaranteed cadence (see SetMinMean).
+	if mean < m.minMeanNs {
+		mean = m.minMeanNs
+	}
+	std := math.Sqrt(variance)
+	if floor := mean / 4; std < floor {
+		std = floor
+	}
+	if std < m.minStdNs {
+		std = m.minStdNs
+	}
+	z := (elapsed - mean*1.5) / (std * math.Sqrt2)
+	p := 0.5 * math.Erfc(z)
+	if p <= 1e-300 {
+		return maxPhi
+	}
+	phi := -math.Log10(p)
+	if phi < 0 {
+		return 0
+	}
+	if phi > maxPhi {
+		return maxPhi
+	}
+	return phi
+}
+
+// histBucket maps an inter-arrival gap in nanoseconds to its log2 bucket.
+func histBucket(ns uint64) int {
+	b := bits.Len64(ns)
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// HistBucketLow returns the lower bound of log2 bucket i in nanoseconds.
+func HistBucketLow(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration(uint64(1) << (i - 1))
+}
+
+// PhiMilli converts a phi value to the clamped milli-phi fixed-point used on
+// the wire and in the health_phi gauge.
+func PhiMilli(phi float64) uint32 {
+	if phi <= 0 {
+		return 0
+	}
+	if phi >= maxPhi {
+		return uint32(maxPhi * 1000)
+	}
+	return uint32(phi * 1000)
+}
+
+// sortStrings is an allocation-free insertion sort; peer sets are small.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -55,12 +55,12 @@ func (e *Event) UnmarshalJSON(data []byte) error {
 		HLC:  HLC{Wall: w.HLCWall, Logical: w.HLCLogical},
 		Node: w.Node, Group: w.Group, Addr: w.Addr, Detail: w.Detail,
 	}
-	for s := SourceGCS; s <= SourceInvariant; s++ {
+	for s := SourceGCS; s <= SourceHealth; s++ {
 		if s.String() == w.Source {
 			e.Source = s
 		}
 	}
-	for k := KindHeartbeatMiss; k <= KindInvariantViolation; k++ {
+	for k := KindHeartbeatMiss; k <= KindPhiClear; k++ {
 		if k.String() == w.Kind {
 			e.Kind = k
 		}

@@ -39,6 +39,8 @@ const (
 	// SourceInvariant: the always-on protocol-invariant monitor
 	// (internal/invariant).
 	SourceInvariant
+	// SourceHealth: the live cluster health plane (internal/health).
+	SourceHealth
 )
 
 // String names the source.
@@ -56,6 +58,8 @@ func (s Source) String() string {
 		return "flow"
 	case SourceInvariant:
 		return "invariant"
+	case SourceHealth:
+		return "health"
 	default:
 		return fmt.Sprintf("source(%d)", uint8(s))
 	}
@@ -129,6 +133,12 @@ const (
 	// KindInvariantViolation: a protocol-invariant monitor detected a
 	// violated oracle (Group carries the oracle name).
 	KindInvariantViolation
+
+	// KindPhiSuspect: the observe-only phi-accrual detector crossed its
+	// suspicion threshold against a peer (Detail carries the peer).
+	KindPhiSuspect
+	// KindPhiClear: a signal from a suspected peer cleared its suspicion.
+	KindPhiClear
 )
 
 // String names the kind.
@@ -186,6 +196,10 @@ func (k Kind) String() string {
 		return "flow-close"
 	case KindInvariantViolation:
 		return "invariant-violation"
+	case KindPhiSuspect:
+		return "phi-suspect"
+	case KindPhiClear:
+		return "phi-clear"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -23,6 +23,7 @@ import (
 	"wackamole/internal/core"
 	"wackamole/internal/env"
 	"wackamole/internal/gcs"
+	"wackamole/internal/health"
 	"wackamole/internal/ipmgr"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
@@ -85,6 +86,8 @@ type Node struct {
 	tracer  *obs.Tracer
 	metrics *metrics.Registry
 	hlc     *obs.HLCClock
+	health  *health.Monitor
+	pub     *health.Publisher
 	started bool
 	stopped bool
 }
@@ -128,6 +131,83 @@ func (n *Node) SetHLC(c *obs.HLCClock) {
 // HLC returns the node's installed clock; nil (a valid, disabled clock)
 // when none was set.
 func (n *Node) HLC() *obs.HLCClock { return n.hlc }
+
+// SetHealth installs an observe-only detection-quality monitor on the
+// node's daemon (nil disables it). Call before Start, after SetTracer and
+// SetMetrics so the monitor can be built from the same instruments.
+func (n *Node) SetHealth(m *health.Monitor) {
+	n.health = m
+	n.daemon.SetHealth(m)
+}
+
+// Health returns the node's installed monitor; nil (a valid, disabled
+// monitor) when none was set.
+func (n *Node) Health() *health.Monitor { return n.health }
+
+// TelemetryFrame assembles one health frame from the node's current state:
+// engine snapshot, daemon counters, the health monitor's suspicion vector
+// and the HLC. Call from the node's loop.
+func (n *Node) TelemetryFrame(now time.Time) health.Frame {
+	st := n.engine.Snapshot()
+	ds := n.daemon.Stats()
+	f := health.Frame{
+		Node:       string(n.daemon.ID()),
+		HLC:        n.hlc.Now(),
+		SkewNS:     int64(n.hlc.MaxSkew()),
+		View:       st.ViewID,
+		State:      st.State.String(),
+		Mature:     st.Mature,
+		Generation: n.health.Generation(),
+		Owned:      st.Owned,
+		Installs:   ds.MembershipsInstalled,
+		Reconfigs:  ds.Reconfigurations,
+		Delivered:  ds.DataDelivered,
+	}
+	for _, m := range st.Members {
+		f.Members = append(f.Members, string(m))
+	}
+	for _, ph := range n.health.Snapshot(now) {
+		f.Peers = append(f.Peers, health.PeerStatus{
+			Peer:        ph.Peer,
+			PhiMilli:    health.PhiMilli(ph.Phi),
+			LastHeardNS: uint64(max64(ph.LastHeard.Nanoseconds(), 0)),
+			Samples:     uint32(ph.Samples),
+			Suspected:   ph.Suspected,
+		})
+	}
+	return f
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// StartTelemetry begins publishing health frames every interval to the
+// subscriber addresses, over the node's own packet endpoint. Call from the
+// node's loop, after Start; returns the publisher (nil when subscribers is
+// empty).
+func (n *Node) StartTelemetry(interval time.Duration, subscribers []string) *health.Publisher {
+	p := health.NewPublisher(health.PublisherOptions{
+		Node:        string(n.daemon.ID()),
+		Interval:    interval,
+		Subscribers: subscribers,
+		Clock:       n.env.Clock,
+		Send: func(to string, payload []byte) error {
+			return n.env.Conn.SendTo(env.Addr(to), payload)
+		},
+		Frame:   n.TelemetryFrame,
+		Metrics: n.metrics,
+	})
+	n.pub = p
+	p.Start()
+	return p
+}
+
+// Telemetry returns the node's publisher; nil when telemetry is off.
+func (n *Node) Telemetry() *health.Publisher { return n.pub }
 
 // NewNode builds a Node on e. backend performs the platform-specific
 // address manipulation; notify announces ownership changes (nil disables
@@ -246,6 +326,7 @@ func (n *Node) LeaveService() error {
 // after one discovery round instead of waiting out fault detection.
 func (n *Node) Stop() {
 	n.stopped = true
+	n.pub.Stop()
 	if n.sess != nil {
 		if err := n.LeaveService(); err != nil {
 			n.env.Log.Logf("wackamole: leave on stop: %v", err)
