@@ -2,12 +2,13 @@
 
 # Benchmarks committed with a PR. `make bench` reruns the headline
 # benchmarks (simulation throughput, flow round-trip, Table 1 end-to-end,
-# plus the health plane's observe and frame-encode hot paths, which must
-# stay allocation-free) with allocation counts and refreshes the JSON
-# snapshot via cmd/benchjson. The health benchmarks live in
-# ./internal/health, hence the second package on the command line.
-BENCH_OUT ?= BENCH_pr8.json
-BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1|BenchmarkHealthObserve|BenchmarkTelemetryFrame)$$
+# plus the health plane's observe and frame-encode hot paths and the fault
+# plane's shape tick, which must stay allocation-free) with allocation
+# counts and refreshes the JSON snapshot via cmd/benchjson. The health and
+# fault-shape benchmarks live in ./internal/health and ./internal/faults,
+# hence the extra packages on the command line.
+BENCH_OUT ?= BENCH_pr9.json
+BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1|BenchmarkHealthObserve|BenchmarkTelemetryFrame|BenchmarkFaultShapeTick)$$
 
 .PHONY: all build test race bench
 
@@ -24,7 +25,7 @@ race:
 
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 \
-		. ./internal/health \
+		. ./internal/health ./internal/faults \
 		| tee /dev/stderr \
 		| go run ./cmd/benchjson -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"

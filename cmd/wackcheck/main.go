@@ -5,10 +5,12 @@
 //
 // Each seed generates a randomized fault program (interface failures,
 // partitions, session severs, graceful departures, scheduling-delay
-// windows) and executes it against a fully simulated cluster while online
-// oracles check the paper's Property 1 (exactly-once coverage per network
-// component), Property 2 (bounded convergence) and the gcs layer's
-// virtual-synchrony guarantees. Violations are delta-debugged to minimal
+// windows — plus, with -gray, flapping links, lossy-but-alive links and
+// CPU-starved daemons) and executes it against a fully simulated cluster
+// while online oracles check the paper's Property 1 (exactly-once coverage
+// per network component), Property 2 (bounded convergence), the gcs
+// layer's virtual-synchrony guarantees and, under -gray, bounded ownership
+// ping-pong and bounded false suspicion of reachable peers. Violations are delta-debugged to minimal
 // schedules (-shrink) and written as replayable artifacts;
 // `wackcheck -replay <file>` re-executes an artifact and verifies the
 // identical outcome. Sweeps run in parallel on the shared trial runner;
@@ -28,6 +30,7 @@ import (
 
 	"wackamole/internal/check"
 	"wackamole/internal/experiment/runner"
+	"wackamole/internal/gcs"
 	"wackamole/internal/metrics"
 )
 
@@ -43,6 +46,8 @@ func run(args []string, out io.Writer) int {
 	servers := fs.Int("servers", 5, "cluster size")
 	vips := fs.Int("vips", 10, "virtual addresses")
 	leaves := fs.Bool("leaves", true, "allow graceful departures in generated schedules")
+	gray := fs.Bool("gray", false, "generate gray-failure shape events (flap, graylink, slownode) and arm the ping-pong and false-suspect oracles")
+	detector := fs.String("detector", "fixed", "gcs failure detector the checked clusters run: fixed or phi")
 	shrink := fs.Bool("shrink", false, "delta-debug violations to minimal schedules before writing artifacts")
 	shrinkBudget := fs.Int("shrink-budget", check.DefaultShrinkBudget, "max checker re-runs per shrink")
 	jsonOut := fs.Bool("json", false, "emit one JSON summary object instead of text")
@@ -62,8 +67,17 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 
+	det, err := gcs.ParseDetector(*detector)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wackcheck: %v\n", err)
+		return 2
+	}
+
 	reg := metrics.New()
+	gcfg := gcs.TunedConfig()
+	gcfg.Detector = det
 	opts := check.Options{
+		GCS:                     gcfg,
 		RepresentativeDecisions: *representative,
 		Trace:                   *trace,
 		Metrics:                 reg,
@@ -78,7 +92,7 @@ func run(args []string, out io.Writer) int {
 		return 2
 	}
 
-	gen := check.GenConfig{Servers: *servers, VIPs: *vips, Steps: *steps, Leaves: *leaves}
+	gen := check.GenConfig{Servers: *servers, VIPs: *vips, Steps: *steps, Leaves: *leaves, Gray: *gray}
 
 	type finding struct {
 		seed int64
@@ -165,6 +179,8 @@ func run(args []string, out io.Writer) int {
 			"steps":      *steps,
 			"servers":    *servers,
 			"vips":       *vips,
+			"gray":       *gray,
+			"detector":   det.String(),
 			"violations": len(findings),
 			"clean":      len(findings) == 0 && len(harnessErrs) == 0,
 			"counters":   counterValues(reg),

@@ -8,6 +8,12 @@
 //
 //	wackload -clients 1000 -mode open -rps 5000 -fault nic -json
 //
+// Besides the paper's clean faults (nic, crash, graceful) the -fault flag
+// accepts the gray-failure shapes flap, graylink and slownode: ongoing
+// impairments applied to the target's owner for -gray-window, with
+// -detector selecting fixed-timeout or phi-accrual failure detection and
+// the per-trial output reporting detection latency and false suspicions.
+//
 // Output is a per-trial table; -json emits NDJSON rows like wacksim (one
 // aggregate row, then one row per trial), -trace captures per-trial
 // structured event streams, and -prom writes the trials' shared metrics
@@ -28,6 +34,8 @@ import (
 
 	"wackamole/internal/experiment"
 	"wackamole/internal/experiment/runner"
+	"wackamole/internal/faults"
+	"wackamole/internal/gcs"
 	"wackamole/internal/health"
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
@@ -43,7 +51,11 @@ func run(args []string, out io.Writer) int {
 	mode := fs.String("mode", "closed", "workload shape: open|closed")
 	rps := fs.Float64("rps", 1000, "aggregate Poisson arrival rate (open loop)")
 	think := fs.Duration("think", time.Second, "per-client think time (closed loop)")
-	fault := fs.String("fault", "nic", "injected fault: nic|crash|graceful")
+	fault := fs.String("fault", "nic", "injected fault: nic|crash|graceful|flap|graylink|slownode")
+	shape := fs.String("shape", "", "fault program for gray faults (internal/faults spec syntax; \"\" = the kind's default)")
+	grayWindow := fs.Duration("gray-window", 0, "how long a gray fault stays applied (0 = half of -post)")
+	detector := fs.String("detector", "fixed", "gcs failure detector: fixed|phi")
+	detectTimeout := fs.Duration("detect-timeout", 0, "override the gcs fixed fault-detect timeout T (0 = tuned profile's 1s); under -detector phi this is the fallback floor")
 	topology := fs.String("topology", "web", "scenario: web|router")
 	servers := fs.Int("servers", 4, "web-cluster size")
 	trials := fs.Int("trials", 3, "seeded trials")
@@ -80,7 +92,27 @@ func run(args []string, out io.Writer) int {
 		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
 		return 2
 	}
+	det, err := gcs.ParseDetector(*detector)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+		return 2
+	}
+	if *shape != "" {
+		if _, err := faults.ParseProgram(*shape); err != nil {
+			fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+			return 2
+		}
+	}
 
+	gcfg := gcs.TunedConfig()
+	gcfg.Detector = det
+	if *detectTimeout > 0 {
+		if *detectTimeout <= gcfg.HeartbeatInterval {
+			fmt.Fprintf(os.Stderr, "wackload: -detect-timeout must exceed the heartbeat interval (%v)\n", gcfg.HeartbeatInterval)
+			return 2
+		}
+		gcfg.FaultDetectTimeout = *detectTimeout
+	}
 	reg := metrics.New()
 	cfg := experiment.AvailabilityConfig{
 		Topology:           topo,
@@ -90,6 +122,9 @@ func run(args []string, out io.Writer) int {
 		RPS:                *rps,
 		ThinkTime:          *think,
 		Fault:              fk,
+		Shape:              *shape,
+		GrayWindow:         *grayWindow,
+		GCS:                gcfg,
 		PreFault:           *pre,
 		PostFault:          *post,
 		Invariants:         *invariants || *invariantDir != "",

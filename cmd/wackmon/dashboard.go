@@ -142,9 +142,16 @@ func renderDashboard(w io.Writer, st *clusterState, now time.Time, staleAfter ti
 			if i == j {
 				cell = "."
 			} else if p := peerRow(&st.nodes[observer].frame, target); p != nil {
-				cell = strconv.FormatFloat(p.Phi(), 'f', 1, 64)
-				if p.Suspected {
-					cell += "!"
+				if p.Samples == 0 {
+					// Registered but never heard: phi would read 0.0 and
+					// masquerade as perfect health when there is no
+					// evidence either way.
+					cell = "—"
+				} else {
+					cell = strconv.FormatFloat(p.Phi(), 'f', 1, 64)
+					if p.Suspected {
+						cell += "!"
+					}
 				}
 			}
 			fmt.Fprintf(w, " %6s", cell)
@@ -153,7 +160,9 @@ func renderDashboard(w io.Writer, st *clusterState, now time.Time, staleAfter ti
 	}
 
 	// Asymmetric suspicion: a suspects b while b, still publishing and
-	// tracking a, does not reciprocate — visible only across feeds.
+	// tracking a, does not reciprocate — visible only across feeds. A peer
+	// b has never heard from (zero samples) carries no reciprocal evidence,
+	// so it cannot witness an asymmetry.
 	for _, a := range names {
 		for _, b := range names {
 			if a == b {
@@ -161,7 +170,7 @@ func renderDashboard(w io.Writer, st *clusterState, now time.Time, staleAfter ti
 			}
 			ab := peerRow(&st.nodes[a].frame, b)
 			ba := peerRow(&st.nodes[b].frame, a)
-			if ab != nil && ab.Suspected && ba != nil && !ba.Suspected {
+			if ab != nil && ab.Suspected && ba != nil && ba.Samples > 0 && !ba.Suspected {
 				fmt.Fprintf(w, "  asymmetry: %s suspects %s, not reciprocated (gray failure?)\n", a, b)
 			}
 		}

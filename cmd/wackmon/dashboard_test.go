@@ -76,6 +76,44 @@ func TestRenderDashboardGolden(t *testing.T) {
 	}
 }
 
+// A peer that is registered but has never been heard from must render as
+// "—", not as phi 0.0 (which would masquerade as perfect health), and its
+// empty evidence must not witness an asymmetry callout.
+func TestRenderDashboardNeverHeardPeer(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	st := newClusterState()
+	st.apply(health.Frame{
+		Node: "10.0.0.10:4803", Seq: 5, State: "run",
+		Peers: []health.PeerStatus{
+			{Peer: "10.0.0.11:4803", PhiMilli: 12400, Samples: 40, Suspected: true},
+		},
+	}, now)
+	st.apply(health.Frame{
+		Node: "10.0.0.11:4803", Seq: 5, State: "run",
+		Peers: []health.PeerStatus{
+			{Peer: "10.0.0.10:4803", Samples: 0},
+		},
+	}, now)
+	var buf bytes.Buffer
+	renderDashboard(&buf, st, now, time.Second)
+	out := buf.String()
+	var row1 string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "    [1] ") {
+			row1 = line
+		}
+	}
+	if !strings.Contains(row1, "—") {
+		t.Fatalf("never-heard peer not rendered as —:\n%s", out)
+	}
+	if strings.Contains(row1, "0.0") {
+		t.Fatalf("never-heard peer rendered as healthy phi 0.0:\n%s", out)
+	}
+	if strings.Contains(out, "asymmetry") {
+		t.Fatalf("never-heard peer witnessed an asymmetry callout:\n%s", out)
+	}
+}
+
 func TestRenderDashboardEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	renderDashboard(&buf, newClusterState(), time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), time.Second)

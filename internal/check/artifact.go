@@ -35,6 +35,13 @@ type OptionsDoc struct {
 	JitterWindowNS int64  `json:"jitter_window_ns"`
 	Representative bool   `json:"representative,omitempty"`
 	Mutation       string `json:"mutation,omitempty"`
+	// Detector names the failure-detection regime ("fixed" or "phi");
+	// absent means fixed, so artifacts from before the field existed
+	// replay unchanged. Detection timing shifts the whole schedule, so a
+	// phi artifact replayed under fixed would not reproduce.
+	Detector        string  `json:"detector,omitempty"`
+	PhiThreshold    float64 `json:"phi_threshold,omitempty"`
+	PhiCheckNS      int64   `json:"phi_check_ns,omitempty"`
 }
 
 // NewArtifact packages a report and the options that produced it. The
@@ -55,6 +62,11 @@ func NewArtifact(rep *Report, opts Options, shrinkIterations int) Artifact {
 	if opts.Mutation != nil {
 		doc.Mutation = opts.Mutation.String()
 	}
+	if opts.GCS.Detector != gcs.DetectorFixed {
+		doc.Detector = opts.GCS.Detector.String()
+		doc.PhiThreshold = opts.GCS.PhiThreshold
+		doc.PhiCheckNS = opts.GCS.PhiCheckInterval.Nanoseconds()
+	}
 	return Artifact{
 		Schedule:         rep.Schedule,
 		Options:          doc,
@@ -69,11 +81,20 @@ func (a Artifact) RunOptions() (Options, error) {
 	if err != nil {
 		return Options{}, err
 	}
+	var det gcs.Detector
+	if a.Options.Detector != "" {
+		if det, err = gcs.ParseDetector(a.Options.Detector); err != nil {
+			return Options{}, err
+		}
+	}
 	return Options{
 		GCS: gcs.Config{
 			FaultDetectTimeout: time.Duration(a.Options.FaultDetectNS),
 			HeartbeatInterval:  time.Duration(a.Options.HeartbeatNS),
 			DiscoveryTimeout:   time.Duration(a.Options.DiscoveryNS),
+			Detector:           det,
+			PhiThreshold:       a.Options.PhiThreshold,
+			PhiCheckInterval:   time.Duration(a.Options.PhiCheckNS),
 		},
 		BalanceTimeout:          time.Duration(a.Options.BalanceNS),
 		SettleBound:             time.Duration(a.Options.SettleNS),

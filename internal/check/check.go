@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wackamole"
+	"wackamole/internal/faults"
 	"wackamole/internal/flow"
 	"wackamole/internal/gcs"
 	"wackamole/internal/invariant"
@@ -47,6 +48,16 @@ type Options struct {
 	Metrics *metrics.Registry
 	// Mutation injects a deliberate defect (checker self-tests only).
 	Mutation Mutation
+
+	// PingPongBound and PingPongWindow arm the ping-pong oracle (bounded
+	// ownership re-claims per VIP group per window). Zero: computed from
+	// the schedule's shape events, disarmed when the schedule has none.
+	PingPongBound  int
+	PingPongWindow time.Duration
+	// FalseSuspectBound arms the false-suspicion oracle (bounded false
+	// detections of live, reachable peers). Zero: computed from the
+	// schedule's shape events, disarmed when the schedule has none.
+	FalseSuspectBound int
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +139,11 @@ func Run(s Schedule, opts Options) (*Report, error) {
 				return nil, fmt.Errorf("check: event %s targets server outside 0..%d", ev, s.Servers-1)
 			}
 		}
+		if ev.Op == OpShape {
+			if _, err := faults.ParseProgram(ev.Shape); err != nil {
+				return nil, fmt.Errorf("check: event %s: %w", ev, err)
+			}
+		}
 	}
 
 	opts.Metrics.Counter("check_schedules_total", "fault programs executed by the checker").Inc()
@@ -148,6 +164,7 @@ func Run(s Schedule, opts Options) (*Report, error) {
 
 	var c *wackamole.Cluster
 	var start time.Time
+	ppBound, ppWindow, fsBound := grayBounds(s, opts)
 	// The checker's monitor runs in Strict mode (full unbounded histories,
 	// batch order sweeps) with no metrics registry or tracer of its own:
 	// wackcheck's counter report flattens every registry family and its
@@ -162,7 +179,17 @@ func Run(s Schedule, opts Options) (*Report, error) {
 			}
 			return c.Sim.Now().Sub(start)
 		},
+		PingPongBound:     ppBound,
+		PingPongWindow:    ppWindow,
+		FalseSuspectBound: fsBound,
 	})
+
+	gray := &grayState{
+		bindings:    map[int]*faults.Binding{},
+		flapActive:  make([]bool, s.Servers),
+		jitterUntil: make([]time.Time, s.Servers),
+	}
+	daemonIdx := make(map[string]int, s.Servers)
 
 	copts := wackamole.ClusterOptions{
 		Seed:                    s.Seed,
@@ -173,6 +200,24 @@ func Run(s Schedule, opts Options) (*Report, error) {
 		RepresentativeDecisions: opts.RepresentativeDecisions,
 		Tracer:                  tracer,
 		Invariants:              o,
+	}
+	if fsBound > 0 {
+		// Each daemon reports its detections; the judge compares against
+		// ground truth the harness alone can see (host liveness, interface
+		// state, partition sides, live fault programs) and charges the
+		// false-suspect oracle only for detections of reachable peers.
+		copts.OnNode = func(i int, n *wackamole.Node) {
+			daemonIdx[string(n.Daemon().ID())] = i
+			n.Daemon().SetDetectionHook(func(peer, detector string) {
+				j, ok := daemonIdx[peer]
+				if !ok {
+					return
+				}
+				if judgeFalseSuspicion(c, gray, i, j) {
+					o.OnFalseSuspicion(i, peer)
+				}
+			})
+		}
 	}
 	if opts.Mutation != nil {
 		copts.WrapBackend = opts.Mutation.wrap
@@ -220,7 +265,7 @@ func Run(s Schedule, opts Options) (*Report, error) {
 		if o.Violation() != nil {
 			break
 		}
-		apply(c, ev, jitterMax, opts.JitterWindow)
+		apply(c, ev, jitterMax, opts.JitterWindow, gray)
 		executed++
 		steps.Inc()
 		o.SetStep(executed)
@@ -228,6 +273,14 @@ func Run(s Schedule, opts Options) (*Report, error) {
 		if o.Violation() != nil {
 			break
 		}
+	}
+
+	// Any fault program still live is stopped before the settle bound: the
+	// oracles judge a cluster that has been allowed to re-converge on clean
+	// links (shrunk schedules may have lost their clear events).
+	for i, b := range gray.bindings {
+		b.Stop()
+		gray.flapActive[i] = false
 	}
 
 	if o.Violation() == nil {
@@ -257,10 +310,109 @@ func Run(s Schedule, opts Options) (*Report, error) {
 	return rep, nil
 }
 
+// grayState tracks live fault bindings plus the ground-truth context the
+// false-suspicion judge needs: which servers are flapping (their silence is
+// genuine) and which sit in an OpJitter skew window (their spurious probe
+// timeouts are the jitter model working, not a detector defect).
+type grayState struct {
+	bindings    map[int]*faults.Binding
+	flapActive  []bool
+	jitterUntil []time.Time
+}
+
+// judgeFalseSuspicion decides whether observer declaring peer failed
+// contradicts ground truth: the peer's host alive, its interface up, both
+// sides of the claim in the same partition component, and neither side
+// flapping or inside a jitter window.
+func judgeFalseSuspicion(c *wackamole.Cluster, gray *grayState, observer, peer int) bool {
+	if c == nil {
+		return false
+	}
+	po, pp := c.Servers[observer], c.Servers[peer]
+	if !pp.Host.Alive() || !pp.NIC.Up() || !po.NIC.Up() {
+		return false
+	}
+	if gray.flapActive[observer] || gray.flapActive[peer] {
+		return false
+	}
+	now := c.Sim.Now()
+	if now.Before(gray.jitterUntil[observer]) || now.Before(gray.jitterUntil[peer]) {
+		return false
+	}
+	return c.Segment.PartitionGroup(po.NIC) == c.Segment.PartitionGroup(pp.NIC)
+}
+
+// grayBounds derives the gray-oracle arming from the schedule: explicit
+// Options values win; otherwise bounds are computed from the shape events
+// (flap cadence for ping-pong, cumulative impaired time for false
+// suspicion) and both oracles stay disarmed for shape-free schedules.
+func grayBounds(s Schedule, opts Options) (ppBound int, ppWindow time.Duration, fsBound int) {
+	ppBound, ppWindow, fsBound = opts.PingPongBound, opts.PingPongWindow, opts.FalseSuspectBound
+	var minFlap, grayDur, lastAt time.Duration
+	started := map[int]time.Duration{}
+	anyShape := false
+	for _, ev := range s.Events {
+		if ev.At > lastAt {
+			lastAt = ev.At
+		}
+		switch ev.Op {
+		case OpShape:
+			anyShape = true
+			if t, ok := started[ev.Server]; ok {
+				grayDur += ev.At - t
+			}
+			started[ev.Server] = ev.At
+			shapes, err := faults.ParseProgram(ev.Shape)
+			if err != nil {
+				continue // Run validates upfront; unreachable there
+			}
+			for _, sh := range shapes {
+				if sh.Kind == faults.Flap && (minFlap == 0 || sh.Period < minFlap) {
+					minFlap = sh.Period
+				}
+			}
+		case OpClear:
+			if t, ok := started[ev.Server]; ok {
+				grayDur += ev.At - t
+				delete(started, ev.Server)
+			}
+		}
+	}
+	if !anyShape {
+		return
+	}
+	// Programs never cleared stay live until Run stops them at the settle
+	// boundary.
+	for _, t := range started {
+		grayDur += lastAt + opts.SettleBound - t
+	}
+	if ppWindow <= 0 {
+		ppWindow = 10 * time.Second
+	}
+	if ppBound <= 0 {
+		// Per window, a correct cluster re-claims a group at most ~twice
+		// per flap cycle (loss and reclamation) plus up to two transitions
+		// per non-shape event; real ping-pong livelock oscillates per token
+		// rotation and blows through any such bound.
+		cycles := 0
+		if minFlap > 0 {
+			cycles = int(ppWindow/minFlap) + 1
+		}
+		ppBound = 8 + 2*len(s.Events) + 4*cycles
+	}
+	if fsBound <= 0 {
+		// A lossy-but-alive or stalled member can legitimately be suspected
+		// about once per fault-detection timeout of impaired time; allow a
+		// 3x margin before calling the detector defective.
+		fsBound = 3 + 3*(int(grayDur/opts.GCS.FaultDetectTimeout)+1)
+	}
+	return
+}
+
 // apply executes one schedule event against the cluster. Inapplicable
 // events (restoring an up interface, severing an already-detached session)
 // degrade to deterministic no-ops so shrunk schedules stay runnable.
-func apply(c *wackamole.Cluster, ev Event, jitterMax, jitterWindow time.Duration) {
+func apply(c *wackamole.Cluster, ev Event, jitterMax, jitterWindow time.Duration, gray *grayState) {
 	switch ev.Op {
 	case OpFail:
 		c.FailServer(ev.Server)
@@ -295,6 +447,25 @@ func apply(c *wackamole.Cluster, ev Event, jitterMax, jitterWindow time.Duration
 	case OpJitter:
 		host := c.Servers[ev.Server].Host
 		host.SetProcessingJitter(jitterMax)
+		gray.jitterUntil[ev.Server] = c.Sim.Now().Add(jitterWindow)
 		c.Sim.After(jitterWindow, func() { host.SetProcessingJitter(0) })
+	case OpShape:
+		if b := gray.bindings[ev.Server]; b != nil {
+			b.Stop()
+		}
+		b, err := faults.ApplyProgram(c.Sim, c.Servers[ev.Server].NIC, ev.Shape)
+		if err != nil { // Run validates upfront, so this cannot fire
+			delete(gray.bindings, ev.Server)
+			gray.flapActive[ev.Server] = false
+			return
+		}
+		gray.bindings[ev.Server] = b
+		gray.flapActive[ev.Server] = b.HasFlap()
+	case OpClear:
+		if b := gray.bindings[ev.Server]; b != nil {
+			b.Stop()
+			delete(gray.bindings, ev.Server)
+			gray.flapActive[ev.Server] = false
+		}
 	}
 }

@@ -21,6 +21,13 @@ type GenConfig struct {
 	// Leaves enables graceful-departure events (at most one per schedule,
 	// and only while more than two servers remain in service).
 	Leaves bool
+	// Gray enables gray-failure shape events (OpShape/OpClear): flapping
+	// links, lossy-but-alive links and CPU-starved daemons drawn from a
+	// fixed parameter table. The generator keeps at most one program per
+	// server and appends trailing clears so every schedule ends clean.
+	// Leaving Gray off keeps generation byte-identical to earlier versions
+	// for any given seed.
+	Gray bool
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -56,9 +63,16 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 
 	down := map[int]bool{}
 	left := map[int]bool{}
+	shaped := map[int]bool{}
 	partitioned := false
 	inService := n
 	leftAllowed := cfg.Leaves
+	// Gray mode widens the draw range by two (shape, clear); non-gray
+	// configs keep the historical range so existing seeds replay unchanged.
+	ops := 7
+	if cfg.Gray {
+		ops = 9
+	}
 
 	s := Schedule{Seed: seed, Servers: n, VIPs: cfg.VIPs}
 	at := time.Duration(0)
@@ -72,9 +86,9 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 		// fail/sever/jitter targets as long as two servers remain up, so
 		// this terminates.
 		for {
-			switch rng.Intn(7) {
+			switch rng.Intn(ops) {
 			case 0: // fail
-				cand := pickServer(rng, n, func(i int) bool { return !down[i] })
+				cand := pickServer(rng, n, func(i int) bool { return !down[i] && !shaped[i] })
 				if len(down) >= n-2 || cand < 0 {
 					continue
 				}
@@ -116,17 +130,62 @@ func Generate(seed int64, cfg GenConfig) Schedule {
 				leftAllowed = false
 				ev.Op, ev.Server = OpLeave, cand
 			case 6: // jitter window
-				cand := pickServer(rng, n, func(i int) bool { return !left[i] })
+				cand := pickServer(rng, n, func(i int) bool { return !left[i] && !shaped[i] })
 				if cand < 0 {
 					continue
 				}
 				ev.Op, ev.Server = OpJitter, cand
+			case 7: // gray shape (Gray mode only)
+				cand := pickServer(rng, n, func(i int) bool { return !down[i] && !left[i] && !shaped[i] })
+				if cand < 0 {
+					continue
+				}
+				shaped[cand] = true
+				ev.Op, ev.Server = OpShape, cand
+				ev.Shape = grayShapes[rng.Intn(len(grayShapes))]
+			case 8: // clear shape (Gray mode only)
+				cand := pickServer(rng, n, func(i int) bool { return shaped[i] })
+				if cand < 0 {
+					continue
+				}
+				delete(shaped, cand)
+				ev.Op, ev.Server = OpClear, cand
 			}
 			break
 		}
 		s.Events = append(s.Events, ev)
 	}
+	// Trailing clears: every schedule ends with clean interfaces, so the
+	// settle-bound oracles judge a cluster that is allowed to re-converge.
+	// (Run stops leftover bindings anyway — this keeps the invariant visible
+	// in the serialized schedule itself, shrunk variants included.)
+	for _, i := range sortedKeys(shaped) {
+		gap := cfg.MinGap + time.Duration(rng.Int63n(int64(cfg.MaxGap-cfg.MinGap)))
+		at += gap.Truncate(time.Millisecond)
+		s.Events = append(s.Events, Event{At: at, Op: OpClear, Server: i})
+	}
 	return s
+}
+
+// grayShapes is the fixed parameter table gray generation draws from:
+// two flap cadences bracketing the tuned fault-detection timeout, two
+// asymmetric lossy-but-alive links, and two CPU-starvation strengths.
+var grayShapes = []string{
+	"flap(period=800ms,duty=0.5,jitter=20ms)",
+	"flap(period=2.4s,duty=0.67,jitter=50ms)",
+	"graylink(rxloss=0.3,txloss=0.05,rxdelay=2ms,txdelay=0s)",
+	"graylink(rxloss=0.15,txloss=0.15,rxdelay=0s,txdelay=5ms)",
+	"slownode(stall=40ms)",
+	"slownode(stall=90ms)",
+}
+
+func sortedKeys(m map[int]bool) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // pickServer draws uniformly among the servers satisfying ok, or -1 when

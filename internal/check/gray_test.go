@@ -1,0 +1,195 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wackamole/internal/faults"
+	"wackamole/internal/gcs"
+)
+
+func TestGenerateGrayProducesValidShapes(t *testing.T) {
+	s := Generate(21, GenConfig{Servers: 5, VIPs: 10, Steps: 20, Gray: true})
+	shapes := 0
+	active := map[int]bool{}
+	for _, ev := range s.Events {
+		switch ev.Op {
+		case OpShape:
+			shapes++
+			if active[ev.Server] {
+				t.Fatalf("second shape on server %d before a clear: %v", ev.Server, ev)
+			}
+			active[ev.Server] = true
+			if _, err := faults.ParseProgram(ev.Shape); err != nil {
+				t.Fatalf("generated shape does not parse: %v: %v", ev, err)
+			}
+		case OpClear:
+			delete(active, ev.Server)
+		}
+	}
+	if shapes == 0 {
+		t.Fatal("20-step gray schedule generated no shape events")
+	}
+	if len(active) != 0 {
+		t.Fatalf("schedule ends with %d uncleaned shapes (trailing clears missing)", len(active))
+	}
+
+	// Gray generation stays deterministic, and JSON round-trips the Shape
+	// field.
+	if b := Generate(21, GenConfig{Servers: 5, VIPs: 10, Steps: 20, Gray: true}); !reflect.DeepEqual(s, b) {
+		t.Fatal("same seed produced different gray schedules")
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, back) {
+		t.Fatal("gray schedule changed across a JSON round trip")
+	}
+}
+
+// Non-gray generation must not change for existing seeds: the gray draw
+// range widening is gated on GenConfig.Gray.
+func TestGenerateWithoutGrayHasNoShapes(t *testing.T) {
+	s := Generate(7, GenConfig{Servers: 5, VIPs: 10, Steps: 12, Leaves: true})
+	for _, ev := range s.Events {
+		if ev.Op == OpShape || ev.Op == OpClear || ev.Shape != "" {
+			t.Fatalf("non-gray schedule contains gray event: %v", ev)
+		}
+	}
+}
+
+// TestGrayScheduleSatisfiesOracles is the gray plane's clean-run gate: a
+// generated schedule of flap/graylink/slownode programs must pass every
+// oracle, including the two gray ones armed from the schedule itself.
+func TestGrayScheduleSatisfiesOracles(t *testing.T) {
+	s := Generate(31, GenConfig{Servers: 4, VIPs: 8, Steps: 8, Gray: true})
+	hasShape := false
+	for _, ev := range s.Events {
+		if ev.Op == OpShape {
+			hasShape = true
+		}
+	}
+	if !hasShape {
+		t.Skip("seed produced no shape events; adjust seed")
+	}
+	rep, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("gray schedule reported violation: %v", rep.Violation)
+	}
+	if rep.StepsExecuted != len(s.Events) {
+		t.Fatalf("executed %d of %d events", rep.StepsExecuted, len(s.Events))
+	}
+}
+
+// TestGraylinkRegatherKeepsViewsConsistent pins a regression the gray
+// sweep found (shrunk from generated seed 21): 15% symmetric loss on one
+// daemon's link forces token-loss re-gathers, and one of the intermediate
+// rings dies before its group synchronization completes — the lossy daemon
+// never installs it. Membership ops buffered under that dead ring used to
+// be replayed into the next ring's sync at the old cohort only, so the
+// cohort and the outsider emitted the same view ID with diverging member
+// lists (a view-order violation). The run must now be violation-free.
+func TestGraylinkRegatherKeepsViewsConsistent(t *testing.T) {
+	s := Schedule{Seed: 21, Servers: 5, VIPs: 10, Events: []Event{
+		{At: 10564 * time.Millisecond, Op: OpShape, Server: 4,
+			Shape: "graylink(rxloss=0.15,txloss=0.15,rxdelay=0s,txdelay=5ms)"},
+		{At: 13745 * time.Millisecond, Op: OpSever, Server: 0},
+		{At: 17815 * time.Millisecond, Op: OpSever, Server: 4},
+	}}
+	rep, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violation != nil {
+		t.Fatalf("interrupted-sync replay regression: %v", rep.Violation)
+	}
+}
+
+// Artifacts must round-trip the detection regime: a phi-sweep artifact
+// replayed under the fixed detector runs a different schedule and fails to
+// reproduce.
+func TestArtifactRoundTripsDetector(t *testing.T) {
+	opts := Options{GCS: gcs.Config{Detector: gcs.DetectorPhi}}.withDefaults()
+	rep := &Report{Schedule: Schedule{Seed: 3, Servers: 3, VIPs: 4}}
+	var buf bytes.Buffer
+	if err := WriteArtifact(&buf, NewArtifact(rep, opts, 0)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadArtifact(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.RunOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.GCS.Detector != gcs.DetectorPhi {
+		t.Fatalf("detector lost in artifact round trip: %v", got.GCS.Detector)
+	}
+	if got.GCS.PhiThreshold != opts.GCS.PhiThreshold ||
+		got.GCS.PhiCheckInterval != opts.GCS.PhiCheckInterval {
+		t.Fatalf("phi tuning lost: threshold %v/%v interval %v/%v",
+			got.GCS.PhiThreshold, opts.GCS.PhiThreshold,
+			got.GCS.PhiCheckInterval, opts.GCS.PhiCheckInterval)
+	}
+
+	// Fixed-detector artifacts omit the field entirely, so artifacts
+	// written before it existed keep replaying bit-identically.
+	buf.Reset()
+	if err := WriteArtifact(&buf, NewArtifact(rep, Options{}.withDefaults(), 0)); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "detector") {
+		t.Fatalf("fixed-detector artifact mentions the detector field:\n%s", buf.String())
+	}
+}
+
+// A malformed shape spec is a harness error, not a violation.
+func TestRunRejectsMalformedShape(t *testing.T) {
+	s := Schedule{Seed: 1, Servers: 3, VIPs: 4, Events: []Event{
+		{At: time.Second, Op: OpShape, Server: 0, Shape: "flap(duty=2)"},
+	}}
+	if _, err := Run(s, Options{}); err == nil {
+		t.Fatal("malformed shape spec accepted")
+	}
+}
+
+func TestGrayBoundsDerivation(t *testing.T) {
+	opts := Options{}.withDefaults()
+	s := Schedule{Seed: 1, Servers: 3, VIPs: 4, Events: []Event{
+		{At: 1 * time.Second, Op: OpShape, Server: 0, Shape: "flap(period=800ms,duty=0.5,jitter=0s)"},
+		{At: 9 * time.Second, Op: OpClear, Server: 0},
+	}}
+	pp, window, fs := grayBounds(s, opts)
+	if pp <= 0 || fs <= 0 || window <= 0 {
+		t.Fatalf("gray schedule left oracles disarmed: pp=%d window=%v fs=%d", pp, window, fs)
+	}
+
+	// Shape-free schedules keep both oracles disarmed unless Options set
+	// explicit bounds.
+	plain := Schedule{Seed: 1, Servers: 3, VIPs: 4, Events: []Event{
+		{At: time.Second, Op: OpFail, Server: 0},
+	}}
+	pp, _, fs = grayBounds(plain, opts)
+	if pp != 0 || fs != 0 {
+		t.Fatalf("shape-free schedule armed gray oracles: pp=%d fs=%d", pp, fs)
+	}
+	explicit := opts
+	explicit.PingPongBound, explicit.FalseSuspectBound = 5, 7
+	pp, _, fs = grayBounds(plain, explicit)
+	if pp != 5 || fs != 7 {
+		t.Fatalf("explicit bounds not honored: pp=%d fs=%d", pp, fs)
+	}
+}

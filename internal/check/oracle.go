@@ -21,4 +21,6 @@ const (
 	OracleViewOrder     = invariant.OracleViewOrder
 	OracleDeliveryOrder = invariant.OracleDeliveryOrder
 	OracleForeignClaim  = invariant.OracleForeignClaim
+	OraclePingPong      = invariant.OraclePingPong
+	OracleFalseSuspect  = invariant.OracleFalseSuspect
 )

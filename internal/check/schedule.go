@@ -25,6 +25,12 @@
 //	foreign-claim   No node's interface holds a virtual address its engine
 //	                does not own, and no engine acquires outside a view
 //	                containing itself.
+//	ping-pong       Gray-failure liveness — no VIP group's ownership
+//	                oscillates faster than the fault program justifies
+//	                (armed when the schedule carries fault shapes).
+//	false-suspect   Gray-failure accuracy — nodes may not declare live,
+//	                reachable peers failed more often than the injected
+//	                impairments can explain.
 package check
 
 import (
@@ -58,6 +64,13 @@ const (
 	// host, modelling the clock skew that makes probe/heartbeat timeouts
 	// fire spuriously. The window closes by itself after JitterWindow.
 	OpJitter
+	// OpShape applies an internal/faults gray-failure program (Event.Shape,
+	// spec syntax) to server A's interface: flapping links, lossy-but-alive
+	// links, CPU-starved daemons. Replaces any program already on A.
+	OpShape
+	// OpClear stops the fault program on server A, restoring the clean
+	// interface.
+	OpClear
 )
 
 var opNames = map[Op]string{
@@ -68,6 +81,8 @@ var opNames = map[Op]string{
 	OpSever:     "sever",
 	OpLeave:     "leave",
 	OpJitter:    "jitter",
+	OpShape:     "shape",
+	OpClear:     "clear",
 }
 
 var opValues = func() map[string]Op {
@@ -92,8 +107,9 @@ func (o Op) String() string {
 type Event struct {
 	At     time.Duration
 	Op     Op
-	Server int    // target for Fail/Restore/Sever/Leave/Jitter
+	Server int    // target for Fail/Restore/Sever/Leave/Jitter/Shape/Clear
 	Mask   uint64 // Partition: servers on side A
+	Shape  string // Shape: fault program in internal/faults spec syntax
 }
 
 func (e Event) String() string {
@@ -102,6 +118,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("@%v %s mask=%#x", e.At, e.Op, e.Mask)
 	case OpHeal:
 		return fmt.Sprintf("@%v %s", e.At, e.Op)
+	case OpShape:
+		return fmt.Sprintf("@%v %s server=%d %s", e.At, e.Op, e.Server, e.Shape)
 	default:
 		return fmt.Sprintf("@%v %s server=%d", e.At, e.Op, e.Server)
 	}
@@ -125,6 +143,7 @@ type eventJSON struct {
 	Op     string `json:"op"`
 	Server int    `json:"server,omitempty"`
 	Mask   uint64 `json:"mask,omitempty"`
+	Shape  string `json:"shape,omitempty"`
 }
 
 type scheduleJSON struct {
@@ -141,6 +160,7 @@ func (s Schedule) MarshalJSON() ([]byte, error) {
 	for _, e := range s.Events {
 		out.Events = append(out.Events, eventJSON{
 			AtNS: e.At.Nanoseconds(), Op: e.Op.String(), Server: e.Server, Mask: e.Mask,
+			Shape: e.Shape,
 		})
 	}
 	return json.Marshal(out)
@@ -160,6 +180,7 @@ func (s *Schedule) UnmarshalJSON(b []byte) error {
 		}
 		out.Events = append(out.Events, Event{
 			At: time.Duration(e.AtNS), Op: op, Server: e.Server, Mask: e.Mask,
+			Shape: e.Shape,
 		})
 	}
 	*s = out

@@ -14,6 +14,7 @@
 //	control 127.0.0.1:4804
 //	metrics 127.0.0.1:4805
 //	timeouts tuned            # or: default
+//	detector phi              # failure detector: fixed (default) or phi-accrual
 //	fault_detect 1s           # individual overrides
 //	heartbeat 400ms
 //	discovery 1.4s
@@ -217,6 +218,15 @@ func Parse(r io.Reader) (*File, error) {
 					f.GCS = gcs.TunedConfig()
 				default:
 					err = fail("timeouts must be default or tuned, got %q", args[0])
+				}
+			}
+		case "detector":
+			if err = need(1); err == nil {
+				var det gcs.Detector
+				if det, err = gcs.ParseDetector(args[0]); err != nil {
+					err = fail("%v", err)
+				} else {
+					f.GCS.Detector = det
 				}
 			}
 		case "fault_detect":

@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"wackamole/internal/gcs"
 )
 
 const sample = `
@@ -143,6 +145,27 @@ func TestTelemetryDirectives(t *testing.T) {
 	}
 	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\ntelemetry_interval soon\nvip v 10.0.0.1\n")); err == nil {
 		t.Fatal("bad telemetry_interval accepted")
+	}
+}
+
+func TestDetectorDirective(t *testing.T) {
+	cfg := "bind a:1\npeers a:1\ntimeouts tuned\ndetector phi\nvip v 10.0.0.1\n"
+	f, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GCS.Detector != gcs.DetectorPhi {
+		t.Fatalf("detector phi not applied: %+v", f.GCS)
+	}
+	f, err = Parse(strings.NewReader("bind a:1\npeers a:1\ndetector fixed\nvip v 10.0.0.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GCS.Detector != gcs.DetectorFixed {
+		t.Fatalf("detector fixed not applied: %+v", f.GCS)
+	}
+	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\ndetector chi\nvip v 10.0.0.1\n")); err == nil {
+		t.Fatal("unknown detector accepted")
 	}
 }
 

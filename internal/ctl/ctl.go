@@ -14,6 +14,7 @@ import (
 
 	"wackamole"
 	"wackamole/internal/env/realtime"
+	"wackamole/internal/gcs"
 	"wackamole/internal/invariant"
 	"wackamole/internal/obs"
 )
@@ -147,6 +148,13 @@ func FormatStatus(node *wackamole.Node) string {
 	fmt.Fprintf(&b, "mature:  %v\n", st.Mature)
 	fmt.Fprintf(&b, "view:    %s (%d members)\n", st.ViewID, len(st.Members))
 	fmt.Fprintf(&b, "owned:   %s\n", strings.Join(st.Owned, " "))
+	d := node.Daemon()
+	if d.Detector() == gcs.DetectorPhi {
+		fmt.Fprintf(&b, "detect:  phi (threshold %.1f, floor T=%s)\n",
+			d.PhiThreshold(), d.FaultDetectTimeout())
+	} else {
+		fmt.Fprintf(&b, "detect:  fixed (T=%s)\n", d.FaultDetectTimeout())
+	}
 	ds := node.Daemon().Stats()
 	fmt.Fprintf(&b, "daemon:  installs=%d reconfigs=%d sent=%d delivered=%d retrans=%d flushed=%d\n",
 		ds.MembershipsInstalled, ds.Reconfigurations, ds.DataSent, ds.DataDelivered,
@@ -189,10 +197,17 @@ func FormatStatus(node *wackamole.Node) string {
 		}
 	}
 	if h := node.Health(); h != nil {
+		// Margin is how much suspicion headroom each peer has before the
+		// detector fires: threshold − phi, clamped at zero once suspected.
+		thr := d.PhiThreshold()
 		parts := []string{}
 		for _, ph := range h.Snapshot(time.Now()) {
-			parts = append(parts, fmt.Sprintf("%s phi=%.2f last=%s",
-				ph.Peer, ph.Phi, ph.LastHeard.Round(time.Millisecond)))
+			margin := thr - ph.Phi
+			if margin < 0 {
+				margin = 0
+			}
+			parts = append(parts, fmt.Sprintf("%s phi=%.2f margin=%.2f last=%s",
+				ph.Peer, ph.Phi, margin, ph.LastHeard.Round(time.Millisecond)))
 		}
 		line := strings.Join(parts, " | ")
 		if line == "" {

@@ -17,7 +17,7 @@ import (
 // liveNode spins up a real single-daemon node over loopback UDP. A
 // singleton needs no broadcast peers: the daemon processes its own control
 // messages inline and the token loops back over unicast.
-func liveNode(t *testing.T) (*wackamole.Node, *realtime.Loop) {
+func liveNode(t *testing.T, mods ...func(*gcs.Config)) (*wackamole.Node, *realtime.Loop) {
 	t.Helper()
 	e, loop, cleanup, err := realtime.NewEnv("127.0.0.1:0", nil, nil)
 	if err != nil {
@@ -28,6 +28,9 @@ func liveNode(t *testing.T) (*wackamole.Node, *realtime.Loop) {
 	gcsCfg.DiscoveryTimeout = 300 * time.Millisecond
 	gcsCfg.FaultDetectTimeout = 500 * time.Millisecond
 	gcsCfg.HeartbeatInterval = 100 * time.Millisecond
+	for _, mod := range mods {
+		mod(&gcsCfg)
+	}
 
 	node, err := wackamole.NewNode(e, wackamole.Config{
 		GCS: gcsCfg,
@@ -138,6 +141,22 @@ func TestFormatStatusListsUncovered(t *testing.T) {
 	}
 	if strings.Contains(out, "latency:") {
 		t.Fatalf("latency line without a registry:\n%s", out)
+	}
+}
+
+// The status response names the active failure detector so an operator can
+// confirm which regime a node runs without reading its config file.
+func TestFormatStatusReportsDetector(t *testing.T) {
+	fixed, _ := liveNode(t)
+	out := FormatStatus(fixed)
+	if !strings.Contains(out, "detect:  fixed (T=500ms)") {
+		t.Fatalf("status output missing fixed detector line:\n%s", out)
+	}
+
+	phi, _ := liveNode(t, func(c *gcs.Config) { c.Detector = gcs.DetectorPhi })
+	out = FormatStatus(phi)
+	if !strings.Contains(out, "detect:  phi (threshold 8.0, floor T=500ms)") {
+		t.Fatalf("status output missing phi detector line:\n%s", out)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"wackamole"
 	"wackamole/internal/experiment/runner"
+	"wackamole/internal/faults"
 	"wackamole/internal/flow"
 	"wackamole/internal/gcs"
 	"wackamole/internal/health"
@@ -40,7 +41,8 @@ const LoadClientPort = 9100
 // FaultKind selects the injected fault.
 type FaultKind string
 
-// The three fault injections the experiment supports.
+// The fault injections the experiment supports: the paper's three clean
+// faults plus the three gray-failure shapes of internal/faults.
 const (
 	// FaultNIC disconnects the victim's interface — the paper's §6 method.
 	FaultNIC FaultKind = "nic"
@@ -48,16 +50,49 @@ const (
 	FaultCrash FaultKind = "crash"
 	// FaultGraceful makes the victim leave service voluntarily.
 	FaultGraceful FaultKind = "graceful"
+	// FaultFlap cycles the victim's interface down and up on a duty cycle
+	// for GrayWindow, then clears (web topology only).
+	FaultFlap FaultKind = "flap"
+	// FaultGrayLink leaves the victim up but drops and delays its frames
+	// per direction for GrayWindow — the lossy-but-alive link.
+	FaultGrayLink FaultKind = "graylink"
+	// FaultSlowNode starves the victim's daemon of CPU for GrayWindow: it
+	// holds the token late without ever being down.
+	FaultSlowNode FaultKind = "slownode"
 )
 
 // ParseFaultKind converts a CLI spelling into a FaultKind.
 func ParseFaultKind(s string) (FaultKind, error) {
 	switch FaultKind(s) {
-	case FaultNIC, FaultCrash, FaultGraceful:
+	case FaultNIC, FaultCrash, FaultGraceful, FaultFlap, FaultGrayLink, FaultSlowNode:
 		return FaultKind(s), nil
 	default:
-		return "", fmt.Errorf("experiment: unknown fault %q (want nic, crash or graceful)", s)
+		return "", fmt.Errorf("experiment: unknown fault %q (want nic, crash, graceful, flap, graylink or slownode)", s)
 	}
+}
+
+// Gray reports whether the fault is an ongoing gray shape rather than an
+// instantaneous injection.
+func (f FaultKind) Gray() bool {
+	switch f {
+	case FaultFlap, FaultGrayLink, FaultSlowNode:
+		return true
+	}
+	return false
+}
+
+// defaultShapeSpec is the fault program a gray FaultKind applies when
+// AvailabilityConfig.Shape does not override it.
+func defaultShapeSpec(f FaultKind) string {
+	switch f {
+	case FaultFlap:
+		return "flap(period=800ms,duty=0.5,jitter=20ms)"
+	case FaultGrayLink:
+		return "graylink(rxloss=0.3,txloss=0.3,rxdelay=1ms,txdelay=1ms)"
+	case FaultSlowNode:
+		return "slownode(stall=60ms)"
+	}
+	return ""
 }
 
 // Topology selects the application scenario the workload runs against.
@@ -98,6 +133,13 @@ type AvailabilityConfig struct {
 	// Fault selects the injection (default nic). The router topology
 	// supports nic and crash.
 	Fault FaultKind
+	// Shape overrides the fault program a gray FaultKind applies
+	// (internal/faults spec syntax; "" means the kind's default).
+	Shape string
+	// GrayWindow is how long a gray fault stays applied before it is
+	// cleared and the cluster re-converges (default: half of PostFault).
+	// Ignored for instantaneous faults.
+	GrayWindow time.Duration
 	// GCS configures the group-communication timeouts (zero: tuned).
 	GCS gcs.Config
 	// Warmup is the traffic-settling period after cluster formation and
@@ -165,13 +207,20 @@ func (c AvailabilityConfig) withDefaults() AvailabilityConfig {
 	if c.PostFault <= 0 {
 		c.PostFault = 4*(c.GCS.FaultDetectTimeout+c.GCS.DiscoveryTimeout) + c.PreFault + time.Second
 	}
+	if c.GrayWindow <= 0 {
+		c.GrayWindow = c.PostFault / 2
+	}
 	return c
 }
 
 // Label names the configuration the way sweep points and NDJSON rows do.
 func (c AvailabilityConfig) Label() string {
 	c = c.withDefaults()
-	return fmt.Sprintf("%s/%s/%s/c=%d", c.Topology, c.Mode, c.Fault, c.Clients)
+	l := fmt.Sprintf("%s/%s/%s/c=%d", c.Topology, c.Mode, c.Fault, c.Clients)
+	if c.GCS.Detector != gcs.DetectorFixed {
+		l += "/det=" + c.GCS.Detector.String()
+	}
+	return l
 }
 
 // LatencyWindow summarizes client-observed request latency over one phase
@@ -221,6 +270,16 @@ type AvailabilityResult struct {
 	// Frames is the health telemetry stream captured in-simulation (empty
 	// unless AvailabilityConfig.Telemetry was set).
 	Frames []health.Frame
+	// DetectionLatency is how long after the fault any surviving daemon
+	// first declared the victim failed (0 when no detection was observed —
+	// e.g. a graceful leave, or a gray shape mild enough to ride out).
+	DetectionLatency time.Duration
+	// DetectionVia attributes that first detection: "phi" or "fixed".
+	DetectionVia string
+	// FalseSuspicions counts detections of peers other than the victim
+	// (plus any pre-fault detection): declarations of servers that were
+	// healthy by construction.
+	FalseSuspicions int
 }
 
 // AvailabilityTrial runs one seeded trial and returns the runner sample
@@ -261,10 +320,35 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 			o.TelemetryInterval = cfg.GCS.HeartbeatInterval / 2
 		})
 	}
+	// Detection accounting: every daemon reports who it declares failed and
+	// through which mechanism. Before the fault there is no victim, so any
+	// detection is a false suspicion; afterwards, only detections of the
+	// victim are genuine. The simulation is single-threaded, so the plain
+	// captured variables are race-free within the trial.
+	var simNow func() time.Time
+	victimID := ""
+	var faultTime, firstDetect time.Time
+	detectVia := ""
+	falseSuspects := 0
+	mods = append(mods, func(o *wackamole.ClusterOptions) {
+		o.OnNode = func(i int, n *wackamole.Node) {
+			n.Daemon().SetDetectionHook(func(peer, detector string) {
+				if victimID == "" || peer != victimID {
+					falseSuspects++
+					return
+				}
+				if firstDetect.IsZero() && simNow != nil {
+					firstDetect = simNow()
+					detectVia = detector
+				}
+			})
+		}
+	})
 	wc, err := NewWebCluster(seed, cfg.Servers, cfg.GCS, mods...)
 	if err != nil {
 		return runner.Sample{}, nil, err
 	}
+	simNow = wc.Sim.Now
 	if mon != nil {
 		epoch := wc.Sim.Now()
 		mon.SetNow(func() time.Duration { return wc.Sim.Now().Sub(epoch) })
@@ -305,6 +389,8 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 		return runner.Sample{}, nil, fmt.Errorf("experiment: %d holders of the target before fault", holders)
 	}
 	faultAt := wc.Sim.Now()
+	victimID = string(wc.Servers[victim].Node.Daemon().ID())
+	faultTime = faultAt
 	switch cfg.Fault {
 	case FaultNIC:
 		wc.FailServer(victim)
@@ -314,10 +400,27 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 		if err := wc.Servers[victim].Node.LeaveService(); err != nil {
 			return runner.Sample{}, nil, err
 		}
+	case FaultFlap, FaultGrayLink, FaultSlowNode:
+		spec := cfg.Shape
+		if spec == "" {
+			spec = defaultShapeSpec(cfg.Fault)
+		}
+		b, err := faults.ApplyProgram(wc.Sim, wc.Servers[victim].NIC, spec)
+		if err != nil {
+			return runner.Sample{}, nil, err
+		}
+		// The shape stays live for GrayWindow, then clears so the trial's
+		// tail measures re-convergence on a clean link.
+		wc.Sim.After(cfg.GrayWindow, func() { b.Stop() })
 	}
 	wc.RunFor(cfg.PostFault)
 
 	res := summarizeTrial(seed, engine, faultAt)
+	if !firstDetect.IsZero() {
+		res.DetectionLatency = firstDetect.Sub(faultTime)
+		res.DetectionVia = detectVia
+	}
+	res.FalseSuspicions = falseSuspects
 	engine.Stop()
 	res.Frames = wc.TelemetryFrames
 	sample := runner.Sample{Value: res.Interruption, Metrics: clusterMetrics(wc.Cluster)}
@@ -360,8 +463,8 @@ func availabilityMonitor(seed int64, cfg AvailabilityConfig, tr *obs.Tracer) *in
 }
 
 func availabilityRouterTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *AvailabilityResult, error) {
-	if cfg.Fault == FaultGraceful {
-		return runner.Sample{}, nil, fmt.Errorf("experiment: the router topology has no graceful fault")
+	if cfg.Fault != FaultNIC && cfg.Fault != FaultCrash {
+		return runner.Sample{}, nil, fmt.Errorf("experiment: the router topology supports only nic and crash faults, not %q", cfg.Fault)
 	}
 	ripCfg := rip.Config{AdvertisePeriod: rip.DefaultAdvertisePeriod}
 	var tr *obs.Tracer
@@ -600,9 +703,14 @@ func Availability(baseSeed int64, trials int, cfg AvailabilityConfig, opts ...Op
 // RenderAvailability formats the per-trial outcomes plus the aggregate.
 func RenderAvailability(row AvailabilityRow) string {
 	header := []string{"seed", "interruption", "ok", "reset", "timeout", "stale",
-		"conns lost", "goodput pre", "goodput post", "recovery", "p99 before", "p99 after"}
+		"conns lost", "goodput pre", "goodput post", "recovery", "p99 before", "p99 after",
+		"detect", "false susp"}
 	var cells [][]string
 	for _, r := range row.Results {
+		detect := "—"
+		if r.DetectionLatency > 0 {
+			detect = fmt.Sprintf("%s (%s)", Seconds(r.DetectionLatency), r.DetectionVia)
+		}
 		cells = append(cells, []string{
 			fmt.Sprintf("%d", r.Seed), Seconds(r.Interruption),
 			fmt.Sprintf("%d", r.Stats.Requests[load.ClassOK]),
@@ -614,6 +722,7 @@ func RenderAvailability(row AvailabilityRow) string {
 			fmt.Sprintf("%.1f/s", r.GoodputPost),
 			fmt.Sprintf("%.3f", r.Recovery),
 			Seconds(r.Before.P99), Seconds(r.After.P99),
+			detect, fmt.Sprintf("%d", r.FalseSuspicions),
 		})
 	}
 	return fmt.Sprintf("point: %s (trials %d, errors %d, mean interruption %s)\n\n%s",
@@ -632,6 +741,8 @@ func AvailabilityJSON(row AvailabilityRow) []JSONRow {
 		}
 		agg.Extra["conns_lost"] += float64(r.Stats.ConnsLost)
 		agg.Extra["recovery"] += r.Recovery / float64(len(row.Results))
+		agg.Extra["detect_latency_s"] += r.DetectionLatency.Seconds() / float64(len(row.Results))
+		agg.Extra["false_suspicions"] += float64(r.FalseSuspicions)
 	}
 	agg.PerTrial = trialRows(row.Samples)
 	out := []JSONRow{agg}
@@ -648,6 +759,8 @@ func AvailabilityJSON(row AvailabilityRow) []JSONRow {
 			"goodput_pre_rps":  r.GoodputPre,
 			"goodput_post_rps": r.GoodputPost,
 			"recovery":         r.Recovery,
+			"detect_latency_s": r.DetectionLatency.Seconds(),
+			"false_suspicions": float64(r.FalseSuspicions),
 			"before_p50_s":     r.Before.P50.Seconds(),
 			"before_p99_s":     r.Before.P99.Seconds(),
 			"before_max_s":     r.Before.Max.Seconds(),

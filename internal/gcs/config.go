@@ -17,6 +17,44 @@ import (
 	"time"
 )
 
+// Detector selects the failure-detection regime for ring members.
+type Detector uint8
+
+const (
+	// DetectorFixed is the paper's fixed fault-detection timeout (Table 1):
+	// a member is declared dead after FaultDetectTimeout of silence.
+	DetectorFixed Detector = iota
+	// DetectorPhi drives detection from phi-accrual suspicion
+	// (internal/health): a member is declared dead as soon as its phi
+	// crosses the configured threshold. The fixed T timeout stays armed as
+	// a fallback floor, so phi detection can fire earlier than T but never
+	// later.
+	DetectorPhi
+)
+
+// String names the detector for configs, flags and status output.
+func (det Detector) String() string {
+	switch det {
+	case DetectorFixed:
+		return "fixed"
+	case DetectorPhi:
+		return "phi"
+	default:
+		return fmt.Sprintf("detector(%d)", uint8(det))
+	}
+}
+
+// ParseDetector resolves a detector name from configs and flags.
+func ParseDetector(s string) (Detector, error) {
+	switch s {
+	case "fixed":
+		return DetectorFixed, nil
+	case "phi":
+		return DetectorPhi, nil
+	}
+	return 0, fmt.Errorf("gcs: unknown detector %q (want fixed or phi)", s)
+}
+
 // Config holds the daemon's protocol timing parameters.
 type Config struct {
 	// FaultDetectTimeout is how long a ring member may stay silent before
@@ -47,6 +85,19 @@ type Config struct {
 	// Window is the maximum number of messages a daemon may introduce per
 	// token visit. Zero means 64.
 	Window int
+
+	// Detector selects how ring-member faults are detected: DetectorFixed
+	// (the zero value, the paper's T timeout) or DetectorPhi (adaptive
+	// phi-accrual suspicion with the T timeout retained as a floor).
+	Detector Detector
+	// PhiThreshold is the suspicion level at which the phi detector declares
+	// a member faulty. Zero means health.DefaultThreshold. Ignored under
+	// DetectorFixed.
+	PhiThreshold float64
+	// PhiCheckInterval is how often the phi detector re-evaluates per-peer
+	// suspicion. Zero means HeartbeatInterval/2. Ignored under
+	// DetectorFixed.
+	PhiCheckInterval time.Duration
 }
 
 // DefaultConfig returns the "Default Spread" column of the paper's Table 1:
@@ -87,6 +138,9 @@ func (c Config) withDefaults() Config {
 	if c.Window <= 0 {
 		c.Window = 64
 	}
+	if c.PhiCheckInterval <= 0 {
+		c.PhiCheckInterval = c.HeartbeatInterval / 2
+	}
 	return c
 }
 
@@ -99,6 +153,12 @@ func (c Config) Validate() error {
 	if c.HeartbeatInterval >= c.FaultDetectTimeout {
 		return fmt.Errorf("gcs: heartbeat interval %v must be below fault-detection timeout %v",
 			c.HeartbeatInterval, c.FaultDetectTimeout)
+	}
+	if c.Detector > DetectorPhi {
+		return fmt.Errorf("gcs: unknown detector %d", c.Detector)
+	}
+	if c.PhiThreshold < 0 {
+		return fmt.Errorf("gcs: phi threshold must be non-negative, got %v", c.PhiThreshold)
 	}
 	return nil
 }

@@ -85,6 +85,7 @@ type Daemon struct {
 	faultTimers    map[DaemonID]env.Timer
 	tokenWatchdog  env.Timer
 	pendingToken   env.Timer
+	phiScanTimer   env.Timer
 
 	// Ring state captured when leaving the operational state, used by the
 	// Virtual Synchrony flush during recovery.
@@ -106,6 +107,7 @@ type Daemon struct {
 	groups       *groupLayer
 	onMembership MembershipHandler
 	onDelivery   DeliveryHandler
+	onDetection  DetectionHook
 	tracer       *obs.Tracer
 	hlc          *obs.HLCClock
 	health       *health.Monitor
@@ -248,6 +250,15 @@ func (d *Daemon) ID() DaemonID { return d.id }
 
 // Start attaches the packet handler and begins the bootstrap discovery.
 func (d *Daemon) Start() {
+	if d.cfg.Detector == DetectorPhi && d.health == nil {
+		// The phi detector needs a suspicion source. When no instrumented
+		// monitor was installed (no telemetry, no metrics), self-provision a
+		// plain one so `detector phi` works in every deployment shape.
+		d.SetHealth(health.NewMonitor(health.Options{
+			Node:      string(d.id),
+			Threshold: d.cfg.PhiThreshold,
+		}))
+	}
 	d.env.Conn.SetHandler(d.onPacket)
 	d.enterGather("boot", 0)
 }
@@ -352,11 +363,42 @@ func (d *Daemon) SetTracer(t *obs.Tracer) { d.tracer = t }
 // causally comparable. Call before Start.
 func (d *Daemon) SetHLC(c *obs.HLCClock) { d.hlc = c }
 
+// DetectionHook observes every failure declaration this daemon makes
+// against a ring member, before the reconfiguration it triggers: peer is
+// the declared-dead member and detector names the mechanism that fired
+// ("fixed" or "phi"). Checkers use it to judge detections against ground
+// truth (false-suspicion accounting on lossy-but-alive links).
+type DetectionHook func(peer string, detector string)
+
+// SetDetectionHook registers fn to run at every fault declaration. Call
+// before Start.
+func (d *Daemon) SetDetectionHook(fn DetectionHook) { d.onDetection = fn }
+
+// Detector returns the active detection regime.
+func (d *Daemon) Detector() Detector { return d.cfg.Detector }
+
+// PhiThreshold returns the phi level at which the phi detector fires: the
+// configured threshold, or the health monitor's (default) threshold when
+// none was configured.
+func (d *Daemon) PhiThreshold() float64 {
+	if d.cfg.PhiThreshold > 0 {
+		return d.cfg.PhiThreshold
+	}
+	return d.health.Threshold()
+}
+
+// FaultDetectTimeout returns the fixed detection timeout T — the sole
+// detection mechanism under DetectorFixed, the fallback floor under
+// DetectorPhi.
+func (d *Daemon) FaultDetectTimeout() time.Duration { return d.cfg.FaultDetectTimeout }
+
 // SetHealth installs a detection-quality monitor (nil disables it). The
 // daemon feeds it every heartbeat and token arrival, resets its peer set on
 // each membership install, and notifies it when the fixed fault-detection
-// timeout declares a member dead — all observe-only; the monitor never
-// influences detection. Call before Start.
+// timeout declares a member dead. Under DetectorFixed the monitor is
+// observe-only; under DetectorPhi it is the authoritative suspicion source
+// driving detection (with the fixed timeout as a floor). Call before
+// Start.
 func (d *Daemon) SetHealth(m *health.Monitor) {
 	// The monitor must not model the peer faster than the cadence it is
 	// guaranteed: heartbeats. Token passes still sharpen recency.
@@ -406,6 +448,8 @@ func (d *Daemon) cancelProtocolTimers() {
 	d.tokenWatchdog = nil
 	stopTimer(d.pendingToken)
 	d.pendingToken = nil
+	stopTimer(d.phiScanTimer)
+	d.phiScanTimer = nil
 	stopTimer(d.gatherDeadline)
 	d.gatherDeadline = nil
 	stopTimer(d.joinTicker)
@@ -536,8 +580,51 @@ func (d *Daemon) armFaultTimer(m DaemonID) {
 		// must HLC-order before the heartbeat-miss it is measured against.
 		d.health.Detected(string(m), d.env.Clock.Now())
 		d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindHeartbeatMiss, Node: string(d.id), Detail: string(m)})
+		if d.onDetection != nil {
+			d.onDetection(string(m), "fixed")
+		}
 		d.enterGather("fault:"+string(m), 0)
 	})
+}
+
+// startPhiDetector arms the adaptive detection scan: every PhiCheckInterval
+// it evaluates phi against each ring member and declares the first one
+// whose suspicion crosses the threshold, entering the same reconfiguration
+// path as the fixed timeout — just earlier. The per-member fixed timers
+// stay armed underneath as the floor, so a peer whose phi never crosses
+// (an under-sampled window at boot, say) is still detected at T.
+func (d *Daemon) startPhiDetector() {
+	if d.cfg.Detector != DetectorPhi || d.health == nil {
+		return
+	}
+	threshold := d.PhiThreshold()
+	var tick func()
+	tick = func() {
+		if d.closed || d.state != stOperational {
+			return
+		}
+		now := d.env.Clock.Now()
+		for _, m := range d.ring.members {
+			if m == d.id {
+				continue
+			}
+			if phi := d.health.Phi(string(m), now); phi >= threshold {
+				d.env.Log.Logf("gcs %s: member %s phi %.2f crossed threshold %.2f", d.id, m, phi, threshold)
+				// Mark the suspicion (emitting the phi-suspect trace event)
+				// before the heartbeat-miss event, mirroring the fixed path.
+				d.health.Detected(string(m), now)
+				d.tracer.Emit(obs.Event{Source: obs.SourceGCS, Kind: obs.KindHeartbeatMiss,
+					Node: string(d.id), Detail: string(m)})
+				if d.onDetection != nil {
+					d.onDetection(string(m), "phi")
+				}
+				d.enterGather("fault:"+string(m), 0)
+				return // no longer operational; the scan dies with the state
+			}
+		}
+		d.phiScanTimer = d.env.Clock.AfterFunc(d.cfg.PhiCheckInterval, tick)
+	}
+	d.phiScanTimer = d.env.Clock.AfterFunc(d.cfg.PhiCheckInterval, tick)
 }
 
 func (d *Daemon) onAlive(m aliveMsg) {
@@ -1031,6 +1118,7 @@ func (d *Daemon) install(form formMsg) {
 	}
 
 	d.startHeartbeats()
+	d.startPhiDetector()
 	d.startTokenWatchdog()
 	d.groups.onInstall()
 	if selfIdx == 0 {

@@ -1,0 +1,90 @@
+package gcs_test
+
+import (
+	"testing"
+	"time"
+
+	"wackamole/internal/gcs"
+)
+
+func TestParseDetector(t *testing.T) {
+	for _, want := range []gcs.Detector{gcs.DetectorFixed, gcs.DetectorPhi} {
+		got, err := gcs.ParseDetector(want.String())
+		if err != nil {
+			t.Fatalf("ParseDetector(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Fatalf("ParseDetector(%q) = %v, want %v", want.String(), got, want)
+		}
+	}
+	if _, err := gcs.ParseDetector("adaptive"); err == nil {
+		t.Fatal("ParseDetector accepted an unknown name")
+	}
+}
+
+// TestPhiDetectorLeadsFixedTimeout pins the point of the promotion: with a
+// deliberately slack fixed timeout (T = 25·H) the phi detector declares a
+// crashed member long before T, and the cluster reconfigures off the phi
+// path. The daemons self-provision their health monitors — no telemetry or
+// metrics plumbing involved.
+func TestPhiDetectorLeadsFixedTimeout(t *testing.T) {
+	cfg := gcs.Config{
+		FaultDetectTimeout: 5 * time.Second,
+		HeartbeatInterval:  200 * time.Millisecond,
+		DiscoveryTimeout:   1400 * time.Millisecond,
+		Detector:           gcs.DetectorPhi,
+	}
+	c := newCluster(t, 11, 3, cfg)
+	c.sim.RunFor(10 * time.Second) // form and accumulate inter-arrival samples
+	c.sameRing([]int{0, 1, 2}, 3)
+
+	var detectedAt time.Duration
+	var mode string
+	hook := func(peer, detector string) {
+		if detectedAt == 0 {
+			detectedAt = c.sim.Elapsed()
+			mode = detector
+		}
+	}
+	c.daemons[1].SetDetectionHook(hook)
+	c.daemons[2].SetDetectionHook(hook)
+
+	faultAt := c.sim.Elapsed()
+	c.hosts[0].Crash()
+	c.sim.RunFor(8 * time.Second)
+	c.sameRing([]int{1, 2}, 2)
+
+	if detectedAt == 0 {
+		t.Fatal("no detection hook fired")
+	}
+	latency := detectedAt - faultAt
+	if mode != "phi" {
+		t.Fatalf("first detection came from %q (latency %v), want phi", mode, latency)
+	}
+	if latency >= cfg.FaultDetectTimeout {
+		t.Fatalf("phi detection latency %v is not ahead of the fixed T=%v floor", latency, cfg.FaultDetectTimeout)
+	}
+}
+
+// TestFixedDetectorReportsFixed checks the hook attribution on the default
+// path: under DetectorFixed the only mechanism that can fire is "fixed".
+func TestFixedDetectorReportsFixed(t *testing.T) {
+	c := newCluster(t, 13, 3, gcs.TunedConfig())
+	c.sim.RunFor(5 * time.Second)
+	c.sameRing([]int{0, 1, 2}, 3)
+
+	var mode string
+	hook := func(peer, detector string) {
+		if mode == "" {
+			mode = detector
+		}
+	}
+	c.daemons[1].SetDetectionHook(hook)
+	c.daemons[2].SetDetectionHook(hook)
+	c.hosts[0].Crash()
+	c.sim.RunFor(8 * time.Second)
+	c.sameRing([]int{1, 2}, 2)
+	if mode != "fixed" {
+		t.Fatalf("detection mechanism = %q, want fixed", mode)
+	}
+}

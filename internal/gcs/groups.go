@@ -115,6 +115,33 @@ func newGroupLayer(d *Daemon) *groupLayer {
 func (g *groupLayer) onInstall() {
 	g.synced = false
 	g.contributions = map[DaemonID][]stateEntry{}
+	// Ops buffered during a synchronization that never completed (the ring
+	// died first) must not be replayed on the new ring: a daemon joining
+	// from outside the dead ring never received them, so replaying them at
+	// the old cohort alone diverges the replicated map. Instead, fold the
+	// membership effect of our OWN clients' buffered ops into the session
+	// bookkeeping so the state transfer below carries it to every member —
+	// including the outsiders — and discard the buffers. Buffered casts are
+	// dropped for the same reason: delivering them only where they were
+	// buffered would break delivery agreement across the new membership.
+	for _, m := range g.pendingOps {
+		if m.Origin != g.d.id {
+			continue
+		}
+		client, grp, err := decodeGroupOp(m.Payload)
+		if err != nil {
+			continue
+		}
+		if s, ok := g.sessions[client]; ok {
+			if m.Kind == dkGroupJoin {
+				s.joined[grp] = true
+			} else {
+				delete(s.joined, grp)
+			}
+		}
+	}
+	g.pendingOps = nil
+	g.pendingCasts = nil
 	var entries []stateEntry
 	names := make([]string, 0, len(g.sessions))
 	for name := range g.sessions {

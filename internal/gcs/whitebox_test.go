@@ -312,3 +312,43 @@ func TestGarbageGroupsStateLogged(t *testing.T) {
 		t.Fatalf("garbage group payloads broke the daemon: %v", d.state)
 	}
 }
+
+// TestInstallFoldsInterruptedPendingOps: membership ops buffered during a
+// synchronization that never completed (the ring died first) must not be
+// replayed on the next ring — a daemon joining from outside the dead ring
+// never received them, so replaying them at the old cohort alone diverges
+// the replicated map (two daemons then emit the same view ID with
+// different member lists). The install instead folds our OWN clients'
+// buffered ops into the session bookkeeping, letting the state transfer
+// carry their effect to every member, and discards the buffers.
+func TestInstallFoldsInterruptedPendingOps(t *testing.T) {
+	s, daemons, _ := wbCluster(t, 3, 2, TunedConfig())
+	s.RunFor(5 * time.Second)
+	d := daemons[0]
+	sess, err := d.Connect("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := d.groups
+	// Simulate a sync interrupted by ring death: unsynced, with a join from
+	// our own client and one from a peer buffered under the dead ring.
+	g.synced = false
+	dead := RingID{Coord: d.id, Epoch: d.ring.id.Epoch + 1}
+	g.pendingOps = append(g.pendingOps,
+		&dataMsg{Ring: dead, Seq: 7, Origin: d.id, Kind: dkGroupJoin,
+			Payload: encodeGroupOp("c", "web1")},
+		&dataMsg{Ring: dead, Seq: 8, Origin: daemons[1].id, Kind: dkGroupJoin,
+			Payload: encodeGroupOp("other", "web1")})
+	g.pendingCasts = append(g.pendingCasts, &dataMsg{Ring: dead, Kind: dkGroupCast})
+	g.onInstall()
+	if len(g.pendingOps) != 0 || len(g.pendingCasts) != 0 {
+		t.Fatalf("buffers survived the install: ops=%d casts=%d",
+			len(g.pendingOps), len(g.pendingCasts))
+	}
+	if !sess.Joined("web1") {
+		t.Fatal("own client's buffered join was not folded into session bookkeeping")
+	}
+	if g.groups["web1"] != nil {
+		t.Fatal("peer's buffered op was applied locally instead of dropped")
+	}
+}

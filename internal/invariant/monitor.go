@@ -1,9 +1,10 @@
 // Package invariant is the always-on protocol-invariant monitor layer: the
 // five oracles the model checker introduced (exactly-once coverage, bounded
-// convergence, view order, Agreed delivery order, foreign claim) packaged
-// as a Monitor that attaches to any set of nodes through the existing
-// nil-safe observation hooks (core.SetViewHook, core.SetOwnershipHook,
-// gcs.SetDeliveryHandler). The checker consumes it in Strict mode, where
+// convergence, view order, Agreed delivery order, foreign claim) plus the
+// two gray-failure oracles (bounded ownership ping-pong under flap, bounded
+// false-detection rate on lossy-but-alive links) packaged as a Monitor that
+// attaches to any set of nodes through the existing nil-safe observation
+// hooks (core.SetViewHook, core.SetOwnershipHook, gcs.SetDeliveryHandler). The checker consumes it in Strict mode, where
 // state is unbounded and findings are byte-identical to the original
 // internal/check oracles; every other consumer — wackload traffic sweeps,
 // wacksim experiments, a live wackamole daemon — arms it in online mode,
@@ -103,6 +104,22 @@ type Config struct {
 	// OnViolation, if set, runs once with the first violation (after the
 	// counters, trace event and artifact are recorded).
 	OnViolation func(*Violation)
+
+	// PingPongBound arms the ping-pong oracle: a violation trips when any
+	// single VIP group is claimed (false→true ownership transition) more
+	// than PingPongBound times within PingPongWindow. Zero disables the
+	// oracle, so existing consumers are unaffected. Harnesses injecting
+	// flap shapes derive the bound from the flap period — each down/up
+	// cycle legitimately forces up to two re-claims.
+	PingPongBound int
+	// PingPongWindow is the sliding window for PingPongBound; zero with a
+	// nonzero bound means 10s.
+	PingPongWindow time.Duration
+	// FalseSuspectBound arms the false-suspicion oracle: a violation trips
+	// when attached nodes report more than FalseSuspectBound false
+	// detections via OnFalseSuspicion (the caller judges ground truth —
+	// the suspected peer was alive and reachable). Zero disables.
+	FalseSuspectBound int
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +137,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Name == "" {
 		c.Name = "invariant"
+	}
+	if c.PingPongBound > 0 && c.PingPongWindow <= 0 {
+		c.PingPongWindow = 10 * time.Second
 	}
 	return c
 }
@@ -186,6 +206,16 @@ type Monitor struct {
 	shardClaims [][]bool
 	shardCount  []int
 	multiOwner  int
+
+	// Ping-pong oracle state: per-shard ring of the PingPongBound+1 most
+	// recent claim times (allocated per shard only when the oracle is
+	// armed), plus head cursor and fill count.
+	claimTimes [][]time.Duration
+	claimHead  []int
+	claimLen   []int
+
+	// False-suspicion oracle state: detections judged false by callers.
+	falseSuspects int
 
 	violation         *Violation
 	violationReported bool
@@ -681,6 +711,11 @@ func (m *Monitor) registerShardLocked(name string) int {
 	m.shardNames = append(m.shardNames, name)
 	m.shardClaims = append(m.shardClaims, make([]bool, m.cfg.Nodes))
 	m.shardCount = append(m.shardCount, 0)
+	if m.cfg.PingPongBound > 0 {
+		m.claimTimes = append(m.claimTimes, make([]time.Duration, m.cfg.PingPongBound+1))
+		m.claimHead = append(m.claimHead, 0)
+		m.claimLen = append(m.claimLen, 0)
+	}
 	return idx
 }
 
@@ -704,6 +739,9 @@ func (m *Monitor) trackShardLocked(i int, group string, owned bool) {
 	before := m.shardCount[idx]
 	if owned {
 		m.shardCount[idx]++
+		if m.cfg.PingPongBound > 0 {
+			m.recordClaimLocked(idx)
+		}
 	} else {
 		m.shardCount[idx]--
 	}
@@ -715,6 +753,66 @@ func (m *Monitor) trackShardLocked(i int, group string, owned bool) {
 		m.multiOwner--
 		m.multiG.Set(int64(m.multiOwner))
 	}
+}
+
+// recordClaimLocked feeds one claim (false→true ownership transition) into
+// the shard's timestamp ring and trips the ping-pong oracle when the ring —
+// PingPongBound+1 claims — fits inside PingPongWindow: more re-claims than
+// the bound allows, the ownership livelock a flapping link induces.
+func (m *Monitor) recordClaimLocked(idx int) {
+	ring := m.claimTimes[idx]
+	now := m.now()
+	ring[m.claimHead[idx]] = now
+	m.claimHead[idx] = (m.claimHead[idx] + 1) % len(ring)
+	if m.claimLen[idx] < len(ring) {
+		m.claimLen[idx]++
+	}
+	if m.claimLen[idx] < len(ring) {
+		return
+	}
+	// Ring full: the next write position holds the oldest retained claim.
+	oldest := ring[m.claimHead[idx]]
+	if span := now - oldest; span <= m.cfg.PingPongWindow {
+		m.failLocked(OraclePingPong,
+			"group %s claimed %d times within %v (bound %d per %v) — ownership ping-pong",
+			m.shardNames[idx], len(ring), span, m.cfg.PingPongBound, m.cfg.PingPongWindow)
+	}
+}
+
+// OnFalseSuspicion records that node slot i declared peer failed while
+// ground truth — judged by the caller, which knows whether the peer's host
+// was alive, its interface up and both sides in the same partition — says
+// the peer was reachable. Trips the false-suspect oracle once more than
+// FalseSuspectBound false detections accumulate across all attached nodes.
+func (m *Monitor) OnFalseSuspicion(i int, peer string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.cfg.FalseSuspectBound <= 0 {
+		m.mu.Unlock()
+		return
+	}
+	m.falseSuspects++
+	if m.falseSuspects > m.cfg.FalseSuspectBound {
+		m.failLocked(OracleFalseSuspect,
+			"server %d falsely declared %s failed (%d false detections exceed bound %d)",
+			i, peer, m.falseSuspects, m.cfg.FalseSuspectBound)
+	}
+	viol := m.takeNewViolationLocked()
+	m.mu.Unlock()
+	m.report(viol)
+}
+
+// FalseSuspicions reports how many false detections have been recorded via
+// OnFalseSuspicion (0 when the oracle is disarmed).
+func (m *Monitor) FalseSuspicions() int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.falseSuspects
 }
 
 // ShardOwners reports how many attached nodes currently claim group (0 if

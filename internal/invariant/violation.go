@@ -14,6 +14,14 @@ const (
 	OracleViewOrder     = "view-order"
 	OracleDeliveryOrder = "delivery-order"
 	OracleForeignClaim  = "foreign-claim"
+	// OraclePingPong trips when one VIP group is re-claimed more than a
+	// configured bound of times within a sliding window — ownership
+	// ping-pong, the livelock a flapping link can induce.
+	OraclePingPong = "ping-pong"
+	// OracleFalseSuspect trips when attached nodes declare live, reachable
+	// peers failed more than a configured bound of times — the
+	// false-detection rate a lossy-but-alive link must not exceed.
+	OracleFalseSuspect = "false-suspect"
 )
 
 // Oracles lists every oracle name; the monitor pre-registers one labeled
@@ -24,6 +32,8 @@ var Oracles = []string{
 	OracleViewOrder,
 	OracleDeliveryOrder,
 	OracleForeignClaim,
+	OraclePingPong,
+	OracleFalseSuspect,
 }
 
 // Violation is the first oracle failure observed during a run.

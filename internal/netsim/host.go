@@ -176,6 +176,17 @@ type NIC struct {
 	addrs   map[netip.Addr]bool
 	arp     map[netip.Addr]arpEntry
 	pending map[netip.Addr]*arpPending
+	// Directional gray-failure impairments (armed by internal/faults).
+	// txLoss/txDelay apply to frames this interface transmits, rxLoss/rxDelay
+	// to frames it would receive — modelling asymmetric reachability, where a
+	// link passes traffic one way but not the other. All four default to
+	// zero, and every use in the transmit path is gated on the knob being
+	// nonzero, so the default path draws exactly the same RNG sequence as it
+	// did before the fault plane existed.
+	txLoss  float64
+	rxLoss  float64
+	txDelay time.Duration
+	rxDelay time.Duration
 }
 
 type arpEntry struct {
@@ -251,6 +262,29 @@ func (nic *NIC) SetUp(up bool) {
 	}
 	nic.host.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: kind,
 		Node: nic.host.name, Detail: nic.name})
+}
+
+// SetTxImpairment installs a loss probability and an added fixed delay on
+// frames the interface transmits. Zero values clear the direction.
+func (nic *NIC) SetTxImpairment(loss float64, delay time.Duration) {
+	nic.txLoss, nic.txDelay = loss, delay
+}
+
+// SetRxImpairment installs a loss probability and an added fixed delay on
+// frames the interface receives. Zero values clear the direction.
+func (nic *NIC) SetRxImpairment(loss float64, delay time.Duration) {
+	nic.rxLoss, nic.rxDelay = loss, delay
+}
+
+// ClearImpairments removes all directional loss and delay from the
+// interface, restoring the clean-link behaviour.
+func (nic *NIC) ClearImpairments() {
+	nic.txLoss, nic.rxLoss, nic.txDelay, nic.rxDelay = 0, 0, 0, 0
+}
+
+// Impaired reports whether any directional impairment is active.
+func (nic *NIC) Impaired() bool {
+	return nic.txLoss > 0 || nic.rxLoss > 0 || nic.txDelay > 0 || nic.rxDelay > 0
 }
 
 // AddAddr configures an additional (virtual) address on the interface.

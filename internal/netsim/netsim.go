@@ -314,6 +314,17 @@ func (s *Segment) transmit(src *NIC, fr frame) {
 			"one-way frame latency drawn for each scheduled delivery, including receiver jitter", seg)
 	}
 	s.net.emitTrace(traceOf(s, fr, TraceSend, src.host.name))
+	// Transmit-side impairment: the frame dies at the sending NIC, before
+	// any receiver sees it. Gated on the knob so un-impaired runs draw the
+	// same RNG sequence as ever.
+	if src.txLoss > 0 && s.net.sim.Rand().Float64() < src.txLoss {
+		s.net.counters.FramesDropped++
+		s.net.log.Logf("netsim: %s impaired tx drop %s -> %s", s.name, fr.src, fr.dst)
+		s.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: obs.KindFrameDrop,
+			Node: src.host.name, Group: s.name, Detail: "tx-impair"})
+		s.net.emitTrace(traceOf(s, fr, TraceDrop, src.host.name))
+		return
+	}
 	for _, nic := range s.nics {
 		if nic == src || !nic.up || !nic.host.alive {
 			continue
@@ -332,10 +343,23 @@ func (s *Segment) transmit(src *NIC, fr frame) {
 			s.net.emitTrace(traceOf(s, fr, TraceDrop, nic.host.name))
 			continue
 		}
+		// Receive-side impairment, drawn after the segment's own loss so the
+		// base draw order is preserved.
+		if nic.rxLoss > 0 && s.net.sim.Rand().Float64() < nic.rxLoss {
+			s.net.counters.FramesDropped++
+			s.net.log.Logf("netsim: %s impaired rx drop %s -> %s", s.name, fr.src, fr.dst)
+			s.net.tracer.Emit(obs.Event{Source: obs.SourceNet, Kind: obs.KindFrameDrop,
+				Node: nic.host.name, Group: s.name, Detail: "rx-impair"})
+			s.net.emitTrace(traceOf(s, fr, TraceDrop, nic.host.name))
+			continue
+		}
 		// Draw the latency exactly as before instrumentation existed (one
 		// latency draw plus one jitter draw, in that order) so seeded runs
 		// stay byte-identical whether or not metrics are enabled.
 		delay := s.latency() + nic.host.jitter()
+		if d := src.txDelay + nic.rxDelay; d > 0 {
+			delay += d
+		}
 		s.mFrameLatency.ObserveDuration(delay)
 		s.mQueueDepth.Inc()
 		var j *deliveryJob
