@@ -2,13 +2,14 @@
 
 # Benchmarks committed with a PR. `make bench` reruns the headline
 # benchmarks (simulation throughput, flow round-trip, Table 1 end-to-end,
-# plus the health plane's observe and frame-encode hot paths and the fault
-# plane's shape tick, which must stay allocation-free) with allocation
-# counts and refreshes the JSON snapshot via cmd/benchjson. The health and
-# fault-shape benchmarks live in ./internal/health and ./internal/faults,
-# hence the extra packages on the command line.
-BENCH_OUT ?= BENCH_pr9.json
-BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1|BenchmarkHealthObserve|BenchmarkTelemetryFrame|BenchmarkFaultShapeTick)$$
+# plus the health plane's observe and frame-encode hot paths, the fault
+# plane's shape tick and the placement decision, all of which must stay
+# allocation-free) with allocation counts and refreshes the JSON snapshot
+# via cmd/benchjson. The health, fault-shape and placement benchmarks live
+# in ./internal/health, ./internal/faults and ./internal/placement, hence
+# the extra packages on the command line.
+BENCH_OUT ?= BENCH_pr10.json
+BENCH_PATTERN = ^(BenchmarkFlowRoundTrip|BenchmarkNetsimEventRate|BenchmarkTable1|BenchmarkHealthObserve|BenchmarkTelemetryFrame|BenchmarkFaultShapeTick|BenchmarkPlacementDecision)$$
 
 .PHONY: all build test race bench
 
@@ -25,7 +26,7 @@ race:
 
 bench:
 	go test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -count 1 \
-		. ./internal/health ./internal/faults \
+		. ./internal/health ./internal/faults ./internal/placement \
 		| tee /dev/stderr \
 		| go run ./cmd/benchjson -o $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"

@@ -14,6 +14,7 @@ import (
 	"wackamole/internal/metrics"
 	"wackamole/internal/netsim"
 	"wackamole/internal/obs"
+	"wackamole/internal/placement"
 	"wackamole/internal/sim"
 )
 
@@ -41,6 +42,11 @@ type ClusterOptions struct {
 	// RepresentativeDecisions enables the §4.2 variant where the
 	// representative imposes the post-gather allocation.
 	RepresentativeDecisions bool
+	// Placement names the placement policy every server runs
+	// (placement.NameLeastLoaded, placement.NameMinimal). Empty means the
+	// historical least-loaded rule. Each server gets its own policy
+	// instance — policies carry scratch state.
+	Placement string
 	// DisableARPSpoof suppresses gratuitous ARP after acquisition (the
 	// ablation quantifying §5.1's spoofing).
 	DisableARPSpoof bool
@@ -230,6 +236,10 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		if opts.WithRouter {
 			host.SetDefaultGateway(nic, RouterInsideAddr)
 		}
+		placer, err := placement.New(opts.Placement)
+		if err != nil {
+			return nil, fmt.Errorf("wackamole: server %d: %w", i, err)
+		}
 		cfg := Config{
 			GCS: opts.GCS,
 			Engine: core.Config{
@@ -240,6 +250,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 				DisableBalance:          opts.DisableBalance,
 				LazyConflictRelease:     opts.LazyConflictRelease,
 				RepresentativeDecisions: opts.RepresentativeDecisions,
+				Placer:                  placer,
 			},
 		}
 		if opts.ConfigureNode != nil {

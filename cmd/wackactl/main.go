@@ -3,8 +3,15 @@
 //
 //	wackactl -control 127.0.0.1:4804 status
 //	wackactl -control 127.0.0.1:4804 balance
-//	wackactl -control 127.0.0.1:4804 leave
+//	wackactl -control 127.0.0.1:4804 drain
+//	wackactl -control 127.0.0.1:4804 join
 //	wackactl -control 127.0.0.1:4804 dump
+//
+// drain departs the node gracefully (the remaining members reallocate its
+// addresses; `leave` is a synonym) while the daemon keeps running; join
+// re-admits a drained node — it restarts the §3.4 maturity bootstrap and the
+// configured placement policy decides how much load moves back. Together
+// they are the rolling-restart primitive: drain, do maintenance, join.
 //
 // dump spills a flight-recorder bundle (requires flight_dir in the daemon's
 // configuration) and prints the bundle directory; it is served off the

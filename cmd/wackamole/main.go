@@ -189,6 +189,10 @@ func run(args []string, stop <-chan os.Signal, notices io.Writer) int {
 			ArtifactDir: cfg.InvariantArtifacts,
 			Name:        "wackamole-" + cfg.Bind,
 			Meta:        map[string]string{"bind": cfg.Bind, "group": cfg.Group},
+			// Per-view relocation ceiling: a single-node monitor sees only
+			// its own acquisitions, so this is the accounting backstop, not
+			// a policy assertion.
+			ChurnBound: len(cfg.Groups),
 			OnViolation: func(v *invariant.Violation) {
 				fmt.Fprintf(notices, "wackamole: invariant violation: %v\n", v)
 				// Off this goroutine: the violation hook runs on the

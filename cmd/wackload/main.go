@@ -14,6 +14,14 @@
 // -detector selecting fixed-timeout or phi-accrual failure detection and
 // the per-trial output reporting detection latency and false suspicions.
 //
+// -fault rolling is the rolling-upgrade schedule: every server is drained
+// and rejoined in sequence under continuous traffic, and the report breaks
+// disruption down per restart phase. -placement selects the VIP placement
+// policy (least-loaded or minimal) so the two can be compared at equal
+// offered load:
+//
+//	wackload -fault rolling -placement minimal -mode open -rps 400 -invariants -json
+//
 // Output is a per-trial table; -json emits NDJSON rows like wacksim (one
 // aggregate row, then one row per trial), -trace captures per-trial
 // structured event streams, and -prom writes the trials' shared metrics
@@ -39,6 +47,7 @@ import (
 	"wackamole/internal/health"
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
+	"wackamole/internal/placement"
 )
 
 func main() {
@@ -51,7 +60,9 @@ func run(args []string, out io.Writer) int {
 	mode := fs.String("mode", "closed", "workload shape: open|closed")
 	rps := fs.Float64("rps", 1000, "aggregate Poisson arrival rate (open loop)")
 	think := fs.Duration("think", time.Second, "per-client think time (closed loop)")
-	fault := fs.String("fault", "nic", "injected fault: nic|crash|graceful|flap|graylink|slownode")
+	fault := fs.String("fault", "nic", "injected fault: nic|crash|graceful|flap|graylink|slownode|rolling")
+	placementName := fs.String("placement", "", "VIP placement policy: least-loaded|minimal (\"\" = least-loaded; web topology)")
+	rollingGap := fs.Duration("rolling-gap", 0, "settle time after each drain and each rejoin of the rolling schedule (0 = 2s)")
 	shape := fs.String("shape", "", "fault program for gray faults (internal/faults spec syntax; \"\" = the kind's default)")
 	grayWindow := fs.Duration("gray-window", 0, "how long a gray fault stays applied (0 = half of -post)")
 	detector := fs.String("detector", "fixed", "gcs failure detector: fixed|phi")
@@ -103,6 +114,10 @@ func run(args []string, out io.Writer) int {
 			return 2
 		}
 	}
+	if _, err := placement.New(*placementName); err != nil {
+		fmt.Fprintf(os.Stderr, "wackload: %v\n", err)
+		return 2
+	}
 
 	gcfg := gcs.TunedConfig()
 	gcfg.Detector = det
@@ -124,6 +139,8 @@ func run(args []string, out io.Writer) int {
 		Fault:              fk,
 		Shape:              *shape,
 		GrayWindow:         *grayWindow,
+		Placement:          *placementName,
+		RollingGap:         *rollingGap,
 		GCS:                gcfg,
 		PreFault:           *pre,
 		PostFault:          *post,

@@ -1,8 +1,10 @@
 // Dashboard mode: instead of joining the ring as an observer daemon,
 // wackmon -subscribe listens for the health telemetry frames every daemon
 // publishes (see internal/health) and renders a live cluster dashboard —
-// per-node status, the VIP ownership map with a multi-owner cross-check,
-// and the full N×N suspicion matrix. The matrix shows every observer's phi
+// per-node status, the VIP ownership map with a multi-owner cross-check and
+// a churn indicator (how often each VIP has changed hands since the monitor
+// started watching — a rolling restart or rebalance walks it up, a steady
+// cluster leaves it flat), and the full N×N suspicion matrix. The matrix shows every observer's phi
 // against every peer; an asymmetric entry (a suspects b, b does not
 // suspect a) is the signature of a gray failure a single node's view can
 // never expose.
@@ -33,12 +35,18 @@ type nodeView struct {
 // this state so it can be golden-tested.
 type clusterState struct {
 	nodes  map[string]*nodeView
-	frames uint64 // frames accepted
-	bad    uint64 // packets that failed to decode
+	frames uint64            // frames accepted
+	bad    uint64            // packets that failed to decode
+	owner  map[string]string // VIP -> publisher last seen claiming it
+	moves  map[string]uint64 // VIP -> ownership relocations observed
 }
 
 func newClusterState() *clusterState {
-	return &clusterState{nodes: make(map[string]*nodeView)}
+	return &clusterState{
+		nodes: make(map[string]*nodeView),
+		owner: make(map[string]string),
+		moves: make(map[string]uint64),
+	}
 }
 
 // apply folds one decoded frame into the state. UDP reorders: a frame with
@@ -56,6 +64,17 @@ func (st *clusterState) apply(f health.Frame, now time.Time) {
 	nv.frame = f
 	nv.recvAt = now
 	st.frames++
+	// Churn ledger: a VIP turning up in a different publisher's owned set is
+	// a relocation — a rebalance, a drain, a fail-over, or (while a
+	// multi-owner conflict lasts) a claim flapping between feeds. A steady
+	// cluster's counters go quiet; a rolling restart walks them up by
+	// roughly the placement policy's move bound per view.
+	for _, v := range f.Owned {
+		if prev, ok := st.owner[v]; ok && prev != f.Node {
+			st.moves[v]++
+		}
+		st.owner[v] = f.Node
+	}
 }
 
 // renderDashboard writes one full dashboard refresh. All output is derived
@@ -116,7 +135,15 @@ func renderDashboard(w io.Writer, st *clusterState, now time.Time, staleAfter ti
 		vips = append(vips, v)
 	}
 	sort.Strings(vips)
-	fmt.Fprintln(w, "  ownership:")
+	var churn uint64
+	for _, n := range st.moves {
+		churn += n
+	}
+	if churn > 0 {
+		fmt.Fprintf(w, "  ownership (churn: %d relocation(s)):\n", churn)
+	} else {
+		fmt.Fprintln(w, "  ownership:")
+	}
 	if len(vips) == 0 {
 		fmt.Fprintln(w, "    (no owned addresses reported)")
 	}
@@ -124,6 +151,9 @@ func renderDashboard(w io.Writer, st *clusterState, now time.Time, staleAfter ti
 		line := fmt.Sprintf("    %-12s -> %s", v, strings.Join(owners[v], " "))
 		if len(owners[v]) > 1 {
 			line += "  ** MULTI-OWNER **"
+		}
+		if n := st.moves[v]; n > 0 {
+			line += fmt.Sprintf("  (relocated %dx)", n)
 		}
 		fmt.Fprintln(w, line)
 	}

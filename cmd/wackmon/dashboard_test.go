@@ -59,10 +59,10 @@ func TestRenderDashboardGolden(t *testing.T) {
 		"  [0]  10.0.0.10:4803        run     3    12   3 yes    -250µs   12/0    web1,web3",
 		"  [1]  10.0.0.11:4803        run     3    11   3 yes     120µs   11/0    web2",
 		"  [2]  10.0.0.12:4803        run     3     9   3 yes        0s    9/2    web3,web4  STALE 5s",
-		"  ownership:",
+		"  ownership (churn: 1 relocation(s)):",
 		"    web1         -> 10.0.0.10:4803",
 		"    web2         -> 10.0.0.11:4803",
-		"    web3         -> 10.0.0.10:4803 10.0.0.12:4803  ** MULTI-OWNER **",
+		"    web3         -> 10.0.0.10:4803 10.0.0.12:4803  ** MULTI-OWNER **  (relocated 1x)",
 		"    web4         -> 10.0.0.12:4803",
 		"  suspicion phi (row observes column, '!' = suspected):",
 		"            [0]    [1]    [2]",
@@ -119,6 +119,39 @@ func TestRenderDashboardEmpty(t *testing.T) {
 	renderDashboard(&buf, newClusterState(), time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC), time.Second)
 	if out := buf.String(); !strings.Contains(out, "(no frames yet)") {
 		t.Fatalf("empty-state render: %q", out)
+	}
+}
+
+// TestClusterStateChurn: the ownership-churn ledger counts a VIP changing
+// publishers, ignores a steady owner re-announcing, and survives across the
+// VIP returning to a previous owner (a drain/rejoin round trip is two
+// relocations, which is exactly what a rolling restart looks like).
+func TestClusterStateChurn(t *testing.T) {
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	st := newClusterState()
+	st.apply(health.Frame{Node: "a", Seq: 1, Owned: []string{"web1"}}, now)
+	st.apply(health.Frame{Node: "a", Seq: 2, Owned: []string{"web1"}}, now)
+	if st.moves["web1"] != 0 {
+		t.Fatalf("steady owner counted as churn: %d", st.moves["web1"])
+	}
+	st.apply(health.Frame{Node: "b", Seq: 1, Owned: []string{"web1"}}, now) // drain: a -> b
+	st.apply(health.Frame{Node: "a", Seq: 3, Owned: []string{"web1"}}, now) // rejoin: b -> a
+	if st.moves["web1"] != 2 {
+		t.Fatalf("drain/rejoin round trip: moves = %d, want 2", st.moves["web1"])
+	}
+	// A reordered stale frame must not perturb the ledger.
+	st.apply(health.Frame{Node: "b", Seq: 0, Owned: []string{"web1"}}, now)
+	if st.moves["web1"] != 2 {
+		t.Fatalf("stale frame moved the churn ledger: %d", st.moves["web1"])
+	}
+	var buf bytes.Buffer
+	renderDashboard(&buf, st, now, time.Minute)
+	out := buf.String()
+	if !strings.Contains(out, "ownership (churn: 2 relocation(s)):") {
+		t.Errorf("churn total missing from ownership header:\n%s", out)
+	}
+	if !strings.Contains(out, "(relocated 2x)") {
+		t.Errorf("per-VIP relocation marker missing:\n%s", out)
 	}
 }
 

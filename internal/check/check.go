@@ -58,6 +58,13 @@ type Options struct {
 	// detections of live, reachable peers). Zero: computed from the
 	// schedule's shape events, disarmed when the schedule has none.
 	FalseSuspectBound int
+	// ChurnBound arms the churn oracle (bounded VIP relocations per view).
+	// Zero: armed at the schedule's per-view ceiling, s.VIPs — under the
+	// default least-loaded policy a single reconfiguration may legitimately
+	// reshuffle everything, so the ceiling guards the relocation accounting
+	// rather than the policy; harnesses running the minimal policy pass the
+	// policy's MoveBound for a bound with teeth.
+	ChurnBound int
 }
 
 func (o Options) withDefaults() Options {
@@ -182,6 +189,7 @@ func Run(s Schedule, opts Options) (*Report, error) {
 		PingPongBound:     ppBound,
 		PingPongWindow:    ppWindow,
 		FalseSuspectBound: fsBound,
+		ChurnBound:        churnBound(s, opts),
 	})
 
 	gray := &grayState{
@@ -340,6 +348,16 @@ func judgeFalseSuspicion(c *wackamole.Cluster, gray *grayState, observer, peer i
 		return false
 	}
 	return c.Segment.PartitionGroup(po.NIC) == c.Segment.PartitionGroup(pp.NIC)
+}
+
+// churnBound derives the churn-oracle arming: an explicit Options value
+// wins; otherwise the schedule's per-view ceiling (every VIP group counts
+// at most once per view).
+func churnBound(s Schedule, opts Options) int {
+	if opts.ChurnBound > 0 {
+		return opts.ChurnBound
+	}
+	return s.VIPs
 }
 
 // grayBounds derives the gray-oracle arming from the schedule: explicit

@@ -20,6 +20,7 @@
 //	discovery 1.4s
 //	balance 30s
 //	mature 5s
+//	placement minimal         # VIP placement policy: least-loaded (default) or minimal
 //	prefer web1 web2
 //	device eth0
 //	dry_run true
@@ -48,6 +49,7 @@ import (
 	"wackamole"
 	"wackamole/internal/core"
 	"wackamole/internal/gcs"
+	"wackamole/internal/placement"
 )
 
 // File is a parsed configuration.
@@ -106,6 +108,11 @@ type File struct {
 	Groups         []core.VIPGroup
 	// RepresentativeDecisions enables the §4.2 allocation variant.
 	RepresentativeDecisions bool
+	// Placement names the VIP placement policy ("least-loaded" or
+	// "minimal"); empty means least-loaded, the paper's balance rule.
+	// Must be identical cluster-wide — the engines plan independently and
+	// rely on computing identical plans.
+	Placement string
 }
 
 // Parse reads a configuration from r.
@@ -237,6 +244,14 @@ func Parse(r io.Reader) (*File, error) {
 			err = parseDur(args, &f.GCS.DiscoveryTimeout, fail)
 		case "balance":
 			err = parseDur(args, &f.BalanceTimeout, fail)
+		case "placement":
+			if err = need(1); err == nil {
+				if _, perr := placement.New(args[0]); perr != nil {
+					err = fail("%v", perr)
+				} else {
+					f.Placement = args[0]
+				}
+			}
 		case "mature":
 			err = parseDur(args, &f.MatureTimeout, fail)
 		case "representative_decisions":
@@ -338,8 +353,14 @@ func ParseFile(path string) (*File, error) {
 	return Parse(fh)
 }
 
-// NodeConfig converts the file into a wackamole.Config.
+// NodeConfig converts the file into a wackamole.Config. The placement
+// policy instance is freshly constructed on every call (policies carry
+// per-engine scratch state); the name was validated at parse time.
 func (f *File) NodeConfig() wackamole.Config {
+	placer, err := placement.New(f.Placement)
+	if err != nil {
+		placer = placement.NewLeastLoaded() // unreachable: Parse validated the name
+	}
 	return wackamole.Config{
 		Group: f.Group,
 		GCS:   f.GCS,
@@ -349,6 +370,7 @@ func (f *File) NodeConfig() wackamole.Config {
 			BalanceTimeout:          f.BalanceTimeout,
 			MatureTimeout:           f.MatureTimeout,
 			RepresentativeDecisions: f.RepresentativeDecisions,
+			Placer:                  placer,
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"wackamole/internal/gcs"
+	"wackamole/internal/placement"
 )
 
 const sample = `
@@ -125,6 +126,31 @@ func TestRepresentativeDecisionsDirective(t *testing.T) {
 	}
 	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\nrepresentative_decisions sure\nvip v 10.0.0.1\n")); err == nil {
 		t.Fatal("bad boolean accepted")
+	}
+}
+
+func TestPlacementDirective(t *testing.T) {
+	cfg := "bind a:1\npeers a:1\nplacement minimal\nvip v 10.0.0.1\n"
+	f, err := Parse(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Placement != placement.NameMinimal {
+		t.Fatalf("placement: %q", f.Placement)
+	}
+	if got := f.NodeConfig().Engine.Placer.Name(); got != placement.NameMinimal {
+		t.Fatalf("NodeConfig placer: %q", got)
+	}
+	// Default (no directive) is the paper's least-loaded rule.
+	f, err = Parse(strings.NewReader("bind a:1\npeers a:1\nvip v 10.0.0.1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.NodeConfig().Engine.Placer.Name(); got != placement.NameLeastLoaded {
+		t.Fatalf("default placer: %q", got)
+	}
+	if _, err := Parse(strings.NewReader("bind a:1\npeers a:1\nplacement random\nvip v 10.0.0.1\n")); err == nil {
+		t.Fatal("unknown placement policy accepted")
 	}
 }
 

@@ -1,9 +1,29 @@
 package core
 
-// balance.go implements the representative's re-balancing decision (§3.4):
-// a deterministic allocation over the eligible members that evens out load
-// and honours the startup preferences each server passed along through its
-// STATE_MSGs, while moving as few groups as possible.
+// balance.go adapts the engine to the placement plane. The re-balancing
+// decision (§3.4) and the post-gather hole filling both delegate to the
+// configured placement.Policy; the engine's job is reduced to assembling
+// the replicated inputs (canonical group list, eligible members in view
+// order, the current table) and applying the returned plan. The default
+// policy reproduces the historical least-loaded rule byte for byte.
+
+import "wackamole/internal/placement"
+
+// placementInput assembles the policy's view of the replicated state. The
+// member scratch slice and the owner/prefers closures are reused across
+// calls, so planning itself stays allocation-free.
+func (e *Engine) placementInput(eligible []MemberID) placement.Input {
+	e.memberScratch = e.memberScratch[:0]
+	for _, m := range eligible {
+		e.memberScratch = append(e.memberScratch, string(m))
+	}
+	return placement.Input{
+		Groups:  e.sortedNames,
+		Members: e.memberScratch,
+		Owner:   e.ownerFn,
+		Prefers: e.prefersFn,
+	}
+}
 
 // balancedAllocation computes the representative's target allocation. It
 // reports changed=false when the current table already satisfies it.
@@ -12,112 +32,29 @@ func (e *Engine) balancedAllocation() ([]allocPair, bool) {
 	if len(eligible) == 0 {
 		return nil, false
 	}
-	prefers := func(m MemberID, g string) bool {
-		for _, p := range e.prefsOf[m] {
-			if p == g {
-				return true
-			}
-		}
-		return false
-	}
-	// Capacity: n groups over k members; the first n%k members (in the
-	// uniquely ordered membership list) may hold one extra.
-	n, k := len(e.sortedNames), len(eligible)
-	cap := map[MemberID]int{}
-	for i, m := range eligible {
-		cap[m] = n / k
-		if i < n%k {
-			cap[m]++
-		}
-	}
-	isEligible := map[MemberID]bool{}
-	for _, m := range eligible {
-		isEligible[m] = true
-	}
-
-	alloc := map[string]MemberID{}
-	count := map[MemberID]int{}
-	for _, g := range e.sortedNames {
-		owner := e.table[g]
-		if !isEligible[owner] {
-			owner = "" // departed or immature owner: treat as uncovered
-		}
-		alloc[g] = owner
-		if owner != "" {
-			count[owner]++
-		}
-	}
-
-	move := func(g string, to MemberID) {
-		if from := alloc[g]; from != "" {
-			count[from]--
-		}
-		alloc[g] = to
-		count[to]++
-	}
-
-	// Preference pass: grant each group to a member that asked for it. A
-	// member may be granted up to its capacity in preferred groups, even if
-	// that temporarily overfills it — the shedding pass below moves its
-	// non-preferred groups away. Granted groups are protected from the
-	// first shedding pass.
-	grantedPref := map[MemberID]int{}
-	protected := map[string]bool{}
-	for _, g := range e.sortedNames {
-		owner := alloc[g]
-		if owner != "" && prefers(owner, g) && grantedPref[owner] < cap[owner] {
-			grantedPref[owner]++
-			protected[g] = true
-			continue
-		}
-		for _, m := range eligible {
-			if m != owner && prefers(m, g) && grantedPref[m] < cap[m] {
-				move(g, m)
-				grantedPref[m]++
-				protected[g] = true
-				break
-			}
-		}
-	}
-
-	// Shedding passes: cover holes and drain over-capacity members onto the
-	// least-loaded ones — first by moving unprotected groups, then, if an
-	// owner is somehow still over capacity, protected ones too.
-	shed := func(sparePreferred bool) {
-		for _, g := range e.sortedNames {
-			owner := alloc[g]
-			if owner != "" && count[owner] <= cap[owner] {
-				continue
-			}
-			if owner != "" && sparePreferred && protected[g] {
-				continue
-			}
-			var best MemberID
-			for _, m := range eligible {
-				if m == owner || count[m] >= cap[m] {
-					continue
-				}
-				if best == "" || count[m] < count[best] {
-					best = m
-				}
-			}
-			if best != "" {
-				move(g, best)
-			}
-		}
-	}
-	shed(true)
-	shed(false)
-
-	pairs := make([]allocPair, 0, len(e.sortedNames))
+	e.planScratch = e.placer.Balance(e.placementInput(eligible), e.planScratch[:0])
+	pairs := make([]allocPair, 0, len(e.planScratch))
 	changed := false
-	for _, g := range e.sortedNames {
-		pairs = append(pairs, allocPair{Group: g, Owner: alloc[g]})
-		if alloc[g] != e.table[g] {
+	for _, d := range e.planScratch {
+		owner := MemberID(d.Owner)
+		pairs = append(pairs, allocPair{Group: d.Group, Owner: owner})
+		if owner != e.table[d.Group] {
 			changed = true
 		}
 	}
 	return pairs, changed
+}
+
+// computeReallocation returns the full post-gather allocation: current
+// owners keep their groups, holes are filled by the placement policy among
+// the eligible members.
+func (e *Engine) computeReallocation() []allocPair {
+	e.planScratch = e.placer.Fill(e.placementInput(e.eligibleMembers()), e.planScratch[:0])
+	alloc := make([]allocPair, 0, len(e.planScratch))
+	for _, d := range e.planScratch {
+		alloc = append(alloc, allocPair{Group: d.Group, Owner: MemberID(d.Owner)})
+	}
+	return alloc
 }
 
 // AllocationCounts summarizes how many groups each member of the current
@@ -130,4 +67,51 @@ func (e *Engine) AllocationCounts() map[MemberID]int {
 		}
 	}
 	return out
+}
+
+// noteOwner records that the replicated table now assigns g to owner and
+// counts a placement move when that differs from the last recorded owner.
+// Every member observes the same table transitions (the inputs are
+// replicated), so the per-node placement_moves_total counters agree.
+func (e *Engine) noteOwner(g string, owner MemberID) {
+	if owner == "" {
+		return
+	}
+	prev, seen := e.lastOwner[g]
+	if seen && prev != owner {
+		e.stats.moves.Add(1)
+		e.mMoves.Inc()
+	}
+	e.lastOwner[g] = owner
+}
+
+// updateSkew refreshes the placement_skew gauge: the spread between the
+// most and least loaded eligible members under the current table.
+func (e *Engine) updateSkew() {
+	min, max := -1, 0
+	members := 0
+	for _, m := range e.view.Members {
+		if !e.matureOf[m] {
+			continue
+		}
+		members++
+		n := 0
+		for _, owner := range e.table {
+			if owner == m {
+				n++
+			}
+		}
+		if min < 0 || n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	skew := 0
+	if members > 1 {
+		skew = max - min
+	}
+	e.stats.skew.Store(int64(skew))
+	e.mSkew.Set(int64(skew))
 }

@@ -46,6 +46,13 @@ func groups(n int) []core.VIPGroup {
 }
 
 func newHarness(t testing.TB, n int, cfg core.Config) *harness {
+	return newHarnessCfg(t, n, func(int) core.Config { return cfg })
+}
+
+// newHarnessCfg builds the harness with a per-member configuration —
+// needed when the config carries per-engine state (a placement policy
+// instance must not be shared between engines).
+func newHarnessCfg(t testing.TB, n int, cfgFor func(i int) core.Config) *harness {
 	t.Helper()
 	h := &harness{
 		t:        t,
@@ -61,7 +68,7 @@ func newHarness(t testing.TB, n int, cfg core.Config) *harness {
 		h.members = append(h.members, id)
 		be := &ipmgr.FakeBackend{}
 		mgr := ipmgr.New(be)
-		e, err := core.NewEngine(cfg, core.Deps{
+		e, err := core.NewEngine(cfgFor(i), core.Deps{
 			Self:  id,
 			Cast:  func(p []byte) error { h.queue = append(h.queue, qmsg{from: id, payload: p}); return nil },
 			IPs:   mgr,

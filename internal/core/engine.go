@@ -11,6 +11,7 @@ import (
 	"wackamole/internal/env"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
+	"wackamole/internal/placement"
 )
 
 // AddressOwner acquires and releases virtual addresses on the local machine
@@ -75,6 +76,17 @@ type Engine struct {
 	groupsByName map[string]VIPGroup
 	sortedNames  []string
 
+	// Placement plane: the policy that plans allocations, its reusable
+	// scratch, and the per-group last-recorded owner that attributes
+	// placement moves (persistent across views, unlike the table, which is
+	// rebuilt every GATHER).
+	placer        placement.Policy
+	planScratch   []placement.Decision
+	memberScratch []string
+	ownerFn       func(group string) string
+	prefersFn     func(member, group string) bool
+	lastOwner     map[string]MemberID
+
 	balanceTimer env.Timer
 	matureTimer  env.Timer
 
@@ -89,6 +101,8 @@ type Engine struct {
 	// observation state for the current GATHER episode.
 	mStateSync   *metrics.Histogram
 	mAnnounceLag *metrics.Histogram
+	mMoves       *metrics.Counter
+	mSkew        *metrics.Gauge
 	gatherStart  time.Time
 }
 
@@ -103,6 +117,14 @@ type Stats struct {
 	// Announces counts ownership-change notifications requested from the
 	// notifier (§5.1 ARP spoofing; the notifier may suppress them).
 	Announces uint64
+	// Moves counts placement moves: transitions of a group's table owner
+	// from one member to another (first assignments are takeovers, not
+	// moves). Identical at every member of a connected component, because
+	// the table transitions are replicated.
+	Moves uint64
+	// Skew is the current spread between the most and least loaded
+	// eligible members (0 with fewer than two eligible members).
+	Skew int64
 }
 
 // engineCounters are the live counters behind Stats: atomics, because
@@ -112,6 +134,8 @@ type engineCounters struct {
 	acquires  atomic.Uint64
 	releases  atomic.Uint64
 	announces atomic.Uint64
+	moves     atomic.Uint64
+	skew      atomic.Int64
 }
 
 // Stats returns a snapshot of the engine's activity counters. Unlike the
@@ -121,8 +145,14 @@ func (e *Engine) Stats() Stats {
 		Acquires:  e.stats.acquires.Load(),
 		Releases:  e.stats.releases.Load(),
 		Announces: e.stats.announces.Load(),
+		Moves:     e.stats.moves.Load(),
+		Skew:      e.stats.skew.Load(),
 	}
 }
+
+// PlacementName reports the config-directive name of the active placement
+// policy. Safe from any goroutine (the policy is fixed at construction).
+func (e *Engine) PlacementName() string { return e.placer.Name() }
 
 // SetTracer installs a structured event tracer (nil disables tracing).
 // Call before Start.
@@ -136,6 +166,10 @@ func (e *Engine) SetMetrics(r *metrics.Registry) {
 		"duration of the GATHER state-synchronization round, from view delivery to entering RUN", node)
 	e.mAnnounceLag = r.Histogram("core_announce_lag_seconds",
 		"lag from view delivery to the ownership announcement of each address acquired in that round", node)
+	e.mMoves = r.Counter("placement_moves_total",
+		"VIP groups whose table owner changed from one member to another (reconfiguration churn)", node)
+	e.mSkew = r.Gauge("placement_skew",
+		"spread between the most and least loaded eligible members of the current view", node)
 }
 
 // trace emits a core-layer event tagged with this member's identity.
@@ -159,6 +193,10 @@ func NewEngine(cfg Config, deps Deps) (*Engine, error) {
 	if deps.Log == nil {
 		deps.Log = env.NopLogger{}
 	}
+	placer := cfg.Placer
+	if placer == nil {
+		placer = placement.NewLeastLoaded()
+	}
 	e := &Engine{
 		cfg:          cfg,
 		deps:         deps,
@@ -168,9 +206,22 @@ func NewEngine(cfg Config, deps Deps) (*Engine, error) {
 		owned:        map[string]bool{},
 		groupsByName: map[string]VIPGroup{},
 		sortedNames:  cfg.sortedGroupNames(),
+		placer:       placer,
+		lastOwner:    map[string]MemberID{},
 	}
 	for _, g := range cfg.Groups {
 		e.groupsByName[g.Name] = g
+	}
+	// The placement closures are built once: policies read the replicated
+	// state through them on every planning call without allocating.
+	e.ownerFn = func(g string) string { return string(e.table[g]) }
+	e.prefersFn = func(member, g string) bool {
+		for _, p := range e.prefsOf[MemberID(member)] {
+			if p == g {
+				return true
+			}
+		}
+		return false
 	}
 	return e, nil
 }
@@ -395,33 +446,6 @@ func (e *Engine) onState(from MemberID, m stateMsg) {
 	e.reallocateIPs()
 }
 
-// computeReallocation returns the full post-gather allocation: current
-// owners keep their groups, holes are filled least-loaded-first among the
-// eligible members.
-func (e *Engine) computeReallocation() []allocPair {
-	eligible := e.eligibleMembers()
-	counts := map[MemberID]int{}
-	for _, owner := range e.table {
-		counts[owner]++
-	}
-	alloc := make([]allocPair, 0, len(e.sortedNames))
-	for _, g := range e.sortedNames {
-		owner := e.table[g]
-		if owner == "" && len(eligible) > 0 {
-			pick := eligible[0]
-			for _, m := range eligible[1:] {
-				if counts[m] < counts[pick] {
-					pick = m
-				}
-			}
-			owner = pick
-			counts[pick]++
-		}
-		alloc = append(alloc, allocPair{Group: g, Owner: owner})
-	}
-	return alloc
-}
-
 // onAlloc applies the representative's imposed allocation and completes
 // GATHER (§4.2 variant).
 func (e *Engine) onAlloc(from MemberID, m balanceMsg) {
@@ -444,6 +468,7 @@ func (e *Engine) onAlloc(from MemberID, m balanceMsg) {
 			continue
 		}
 		e.table[p.Group] = p.Owner
+		e.noteOwner(p.Group, p.Owner)
 		switch {
 		case p.Owner == e.deps.Self && !e.owned[p.Group]:
 			e.acquireGroup(p.Group, "alloc")
@@ -451,12 +476,13 @@ func (e *Engine) onAlloc(from MemberID, m balanceMsg) {
 			e.releaseGroup(p.Group, "alloc")
 		}
 	}
+	e.updateSkew()
 	if e.tracer.Enabled() {
 		e.trace(obs.KindBalanceApply, e.view.ID, "", "alloc:"+string(from))
 	}
 	e.setState(StateRun)
 	e.armBalance()
-	if e.mature && len(e.eligibleMembers()) == 0 {
+	if e.mature && !e.matureOf[e.deps.Self] {
 		e.castMature()
 	}
 }
@@ -469,6 +495,7 @@ func (e *Engine) claim(g string, from MemberID) {
 	cur := e.table[g]
 	if cur == "" || cur == from {
 		e.table[g] = from
+		e.noteOwner(g, from)
 		return
 	}
 	winner, loser := from, cur
@@ -476,6 +503,7 @@ func (e *Engine) claim(g string, from MemberID) {
 		winner, loser = cur, from
 	}
 	e.table[g] = winner
+	e.noteOwner(g, winner)
 	e.emit(EventConflictDrop, g, fmt.Sprintf("%s yields to %s", loser, winner))
 	if loser == e.deps.Self && e.owned[g] {
 		if e.cfg.LazyConflictRelease {
@@ -495,15 +523,20 @@ func (e *Engine) claim(g string, from MemberID) {
 func (e *Engine) reallocateIPs() {
 	for _, p := range e.computeReallocation() {
 		e.table[p.Group] = p.Owner
+		e.noteOwner(p.Group, p.Owner)
 		if p.Owner == e.deps.Self && !e.owned[p.Group] {
 			e.acquireGroup(p.Group, "reallocate")
 		}
 	}
+	e.updateSkew()
 	e.setState(StateRun)
 	e.armBalance()
 	// A server that matured during GATHER could not advertise it in its
-	// STATE_MSG; announce now so the component starts covering addresses.
-	if e.mature && len(e.eligibleMembers()) == 0 {
+	// STATE_MSG; announce now. With no eligible member this is what lets
+	// the component start covering addresses; with eligible members it is
+	// the admit path — the announcement makes this server eligible so the
+	// next balance can hand it load (runtime join, rolling restart).
+	if e.mature && !e.matureOf[e.deps.Self] {
 		e.castMature()
 	}
 }
@@ -538,6 +571,7 @@ func (e *Engine) onBalance(from MemberID, m balanceMsg) {
 			continue
 		}
 		e.table[p.Group] = p.Owner
+		e.noteOwner(p.Group, p.Owner)
 		switch {
 		case p.Owner == e.deps.Self && !e.owned[p.Group]:
 			e.acquireGroup(p.Group, "balance")
@@ -545,6 +579,7 @@ func (e *Engine) onBalance(from MemberID, m balanceMsg) {
 			e.releaseGroup(p.Group, "balance")
 		}
 	}
+	e.updateSkew()
 	e.trace(obs.KindBalanceApply, e.view.ID, "", string(from))
 	e.emit(EventBalanceApplied, "", string(from))
 	e.armBalance()
@@ -577,27 +612,33 @@ func (e *Engine) reallocateUncoveredInRun() {
 	if len(eligible) == 0 {
 		return
 	}
-	counts := map[MemberID]int{}
-	for _, owner := range e.table {
-		counts[owner]++
-	}
-	for _, g := range e.sortedNames {
-		if e.table[g] != "" {
-			continue
-		}
-		pick := eligible[0]
-		for _, m := range eligible[1:] {
-			if counts[m] < counts[pick] {
-				pick = m
-			}
-		}
-		e.table[g] = pick
-		counts[pick]++
-		if pick == e.deps.Self {
-			e.acquireGroup(g, "mature")
+	e.planScratch = e.placer.Fill(e.placementInput(eligible), e.planScratch[:0])
+	for _, d := range e.planScratch {
+		owner := MemberID(d.Owner)
+		e.table[d.Group] = owner
+		e.noteOwner(d.Group, owner)
+		if owner == e.deps.Self && !e.owned[d.Group] {
+			e.acquireGroup(d.Group, "mature")
 		}
 	}
+	e.updateSkew()
 	e.armBalance()
+}
+
+// ResetMaturity returns a detached engine to the immature state and
+// re-arms the §3.4 maturity bootstrap, modelling a process restart: a node
+// re-admitted through the runtime join path takes no load until it meets a
+// mature member (instant, via the first STATE_MSG exchange) or its
+// maturity timeout expires. The explicit administrative intent overrides
+// StartMature. No-op unless detached — a connected engine's maturity is
+// protocol state the group already observed.
+func (e *Engine) ResetMaturity() {
+	if e.state != StateDetached {
+		return
+	}
+	e.mature = false
+	stopTimer(e.matureTimer)
+	e.matureTimer = e.deps.Clock.AfterFunc(e.cfg.matureTimeout(), e.onMatureTimeout)
 }
 
 func (e *Engine) becomeMature(why string) {
@@ -612,7 +653,7 @@ func (e *Engine) onMatureTimeout() {
 		return
 	}
 	e.becomeMature("maturity timeout")
-	if e.state == StateRun && len(e.eligibleMembers()) == 0 {
+	if e.state == StateRun && !e.matureOf[e.deps.Self] {
 		e.castMature()
 	}
 	// If a GATHER is in flight the announcement happens when it completes

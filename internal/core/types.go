@@ -17,6 +17,8 @@ import (
 	"net/netip"
 	"sort"
 	"time"
+
+	"wackamole/internal/placement"
 )
 
 // MemberID identifies one Wackamole instance within the group. Members are
@@ -120,6 +122,15 @@ type Config struct {
 	// compatibility". Conflict resolution remains eager and local, since it
 	// restores network-level consistency.
 	RepresentativeDecisions bool
+	// Placer selects the placement policy behind the balance and
+	// post-gather reallocation paths. Nil means the paper's least-loaded
+	// rule (exactly the historical behaviour); placement.NewMinimal()
+	// bounds relocation on membership changes to ⌈V/N⌉ groups. Every
+	// member of a cluster must run the same policy: the engines plan
+	// independently and rely on computing identical plans (Lemma 1).
+	// The engine takes ownership of the instance — policies carry scratch
+	// state and must not be shared between engines.
+	Placer placement.Policy
 }
 
 const (

@@ -23,7 +23,9 @@ import (
 const (
 	CmdStatus  = "status"
 	CmdBalance = "balance"
-	CmdLeave   = "leave"
+	CmdJoin    = "join"
+	CmdDrain   = "drain"
+	CmdLeave   = "leave" // synonym for drain, kept for compatibility
 	CmdDump    = "dump"
 	CmdHelp    = "help"
 )
@@ -127,13 +129,18 @@ func (s *Server) run(cmd string) string {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return "balance triggered\n"
-	case CmdLeave:
+	case CmdDrain, CmdLeave:
 		if err := s.node.LeaveService(); err != nil {
 			return fmt.Sprintf("error: %v\n", err)
 		}
 		return "left service; addresses released\n"
+	case CmdJoin:
+		if err := s.node.JoinService(); err != nil {
+			return fmt.Sprintf("error: %v\n", err)
+		}
+		return "rejoining; maturity bootstrap restarted\n"
 	case CmdHelp, "":
-		return "commands: status | balance | leave | dump | help\n"
+		return "commands: status | balance | join | drain | leave | dump | help\n"
 	default:
 		return fmt.Sprintf("error: unknown command %q (try help)\n", cmd)
 	}
@@ -162,6 +169,8 @@ func FormatStatus(node *wackamole.Node) string {
 	es := node.Engine().Stats()
 	fmt.Fprintf(&b, "engine:  acquires=%d releases=%d announces=%d\n",
 		es.Acquires, es.Releases, es.Announces)
+	fmt.Fprintf(&b, "placement: policy=%s moves=%d skew=%d\n",
+		node.Engine().PlacementName(), es.Moves, es.Skew)
 	if tr := node.Tracer(); tr.Enabled() {
 		fmt.Fprintf(&b, "events:  buffered=%d emitted=%d dropped=%d\n",
 			tr.Len(), tr.Emitted(), tr.Dropped())

@@ -125,6 +125,43 @@ func TestControlChannelEndToEnd(t *testing.T) {
 	if !strings.Contains(reply, "state:   detached") {
 		t.Fatalf("post-leave status:\n%s", reply)
 	}
+
+	// Drained twice is an error; join re-admits and the singleton re-forms.
+	reply, err = Send(srv.Addr(), CmdDrain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "error:") {
+		t.Fatalf("double drain reply: %q", reply)
+	}
+	reply, err = Send(srv.Addr(), CmdJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "rejoining") {
+		t.Fatalf("join reply: %q", reply)
+	}
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		reply, err = Send(srv.Addr(), CmdStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(reply, "state:   run") && strings.Contains(reply, "web1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node never re-entered RUN after join; last status:\n%s", reply)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	reply, err = Send(srv.Addr(), CmdJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(reply, "error:") {
+		t.Fatalf("join while in service reply: %q", reply)
+	}
 }
 
 func TestSendConnectionRefused(t *testing.T) {
@@ -138,6 +175,9 @@ func TestFormatStatusListsUncovered(t *testing.T) {
 	out := FormatStatus(node)
 	if !strings.Contains(out, "member:") || !strings.Contains(out, "state:") {
 		t.Fatalf("status output:\n%s", out)
+	}
+	if !strings.Contains(out, "placement: policy=least-loaded") {
+		t.Fatalf("status output missing placement line:\n%s", out)
 	}
 	if strings.Contains(out, "latency:") {
 		t.Fatalf("latency line without a registry:\n%s", out)

@@ -18,6 +18,7 @@ import (
 	"wackamole/internal/load"
 	"wackamole/internal/metrics"
 	"wackamole/internal/obs"
+	"wackamole/internal/placement"
 	"wackamole/internal/rip"
 )
 
@@ -59,15 +60,20 @@ const (
 	// FaultSlowNode starves the victim's daemon of CPU for GrayWindow: it
 	// holds the token late without ever being down.
 	FaultSlowNode FaultKind = "slownode"
+	// FaultRolling restarts every server in sequence — drain (graceful
+	// leave), wait RollingGap, rejoin, wait RollingGap — under continuous
+	// traffic: the rolling-upgrade schedule. Web topology only; disruption
+	// is reported per phase on AvailabilityResult.Phases.
+	FaultRolling FaultKind = "rolling"
 )
 
 // ParseFaultKind converts a CLI spelling into a FaultKind.
 func ParseFaultKind(s string) (FaultKind, error) {
 	switch FaultKind(s) {
-	case FaultNIC, FaultCrash, FaultGraceful, FaultFlap, FaultGrayLink, FaultSlowNode:
+	case FaultNIC, FaultCrash, FaultGraceful, FaultFlap, FaultGrayLink, FaultSlowNode, FaultRolling:
 		return FaultKind(s), nil
 	default:
-		return "", fmt.Errorf("experiment: unknown fault %q (want nic, crash, graceful, flap, graylink or slownode)", s)
+		return "", fmt.Errorf("experiment: unknown fault %q (want nic, crash, graceful, flap, graylink, slownode or rolling)", s)
 	}
 }
 
@@ -140,6 +146,16 @@ type AvailabilityConfig struct {
 	// cleared and the cluster re-converges (default: half of PostFault).
 	// Ignored for instantaneous faults.
 	GrayWindow time.Duration
+	// Placement names the VIP placement policy every server runs
+	// (placement.Names(); "" means least-loaded, the paper's rule). The
+	// rolling fault compares policies with it; it applies to every web
+	// trial.
+	Placement string
+	// RollingGap is the settle period after each drain and each rejoin of
+	// the rolling schedule (default 2s). Rolling trials shorten the engines'
+	// balance timeout to one second so a rejoined node is re-admitted
+	// within the gap.
+	RollingGap time.Duration
 	// GCS configures the group-communication timeouts (zero: tuned).
 	GCS gcs.Config
 	// Warmup is the traffic-settling period after cluster formation and
@@ -210,6 +226,9 @@ func (c AvailabilityConfig) withDefaults() AvailabilityConfig {
 	if c.GrayWindow <= 0 {
 		c.GrayWindow = c.PostFault / 2
 	}
+	if c.RollingGap <= 0 {
+		c.RollingGap = 2 * time.Second
+	}
 	return c
 }
 
@@ -219,6 +238,9 @@ func (c AvailabilityConfig) Label() string {
 	l := fmt.Sprintf("%s/%s/%s/c=%d", c.Topology, c.Mode, c.Fault, c.Clients)
 	if c.GCS.Detector != gcs.DetectorFixed {
 		l += "/det=" + c.GCS.Detector.String()
+	}
+	if c.Placement != "" {
+		l += "/p=" + c.Placement
 	}
 	return l
 }
@@ -280,6 +302,30 @@ type AvailabilityResult struct {
 	// (plus any pre-fault detection): declarations of servers that were
 	// healthy by construction.
 	FalseSuspicions int
+	// Phases is the per-server disruption breakdown of a rolling schedule
+	// (empty for every other fault).
+	Phases []RollingPhase
+	// Moves counts VIP relocations across the whole cluster from the fault
+	// (or the start of the rolling schedule) to the end of the trial — the
+	// churn side of the churn-vs-goodput trade the placement policy
+	// controls. Zero for the router topology, which has no placement engine.
+	Moves uint64
+}
+
+// RollingPhase is one server's restart window within a rolling-upgrade
+// schedule: drain, RollingGap, rejoin, RollingGap.
+type RollingPhase struct {
+	// Server is the restarted server's index.
+	Server int
+	// Start and End bracket the phase ([Start, End); the last phase ends at
+	// the trial's last completion).
+	Start, End time.Time
+	// MaxOKGap is the longest interval without an ok completion inside the
+	// phase, edges included — a phase with no service at all reports its
+	// full width.
+	MaxOKGap time.Duration
+	// Completions and OK count the requests that terminated in the phase.
+	Completions, OK uint64
 }
 
 // AvailabilityTrial runs one seeded trial and returns the runner sample
@@ -292,6 +338,12 @@ func AvailabilityTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *Avai
 	case TopologyRouter:
 		if cfg.Telemetry {
 			return runner.Sample{}, nil, fmt.Errorf("experiment: telemetry capture requires the web topology")
+		}
+		if cfg.Fault == FaultRolling {
+			return runner.Sample{}, nil, fmt.Errorf("experiment: the rolling fault requires the web topology")
+		}
+		if cfg.Placement != "" {
+			return runner.Sample{}, nil, fmt.Errorf("experiment: placement selection requires the web topology")
 		}
 		return availabilityRouterTrial(seed, cfg)
 	default:
@@ -314,6 +366,17 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 	mon := availabilityMonitor(seed, cfg, tr)
 	if mon != nil {
 		mods = append(mods, func(o *wackamole.ClusterOptions) { o.Invariants = mon })
+	}
+	mods = append(mods, func(o *wackamole.ClusterOptions) {
+		o.Placement = cfg.Placement
+		if cfg.Fault == FaultRolling {
+			// A rejoined node is only handed load at the next balance; a
+			// one-second timeout keeps re-admission inside RollingGap.
+			o.BalanceTimeout = time.Second
+		}
+	})
+	if cfg.Fault == FaultRolling && cfg.Servers < 2 {
+		return runner.Sample{}, nil, fmt.Errorf("experiment: the rolling fault needs at least 2 servers")
 	}
 	if cfg.Telemetry {
 		mods = append(mods, func(o *wackamole.ClusterOptions) {
@@ -384,38 +447,63 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 	engine.ResetStats()
 	wc.RunFor(cfg.PreFault)
 
-	victim, holders := wc.Owner(wc.Target)
-	if holders != 1 {
-		return runner.Sample{}, nil, fmt.Errorf("experiment: %d holders of the target before fault", holders)
-	}
 	faultAt := wc.Sim.Now()
-	victimID = string(wc.Servers[victim].Node.Daemon().ID())
 	faultTime = faultAt
-	switch cfg.Fault {
-	case FaultNIC:
-		wc.FailServer(victim)
-	case FaultCrash:
-		wc.CrashServer(victim)
-	case FaultGraceful:
-		if err := wc.Servers[victim].Node.LeaveService(); err != nil {
+	movesBase := clusterVIPMoves(wc)
+	var phases []RollingPhase
+	if cfg.Fault == FaultRolling {
+		// The churn oracle arms here — after formation and warmup, whose
+		// incremental views legitimately exceed a single-change bound —
+		// with the configured policy's own guarantee for one membership
+		// change. Under least-loaded that bound is the per-view ceiling;
+		// under minimal it has teeth: ⌈V/(N−1)⌉.
+		if mon != nil {
+			placer, perr := placement.New(cfg.Placement)
+			if perr != nil {
+				return runner.Sample{}, nil, perr
+			}
+			mon.ArmChurn(placer.MoveBound(len(wc.Groups), cfg.Servers-1))
+		}
+		if phases, err = runRollingSchedule(wc, cfg); err != nil {
 			return runner.Sample{}, nil, err
 		}
-	case FaultFlap, FaultGrayLink, FaultSlowNode:
-		spec := cfg.Shape
-		if spec == "" {
-			spec = defaultShapeSpec(cfg.Fault)
+	} else {
+		victim, holders := wc.Owner(wc.Target)
+		if holders != 1 {
+			return runner.Sample{}, nil, fmt.Errorf("experiment: %d holders of the target before fault", holders)
 		}
-		b, err := faults.ApplyProgram(wc.Sim, wc.Servers[victim].NIC, spec)
-		if err != nil {
-			return runner.Sample{}, nil, err
+		victimID = string(wc.Servers[victim].Node.Daemon().ID())
+		switch cfg.Fault {
+		case FaultNIC:
+			wc.FailServer(victim)
+		case FaultCrash:
+			wc.CrashServer(victim)
+		case FaultGraceful:
+			if err := wc.Servers[victim].Node.LeaveService(); err != nil {
+				return runner.Sample{}, nil, err
+			}
+		case FaultFlap, FaultGrayLink, FaultSlowNode:
+			spec := cfg.Shape
+			if spec == "" {
+				spec = defaultShapeSpec(cfg.Fault)
+			}
+			b, err := faults.ApplyProgram(wc.Sim, wc.Servers[victim].NIC, spec)
+			if err != nil {
+				return runner.Sample{}, nil, err
+			}
+			// The shape stays live for GrayWindow, then clears so the
+			// trial's tail measures re-convergence on a clean link.
+			wc.Sim.After(cfg.GrayWindow, func() { b.Stop() })
 		}
-		// The shape stays live for GrayWindow, then clears so the trial's
-		// tail measures re-convergence on a clean link.
-		wc.Sim.After(cfg.GrayWindow, func() { b.Stop() })
 	}
 	wc.RunFor(cfg.PostFault)
 
 	res := summarizeTrial(seed, engine, faultAt)
+	res.Moves = clusterVIPMoves(wc) - movesBase
+	if len(phases) > 0 {
+		finalizePhases(phases, engine)
+		res.Phases = phases
+	}
 	if !firstDetect.IsZero() {
 		res.DetectionLatency = firstDetect.Sub(faultTime)
 		res.DetectionVia = detectVia
@@ -435,6 +523,80 @@ func availabilityWebTrial(seed int64, cfg AvailabilityConfig) (runner.Sample, *A
 	return sample, res, nil
 }
 
+// clusterVIPMoves sums every server engine's placement-move counter; the
+// difference across a window is the cluster's total VIP churn in it.
+func clusterVIPMoves(wc *WebCluster) uint64 {
+	var n uint64
+	for i := range wc.Servers {
+		n += wc.Servers[i].Node.Engine().Stats().Moves
+	}
+	return n
+}
+
+// runRollingSchedule restarts every server in sequence: drain via a
+// graceful leave, wait RollingGap for the survivors to repair, rejoin via
+// JoinService (which restarts the §3.4 maturity bootstrap), wait RollingGap
+// for the balance to re-admit the node. Returns one phase record per server
+// with its start stamped; finalizePhases closes them after the trial.
+func runRollingSchedule(wc *WebCluster, cfg AvailabilityConfig) ([]RollingPhase, error) {
+	phases := make([]RollingPhase, 0, len(wc.Servers))
+	for i := range wc.Servers {
+		phases = append(phases, RollingPhase{Server: i, Start: wc.Sim.Now()})
+		if err := wc.Servers[i].Node.LeaveService(); err != nil {
+			return nil, fmt.Errorf("experiment: drain server %d: %w", i, err)
+		}
+		wc.RunFor(cfg.RollingGap)
+		if err := wc.Servers[i].Node.JoinService(); err != nil {
+			return nil, fmt.Errorf("experiment: rejoin server %d: %w", i, err)
+		}
+		wc.RunFor(cfg.RollingGap)
+	}
+	return phases, nil
+}
+
+// finalizePhases closes each phase at the next one's start (the last at the
+// final completion) and fills the per-phase disruption summary. Must run
+// before engine.Stop (live completion slice).
+func finalizePhases(phases []RollingPhase, engine *load.Engine) {
+	end := engine.Epoch()
+	if cs := engine.Completions(); len(cs) > 0 {
+		end = cs[len(cs)-1].At.Add(time.Nanosecond)
+	}
+	for i := range phases {
+		if i+1 < len(phases) {
+			phases[i].End = phases[i+1].Start
+		} else {
+			phases[i].End = end
+		}
+		phases[i].MaxOKGap, phases[i].Completions, phases[i].OK =
+			phaseWindow(engine.Completions(), phases[i].Start, phases[i].End)
+	}
+}
+
+// phaseWindow computes the longest interval without an ok completion inside
+// [from, to) — edge gaps included, so a phase with no ok completions at all
+// reports its full width — plus the phase's completion counts.
+func phaseWindow(completions []load.Completion, from, to time.Time) (gap time.Duration, total, ok uint64) {
+	prev := from
+	for _, c := range completions {
+		if c.At.Before(from) || !c.At.Before(to) {
+			continue
+		}
+		total++
+		if c.Class == load.ClassOK {
+			ok++
+			if d := c.At.Sub(prev); d > gap {
+				gap = d
+			}
+			prev = c.At
+		}
+	}
+	if d := to.Sub(prev); d > gap {
+		gap = d
+	}
+	return gap, total, ok
+}
+
 // availabilityMonitor builds the per-trial online monitor (nil when
 // monitoring is off), annotated with enough metadata to re-run the trial
 // that trips it.
@@ -446,19 +608,23 @@ func availabilityMonitor(seed int64, cfg AvailabilityConfig, tr *obs.Tracer) *in
 	if cfg.Topology == TopologyRouter {
 		nodes = 2
 	}
+	meta := map[string]string{
+		"experiment": "availability",
+		"point":      cfg.Label(),
+		"seed":       fmt.Sprintf("%d", seed),
+		"servers":    fmt.Sprintf("%d", nodes),
+		"fault":      string(cfg.Fault),
+	}
+	if cfg.Placement != "" {
+		meta["placement"] = cfg.Placement
+	}
 	return invariant.New(invariant.Config{
 		Nodes:       nodes,
 		Metrics:     cfg.Metrics,
 		Tracer:      tr,
 		ArtifactDir: cfg.InvariantArtifacts,
 		Name:        fmt.Sprintf("wackload-seed%d", seed),
-		Meta: map[string]string{
-			"experiment": "availability",
-			"point":      cfg.Label(),
-			"seed":       fmt.Sprintf("%d", seed),
-			"servers":    fmt.Sprintf("%d", nodes),
-			"fault":      string(cfg.Fault),
-		},
+		Meta:        meta,
 	})
 }
 
@@ -725,8 +891,29 @@ func RenderAvailability(row AvailabilityRow) string {
 			detect, fmt.Sprintf("%d", r.FalseSuspicions),
 		})
 	}
-	return fmt.Sprintf("point: %s (trials %d, errors %d, mean interruption %s)\n\n%s",
+	out := fmt.Sprintf("point: %s (trials %d, errors %d, mean interruption %s)\n\n%s",
 		row.Point, row.Stat.N, row.Errors, Seconds(row.Stat.Mean), Table(header, cells))
+	// Rolling trials append the per-phase disruption breakdown.
+	rolling := false
+	for _, r := range row.Results {
+		if len(r.Phases) > 0 {
+			rolling = true
+			break
+		}
+	}
+	if rolling {
+		out += "\nrolling phases (max ok-gap per restarted server):\n"
+		for _, r := range row.Results {
+			var total time.Duration
+			line := fmt.Sprintf("  seed %d:", r.Seed)
+			for _, ph := range r.Phases {
+				line += fmt.Sprintf(" s%d=%s", ph.Server, Seconds(ph.MaxOKGap))
+				total += ph.MaxOKGap
+			}
+			out += line + fmt.Sprintf("  (cumulative %s)\n", Seconds(total))
+		}
+	}
+	return out
 }
 
 // AvailabilityJSON converts the row into NDJSON records: one aggregate row
@@ -740,9 +927,18 @@ func AvailabilityJSON(row AvailabilityRow) []JSONRow {
 			agg.Extra[c.String()] += float64(r.Stats.Requests[c])
 		}
 		agg.Extra["conns_lost"] += float64(r.Stats.ConnsLost)
+		agg.Extra["vip_moves"] += float64(r.Moves)
 		agg.Extra["recovery"] += r.Recovery / float64(len(row.Results))
 		agg.Extra["detect_latency_s"] += r.DetectionLatency.Seconds() / float64(len(row.Results))
 		agg.Extra["false_suspicions"] += float64(r.FalseSuspicions)
+		// Rolling schedules: the aggregate reports the max ok-gap of every
+		// phase (mean across trials) plus the cumulative disruption — the
+		// sum of per-phase gaps, the number the placement policies compete
+		// on.
+		for i, ph := range r.Phases {
+			agg.Extra[fmt.Sprintf("phase%d_max_gap_s", i)] += ph.MaxOKGap.Seconds() / float64(len(row.Results))
+			agg.Extra["disruption_total_s"] += ph.MaxOKGap.Seconds() / float64(len(row.Results))
+		}
 	}
 	agg.PerTrial = trialRows(row.Samples)
 	out := []JSONRow{agg}
@@ -758,6 +954,7 @@ func AvailabilityJSON(row AvailabilityRow) []JSONRow {
 			"dials_failed":     float64(r.Stats.DialsFailed),
 			"goodput_pre_rps":  r.GoodputPre,
 			"goodput_post_rps": r.GoodputPost,
+			"vip_moves":        float64(r.Moves),
 			"recovery":         r.Recovery,
 			"detect_latency_s": r.DetectionLatency.Seconds(),
 			"false_suspicions": float64(r.FalseSuspicions),
@@ -779,6 +976,16 @@ func AvailabilityJSON(row AvailabilityRow) []JSONRow {
 		}
 		for c := load.Class(0); c < load.NumClasses; c++ {
 			jr.Extra[c.String()] = float64(r.Stats.Requests[c])
+		}
+		if len(r.Phases) > 0 {
+			jr.Extra["rolling_phases"] = float64(len(r.Phases))
+			var total float64
+			for i, ph := range r.Phases {
+				jr.Extra[fmt.Sprintf("phase%d_max_gap_s", i)] = ph.MaxOKGap.Seconds()
+				jr.Extra[fmt.Sprintf("phase%d_ok", i)] = float64(ph.OK)
+				total += ph.MaxOKGap.Seconds()
+			}
+			jr.Extra["disruption_total_s"] = total
 		}
 		out = append(out, jr)
 	}

@@ -105,6 +105,73 @@ func TestAvailabilityTrialGraceful(t *testing.T) {
 	}
 }
 
+func TestAvailabilityTrialRolling(t *testing.T) {
+	for _, pol := range []string{"least-loaded", "minimal"} {
+		t.Run(pol, func(t *testing.T) {
+			cfg := quickAvailability()
+			cfg.Fault = FaultRolling
+			cfg.Placement = pol
+			cfg.Servers = 3
+			cfg.Invariants = true
+			_, res, err := AvailabilityTrial(11, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("invariant violation during rolling restart: %v", res.Violation)
+			}
+			if len(res.Phases) != 3 {
+				t.Fatalf("phases = %d, want one per server (3)", len(res.Phases))
+			}
+			for i, ph := range res.Phases {
+				if ph.Server != i {
+					t.Errorf("phase %d restarted server %d, want in-order schedule", i, ph.Server)
+				}
+				if !ph.End.After(ph.Start) {
+					t.Errorf("phase %d window [%v, %v] is empty", i, ph.Start, ph.End)
+				}
+				// Draining one of three servers must never stall the whole
+				// cluster: survivors keep serving through every phase.
+				if ph.OK == 0 {
+					t.Errorf("phase %d: no ok completions while server %d restarted", i, ph.Server)
+				}
+				if ph.MaxOKGap <= 0 {
+					t.Errorf("phase %d: no ok-gap measured", i)
+				}
+			}
+			if res.Recovery < 0.99 {
+				t.Errorf("recovery = %v after the full rolling schedule, want ≥ 0.99", res.Recovery)
+			}
+		})
+	}
+}
+
+func TestAvailabilityRollingJSONCarriesPhases(t *testing.T) {
+	cfg := quickAvailability()
+	cfg.Fault = FaultRolling
+	cfg.Placement = "minimal"
+	cfg.Servers = 2
+	row, err := Availability(13, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := AvailabilityJSON(row)
+	if len(rows) != 2 {
+		t.Fatalf("JSON rows = %d, want aggregate + trial", len(rows))
+	}
+	for _, r := range rows {
+		if r.Extra["disruption_total_s"] <= 0 {
+			t.Errorf("%s: disruption_total_s = %v, want > 0", r.Point, r.Extra["disruption_total_s"])
+		}
+		if _, okk := r.Extra["phase0_max_gap_s"]; !okk {
+			t.Errorf("%s: missing phase0_max_gap_s", r.Point)
+		}
+	}
+	if out := RenderAvailability(row); !strings.Contains(out, "rolling phases") {
+		t.Errorf("rendered table missing rolling-phase section:\n%s", out)
+	}
+}
+
 func TestAvailabilityDeterministic(t *testing.T) {
 	cfg := quickAvailability()
 	run := func() (time.Duration, uint64, uint64) {

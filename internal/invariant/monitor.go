@@ -2,7 +2,9 @@
 // five oracles the model checker introduced (exactly-once coverage, bounded
 // convergence, view order, Agreed delivery order, foreign claim) plus the
 // two gray-failure oracles (bounded ownership ping-pong under flap, bounded
-// false-detection rate on lossy-but-alive links) packaged as a Monitor that
+// false-detection rate on lossy-but-alive links) and the placement-plane
+// churn oracle (bounded VIP relocations per reconfiguration) packaged as a
+// Monitor that
 // attaches to any set of nodes through the existing nil-safe observation
 // hooks (core.SetViewHook, core.SetOwnershipHook, gcs.SetDeliveryHandler). The checker consumes it in Strict mode, where
 // state is unbounded and findings are byte-identical to the original
@@ -120,6 +122,13 @@ type Config struct {
 	// detections via OnFalseSuspicion (the caller judges ground truth —
 	// the suspected peer was alive and reachable). Zero disables.
 	FalseSuspectBound int
+	// ChurnBound arms the churn oracle from construction: a violation trips
+	// when any single view relocates more than ChurnBound VIP groups
+	// between live owners. Zero disables. Harnesses that must exclude
+	// cluster formation (whose incremental views legitimately exceed a
+	// single-change bound) leave this zero and call ArmChurn once the
+	// cluster has settled.
+	ChurnBound int
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +156,16 @@ func (c Config) withDefaults() Config {
 type delivKey struct {
 	ring gcs.RingID
 	seq  uint64
+}
+
+// churnViewWindow is how many recent views keep a relocation count; views
+// complete one at a time, so a handful covers any cross-node install skew.
+const churnViewWindow = 8
+
+// churnView is one view's relocation tally.
+type churnView struct {
+	id    string
+	moves int
 }
 
 // originSlot is one retained (seq, origin) attribution in a ring's window.
@@ -217,6 +236,17 @@ type Monitor struct {
 	// False-suspicion oracle state: detections judged false by callers.
 	falseSuspects int
 
+	// Churn oracle state: per-shard last acquiring node slot (-1 until the
+	// first acquisition) and the view that last counted the shard as
+	// relocated, plus a small ring of per-view relocation counts. The owner
+	// history is maintained even while the oracle is disarmed, so ArmChurn
+	// can arm it mid-run with full context.
+	churnBound    int
+	lastOwner     []int
+	lastMovedView []string
+	churnViews    [churnViewWindow]churnView
+	churnViewPos  int
+
 	violation         *Violation
 	violationReported bool
 
@@ -246,6 +276,7 @@ func New(cfg Config) *Monitor {
 	for i := range m.lastSeq {
 		m.lastSeq[i] = map[gcs.RingID]uint64{}
 	}
+	m.churnBound = cfg.ChurnBound
 	if m.now == nil {
 		start := time.Now()
 		m.now = func() time.Duration { return time.Since(start) }
@@ -532,6 +563,7 @@ func (m *Monitor) OnOwnership(i int, group string, owned bool, viewID string) {
 		m.mu.Unlock()
 		return
 	}
+	m.trackChurnLocked(i, group, viewID)
 	v := m.currentView[i]
 	if v.ID == "" || v.ID != viewID {
 		m.failLocked(OracleForeignClaim,
@@ -711,6 +743,8 @@ func (m *Monitor) registerShardLocked(name string) int {
 	m.shardNames = append(m.shardNames, name)
 	m.shardClaims = append(m.shardClaims, make([]bool, m.cfg.Nodes))
 	m.shardCount = append(m.shardCount, 0)
+	m.lastOwner = append(m.lastOwner, -1)
+	m.lastMovedView = append(m.lastMovedView, "")
 	if m.cfg.PingPongBound > 0 {
 		m.claimTimes = append(m.claimTimes, make([]time.Duration, m.cfg.PingPongBound+1))
 		m.claimHead = append(m.claimHead, 0)
@@ -777,6 +811,86 @@ func (m *Monitor) recordClaimLocked(idx int) {
 			"group %s claimed %d times within %v (bound %d per %v) — ownership ping-pong",
 			m.shardNames[idx], len(ring), span, m.cfg.PingPongBound, m.cfg.PingPongWindow)
 	}
+}
+
+// ArmChurn arms (or re-arms) the churn oracle with a fresh bound: from now
+// on, any single view relocating more than bound VIP groups between live
+// owners trips the oracle. Per-view relocation counts accumulated before
+// arming are discarded — rolling-restart harnesses arm after the cluster
+// has settled, so formation churn never counts against the bound — while
+// the per-shard owner history is retained. Zero or negative disarms.
+func (m *Monitor) ArmChurn(bound int) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.churnBound = bound
+	m.churnViews = [churnViewWindow]churnView{}
+	m.churnViewPos = 0
+	// The per-view dedup marks restart with the tallies (a shard that moved
+	// before arming may legitimately move once more in the same view); only
+	// the owner history itself survives.
+	for i := range m.lastMovedView {
+		m.lastMovedView[i] = ""
+	}
+	m.mu.Unlock()
+}
+
+// trackChurnLocked feeds one acquisition into the churn oracle: a
+// relocation is an acquire of a group last acquired by a different node.
+// Each shard counts at most once per view (a re-claim inside one view is
+// ping-pong, not placement churn), and the count is kept per view so the
+// bound applies to a single reconfiguration, not a whole run.
+func (m *Monitor) trackChurnLocked(i int, group, viewID string) {
+	idx, ok := m.shardIdx[group]
+	if !ok {
+		return
+	}
+	prev := m.lastOwner[idx]
+	m.lastOwner[idx] = i
+	if prev < 0 || prev == i || viewID == "" {
+		return
+	}
+	if m.lastMovedView[idx] == viewID {
+		return
+	}
+	m.lastMovedView[idx] = viewID
+	moves := m.bumpChurnViewLocked(viewID)
+	if m.churnBound > 0 && moves > m.churnBound {
+		m.failLocked(OracleChurn,
+			"view %s relocated %d VIP groups (bound %d): %s moved from server %d to server %d",
+			viewID, moves, m.churnBound, group, prev, i)
+	}
+}
+
+// bumpChurnViewLocked increments viewID's relocation count, recycling the
+// ring slot after the oldest view when the window is full.
+func (m *Monitor) bumpChurnViewLocked(viewID string) int {
+	for k := range m.churnViews {
+		if m.churnViews[k].id == viewID {
+			m.churnViews[k].moves++
+			return m.churnViews[k].moves
+		}
+	}
+	m.churnViews[m.churnViewPos] = churnView{id: viewID, moves: 1}
+	m.churnViewPos = (m.churnViewPos + 1) % churnViewWindow
+	return 1
+}
+
+// ViewMoves reports how many relocations the churn oracle has counted for
+// viewID (0 if the view fell out of the window or never moved anything).
+func (m *Monitor) ViewMoves(viewID string) int {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k := range m.churnViews {
+		if m.churnViews[k].id == viewID {
+			return m.churnViews[k].moves
+		}
+	}
+	return 0
 }
 
 // OnFalseSuspicion records that node slot i declared peer failed while

@@ -22,6 +22,12 @@ const (
 	// peers failed more than a configured bound of times — the
 	// false-detection rate a lossy-but-alive link must not exceed.
 	OracleFalseSuspect = "false-suspect"
+	// OracleChurn trips when one reconfiguration (one view) relocates more
+	// VIP groups between live owners than the armed bound — the
+	// minimal-move guarantee of the placement plane. A relocation is a
+	// group acquired by a node that previously saw it owned by a different
+	// node; first-time acquisitions of fresh or orphaned groups are free.
+	OracleChurn = "churn"
 )
 
 // Oracles lists every oracle name; the monitor pre-registers one labeled
@@ -34,6 +40,7 @@ var Oracles = []string{
 	OracleForeignClaim,
 	OraclePingPong,
 	OracleFalseSuspect,
+	OracleChurn,
 }
 
 // Violation is the first oracle failure observed during a run.

@@ -1,0 +1,149 @@
+package placement
+
+// leastloaded.go is the paper's §3.4 balance rule, ported verbatim from
+// the engine so that `placement least-loaded` (the default) reproduces the
+// pre-placement-plane behaviour exactly — Table 1 and the figure-5 numbers
+// do not move. Any divergence here is a bug.
+
+// LeastLoaded is the historical policy: preference grants, capacity-based
+// shedding onto the least-loaded member, least-loaded hole filling. It is
+// oblivious to where groups used to live beyond the current table, so a
+// membership change may reshuffle the entire allocation (MoveBound = V).
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns the default policy.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Policy.
+func (*LeastLoaded) Name() string { return NameLeastLoaded }
+
+// MoveBound implements Policy: the least-loaded rule offers no relocation
+// guarantee beyond "every group moves at most once per decision".
+func (*LeastLoaded) MoveBound(vips, members int) int { return vips }
+
+// Balance implements Policy. The body mirrors the engine's historical
+// balancedAllocation step for step (capacity map keyed by position in the
+// eligible list, preference pass with protected grants, two shedding
+// passes); only the container types changed.
+func (*LeastLoaded) Balance(in Input, dst []Decision) []Decision {
+	dst = dst[:0]
+	if len(in.Members) == 0 {
+		return dst
+	}
+	// Capacity: n groups over k members; the first n%k members (in the
+	// uniquely ordered membership list) may hold one extra.
+	n, k := len(in.Groups), len(in.Members)
+	capacity := map[string]int{}
+	for i, m := range in.Members {
+		capacity[m] = n / k
+		if i < n%k {
+			capacity[m]++
+		}
+	}
+
+	alloc := map[string]string{}
+	count := map[string]int{}
+	for _, g := range in.Groups {
+		owner := in.Owner(g)
+		if memberIndex(in.Members, owner) < 0 {
+			owner = "" // departed or immature owner: treat as uncovered
+		}
+		alloc[g] = owner
+		if owner != "" {
+			count[owner]++
+		}
+	}
+
+	move := func(g string, to string) {
+		if from := alloc[g]; from != "" {
+			count[from]--
+		}
+		alloc[g] = to
+		count[to]++
+	}
+
+	// Preference pass: grant each group to a member that asked for it. A
+	// member may be granted up to its capacity in preferred groups, even if
+	// that temporarily overfills it — the shedding pass below moves its
+	// non-preferred groups away. Granted groups are protected from the
+	// first shedding pass.
+	grantedPref := map[string]int{}
+	protected := map[string]bool{}
+	for _, g := range in.Groups {
+		owner := alloc[g]
+		if owner != "" && in.Prefers(owner, g) && grantedPref[owner] < capacity[owner] {
+			grantedPref[owner]++
+			protected[g] = true
+			continue
+		}
+		for _, m := range in.Members {
+			if m != owner && in.Prefers(m, g) && grantedPref[m] < capacity[m] {
+				move(g, m)
+				grantedPref[m]++
+				protected[g] = true
+				break
+			}
+		}
+	}
+
+	// Shedding passes: cover holes and drain over-capacity members onto the
+	// least-loaded ones — first by moving unprotected groups, then, if an
+	// owner is somehow still over capacity, protected ones too.
+	shed := func(sparePreferred bool) {
+		for _, g := range in.Groups {
+			owner := alloc[g]
+			if owner != "" && count[owner] <= capacity[owner] {
+				continue
+			}
+			if owner != "" && sparePreferred && protected[g] {
+				continue
+			}
+			best := ""
+			for _, m := range in.Members {
+				if m == owner || count[m] >= capacity[m] {
+					continue
+				}
+				if best == "" || count[m] < count[best] {
+					best = m
+				}
+			}
+			if best != "" {
+				move(g, best)
+			}
+		}
+	}
+	shed(true)
+	shed(false)
+
+	for _, g := range in.Groups {
+		dst = append(dst, Decision{Group: g, Owner: alloc[g]})
+	}
+	return dst
+}
+
+// Fill implements Policy, mirroring the engine's historical
+// computeReallocation: current owners keep their groups (even owners
+// absent from the eligible list), and each hole goes to the least-loaded
+// eligible member, first-in-view-order on ties.
+func (*LeastLoaded) Fill(in Input, dst []Decision) []Decision {
+	dst = dst[:0]
+	counts := map[string]int{}
+	for _, g := range in.Groups {
+		counts[in.Owner(g)]++
+	}
+	for _, g := range in.Groups {
+		owner := in.Owner(g)
+		if owner == "" && len(in.Members) > 0 {
+			pick := in.Members[0]
+			for _, m := range in.Members[1:] {
+				if counts[m] < counts[pick] {
+					pick = m
+				}
+			}
+			owner = pick
+			counts[pick]++
+		}
+		dst = append(dst, Decision{Group: g, Owner: owner})
+	}
+	return dst
+}

@@ -321,6 +321,27 @@ func (n *Node) LeaveService() error {
 	return nil
 }
 
+// JoinService re-admits a node that left service (LeaveService) without
+// stopping: the engine rewinds to the immature state — modelling the §3.4
+// bootstrap of a restarted process, so the rejoining node takes no load
+// until it meets a mature member or its maturity window expires — and a
+// fresh session joins the group. Together with LeaveService this is the
+// rolling-restart primitive: drain, do maintenance, join, and the placement
+// policy decides how much of the table moves to re-admit the node.
+func (n *Node) JoinService() error {
+	if !n.started {
+		return fmt.Errorf("wackamole: not started")
+	}
+	if n.stopped {
+		return fmt.Errorf("wackamole: stopped")
+	}
+	if n.sess != nil {
+		return fmt.Errorf("wackamole: already in service")
+	}
+	n.engine.ResetMaturity()
+	return n.connect()
+}
+
 // Stop shuts the node down completely: graceful service departure followed
 // by a graceful daemon departure, so the surviving daemons reconfigure
 // after one discovery round instead of waiting out fault detection.
@@ -351,8 +372,9 @@ func (n *Node) Daemon() *gcs.Daemon { return n.daemon }
 func (n *Node) Session() *gcs.Session { return n.sess }
 
 // Connected reports whether the node currently holds a daemon session —
-// i.e. it is in service. False after LeaveService (permanently) and in the
-// window between a severed session and its automatic reconnect.
+// i.e. it is in service. False after LeaveService (until JoinService
+// re-admits the node) and in the window between a severed session and its
+// automatic reconnect.
 func (n *Node) Connected() bool { return n.sess != nil }
 
 // IPs exposes the node's address manager.
